@@ -1,0 +1,185 @@
+// Package algorithms provides ready-made graph analytics on top of a
+// tufast.System: the paper's §VI-A application suite (PageRank, BFS,
+// connected components, triangle counting, Bellman-Ford/SPFA shortest
+// paths, maximal independent set, greedy maximal matching) plus k-core
+// decomposition, greedy coloring, label-propagation communities and
+// clustering coefficients.
+//
+// Every function is a thin veneer over the same transactional
+// implementations the benchmarks run; all of them are sequential-looking
+// per-vertex code executed serializably in parallel — the library's
+// whole pitch. Use them directly, or read their sources as templates for
+// your own ad-hoc analytics.
+//
+//	g := tufast.GeneratePowerLaw(100_000, 2_000_000, 2.1, 1)
+//	sys := tufast.NewSystem(g, tufast.Options{})
+//	ranks, err := algorithms.PageRank(sys, 0.85, 1e-6)
+//
+// Algorithms marked "undirected" require a symmetrized graph
+// (Graph.Undirect or BuildGraph with undirected=true); they return
+// ErrNeedUndirected otherwise.
+package algorithms
+
+import (
+	"errors"
+
+	"tufast"
+	"tufast/internal/algo"
+)
+
+// ErrNeedUndirected is returned by algorithms that require a symmetrized
+// graph when given a directed one.
+var ErrNeedUndirected = errors.New("algorithms: this algorithm requires an undirected (symmetrized) graph")
+
+// runtime bridges a public System to the internal algorithm runtime.
+func runtime(s *tufast.System) *algo.Runtime {
+	return algo.NewRuntime(s.Graph().CSR(), s.Space(), s.Core(), s.Threads())
+}
+
+func needUndirected(s *tufast.System) error {
+	if !s.Graph().Undirected() {
+		return ErrNeedUndirected
+	}
+	return nil
+}
+
+// PageRank computes PageRank with damping d to residual tolerance eps
+// using asynchronous residual pushing (in-place updates — the workload
+// the paper's §VI-A highlights).
+func PageRank(s *tufast.System, d, eps float64) ([]float64, error) {
+	res, err := algo.PageRank(runtime(s), d, eps)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rank, nil
+}
+
+// BFS returns hop distances from source (tufast.None = unreachable).
+func BFS(s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.BFS(runtime(s), source)
+	if err != nil {
+		return nil, err
+	}
+	return res.Level, nil
+}
+
+// ConnectedComponents labels every vertex with the smallest vertex id in
+// its component. Undirected.
+func ConnectedComponents(s *tufast.System) ([]uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.WCC(runtime(s))
+	if err != nil {
+		return nil, err
+	}
+	return res.Component, nil
+}
+
+// Triangles counts triangles. Undirected.
+func Triangles(s *tufast.System) (uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return 0, err
+	}
+	res, err := algo.Triangles(runtime(s))
+	if err != nil {
+		return 0, err
+	}
+	return res.Triangles, nil
+}
+
+// ShortestPathsBellmanFord computes single-source shortest paths over
+// the module's deterministic edge weights with a FIFO work list
+// (the paper's Figure 3, Bellman-Ford flavour).
+func ShortestPathsBellmanFord(s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.BellmanFord(runtime(s), source)
+	if err != nil {
+		return nil, err
+	}
+	return res.Dist, nil
+}
+
+// ShortestPathsSPFA is the same relaxation driven by a priority queue
+// (the paper's Figure 3, SPFA flavour: switching algorithms is switching
+// the queue).
+func ShortestPathsSPFA(s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.SPFA(runtime(s), source)
+	if err != nil {
+		return nil, err
+	}
+	return res.Dist, nil
+}
+
+// MaximalIndependentSet returns the in-set flags of a maximal
+// independent set. Undirected.
+func MaximalIndependentSet(s *tufast.System) ([]bool, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.MIS(runtime(s))
+	if err != nil {
+		return nil, err
+	}
+	return res.InSet, nil
+}
+
+// MaximalMatching returns the partner array of a maximal matching
+// (tufast.None = unmatched) — the paper's running example (Figure 1).
+// Undirected.
+func MaximalMatching(s *tufast.System) ([]uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.MaximalMatching(runtime(s))
+	if err != nil {
+		return nil, err
+	}
+	return res.Match, nil
+}
+
+// KCore returns every vertex's core number. Undirected.
+func KCore(s *tufast.System) ([]uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.KCore(runtime(s))
+	if err != nil {
+		return nil, err
+	}
+	return res.Core, nil
+}
+
+// GreedyColoring returns a proper vertex coloring using at most
+// maxDegree+1 colors. Undirected.
+func GreedyColoring(s *tufast.System) ([]uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.GreedyColoring(runtime(s))
+	if err != nil {
+		return nil, err
+	}
+	return res.Color, nil
+}
+
+// LabelPropagation runs community detection by iterative majority
+// labeling for at most maxRounds rounds (0 = default). Undirected.
+func LabelPropagation(s *tufast.System, maxRounds int) ([]uint64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	res, err := algo.LabelPropagation(runtime(s), maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	return res.Component, nil
+}
+
+// ClusteringCoefficients returns every vertex's local clustering
+// coefficient. Undirected.
+func ClusteringCoefficients(s *tufast.System) ([]float64, error) {
+	if err := needUndirected(s); err != nil {
+		return nil, err
+	}
+	return algo.ClusteringCoefficients(runtime(s))
+}

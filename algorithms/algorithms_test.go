@@ -1,0 +1,129 @@
+package algorithms_test
+
+import (
+	"errors"
+	"testing"
+
+	"tufast"
+	"tufast/algorithms"
+)
+
+func sys(t *testing.T, undirect bool) (*tufast.System, *tufast.Graph) {
+	t.Helper()
+	g := tufast.GeneratePowerLaw(3_000, 24_000, 2.1, 77)
+	if undirect {
+		g = g.Undirect()
+	}
+	return tufast.NewSystem(g, tufast.Options{Threads: 4}), g
+}
+
+func TestPublicSuiteRuns(t *testing.T) {
+	s, g := sys(t, true)
+
+	ranks, err := algorithms.PageRank(s, 0.85, 1e-6)
+	if err != nil || len(ranks) != g.NumVertices() {
+		t.Fatalf("pagerank: %v", err)
+	}
+	lv, err := algorithms.BFS(s, 0)
+	if err != nil || lv[0] != 0 {
+		t.Fatalf("bfs: %v", err)
+	}
+	comp, err := algorithms.ConnectedComponents(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range comp {
+		if c > uint64(v) {
+			t.Fatalf("component label %d above own id %d", c, v)
+		}
+	}
+	if _, err := algorithms.Triangles(s); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := algorithms.ShortestPathsBellmanFord(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := algorithms.ShortestPathsSPFA(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("bellman-ford and spfa disagree at %d: %d vs %d", v, d1[v], d2[v])
+		}
+	}
+	mis, err := algorithms.MaximalIndependentSet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match, err := algorithms.MaximalMatching(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the invariants against the graph surface.
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if mis[v] {
+			for _, u := range g.Neighbors(v) {
+				if u != v && mis[u] {
+					t.Fatalf("MIS not independent at (%d,%d)", v, u)
+				}
+			}
+		}
+		if m := match[v]; m != tufast.None && match[uint32(m)] != uint64(v) {
+			t.Fatalf("matching asymmetric at %d", v)
+		}
+	}
+	core, err := algorithms.KCore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if core[v] > uint64(g.Degree(v)) {
+			t.Fatalf("core[%d]=%d exceeds degree %d", v, core[v], g.Degree(v))
+		}
+	}
+	colors, err := algorithms.GreedyColoring(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u != v && colors[u] == colors[v] {
+				t.Fatalf("coloring improper at (%d,%d)", v, u)
+			}
+		}
+	}
+	if _, err := algorithms.LabelPropagation(s, 4); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := algorithms.ClusteringCoefficients(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range cc {
+		if c < 0 || c > 1 {
+			t.Fatalf("cc[%d]=%f out of [0,1]", v, c)
+		}
+	}
+}
+
+func TestUndirectedGuards(t *testing.T) {
+	s, _ := sys(t, false) // directed graph
+	if _, err := algorithms.Triangles(s); !errors.Is(err, algorithms.ErrNeedUndirected) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := algorithms.MaximalMatching(s); !errors.Is(err, algorithms.ErrNeedUndirected) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, err := algorithms.KCore(s); !errors.Is(err, algorithms.ErrNeedUndirected) {
+		t.Fatalf("err=%v", err)
+	}
+	// Directed-friendly algorithms still work.
+	if _, err := algorithms.BFS(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := algorithms.PageRank(s, 0.85, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}

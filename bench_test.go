@@ -1,0 +1,86 @@
+package tufast_test
+
+import (
+	"io"
+	"testing"
+
+	"tufast/internal/bench"
+)
+
+// Each paper table/figure has a testing.B entry point. The benchmarks run
+// the experiment at Short scale once per b.N iteration; use
+// `go test -bench . -benchtime 1x` for a single reproduction pass, or
+// `go run ./cmd/tufast-bench <id>` for full-scale output with tables.
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := bench.Options{Short: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(opts)
+		if len(tables) == 0 {
+			b.Fatalf("%s returned no tables", id)
+		}
+		for _, t := range tables {
+			t.Fprint(io.Discard)
+		}
+	}
+}
+
+// BenchmarkFig4AbortProbability regenerates Figure 4: HTM abort
+// probability vs transaction size.
+func BenchmarkFig4AbortProbability(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5DegreeDistribution regenerates Figure 5: the power-law
+// degree distribution of the twitter stand-in.
+func BenchmarkFig5DegreeDistribution(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ContentionHeatmap regenerates Figure 6: conflict
+// probability by degree-bucket pair.
+func BenchmarkFig6ContentionHeatmap(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7SchedulerVsContention regenerates Figure 7: 2PL/OCC/TO
+// throughput across contention rates.
+func BenchmarkFig7SchedulerVsContention(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable2Datasets regenerates Table II: dataset statistics.
+func BenchmarkTable2Datasets(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig11SingleNode regenerates Figure 11: applications on TuFast
+// vs the single-node comparison systems.
+func BenchmarkFig11SingleNode(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Distributed regenerates Figure 12: applications on
+// TuFast vs simulated distributed and out-of-core systems.
+func BenchmarkFig12Distributed(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13ThroughputRM regenerates Figure 13: scheduler throughput
+// on the read-mostly workload.
+func BenchmarkFig13ThroughputRM(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14ThroughputRW regenerates Figure 14: scheduler throughput
+// on the read-write workload.
+func BenchmarkFig14ThroughputRW(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15ModeBreakdown regenerates Figure 15: committed
+// transactions and operations per mode class.
+func BenchmarkFig15ModeBreakdown(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16ParameterSensitivity regenerates Figure 16: static
+// period and retry-budget sweeps.
+func BenchmarkFig16ParameterSensitivity(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17AdaptivePeriod regenerates Figure 17: adaptive vs static
+// period over PageRank progress.
+func BenchmarkFig17AdaptivePeriod(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkAblation runs the design-choice ablations from DESIGN.md §5.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkLowSkew runs the beyond-the-paper extension: TuFast on a
+// skew-free road-like grid.
+func BenchmarkLowSkew(b *testing.B) { runExperiment(b, "lowskew") }

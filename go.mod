@@ -1,0 +1,3 @@
+module tufast
+
+go 1.22

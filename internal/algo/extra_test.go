@@ -1,0 +1,207 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"tufast/internal/core"
+	"tufast/internal/graph"
+	"tufast/internal/graph/gen"
+	"tufast/internal/mem"
+)
+
+func extraRuntime(t *testing.T, g *graph.CSR) *Runtime {
+	t.Helper()
+	sp := mem.NewSpace(SpaceWordsFor(g.NumVertices()))
+	return NewRuntime(g, sp, core.New(sp, g.NumVertices(), core.Config{}), 8)
+}
+
+func undirected(g *graph.CSR) *graph.CSR {
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			edges = append(edges, graph.Edge{U: v, V: u})
+		}
+	}
+	return graph.MustBuild(g.NumVertices(), edges, graph.BuildOptions{Symmetrize: true})
+}
+
+func TestKCoreMatchesPeeling(t *testing.T) {
+	g := undirected(gen.PowerLaw(2_000, 16_000, 2.1, 13))
+	r := extraRuntime(t, g)
+	res, err := KCore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SeqKCore(g)
+	for v := range want {
+		if res.Core[v] != want[v] {
+			t.Fatalf("core[%d]=%d want %d", v, res.Core[v], want[v])
+		}
+	}
+	if res.MaxCore == 0 {
+		t.Fatal("degenerate degeneracy")
+	}
+}
+
+func TestKCoreOnGrid(t *testing.T) {
+	g := gen.Grid(20, 20)
+	r := extraRuntime(t, g)
+	res, err := KCore(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A grid's degeneracy is 2.
+	if res.MaxCore != 2 {
+		t.Fatalf("grid degeneracy %d, want 2", res.MaxCore)
+	}
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	g := undirected(gen.PowerLaw(2_000, 16_000, 2.1, 29))
+	r := extraRuntime(t, g)
+	res, err := GreedyColoring(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, res.Color); err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors < 2 {
+		t.Fatalf("suspicious palette size %d", res.Colors)
+	}
+}
+
+func TestGreedyColoringStar(t *testing.T) {
+	g := gen.Star(500)
+	r := extraRuntime(t, g)
+	res, err := GreedyColoring(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyColoring(g, res.Color); err != nil {
+		t.Fatal(err)
+	}
+	if res.Colors != 2 {
+		t.Fatalf("star needs exactly 2 colors, used %d", res.Colors)
+	}
+}
+
+func TestLabelPropagationConverges(t *testing.T) {
+	// Two disjoint cliques must get two labels.
+	var edges []graph.Edge
+	for i := uint32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+			edges = append(edges, graph.Edge{U: i + 10, V: j + 10})
+		}
+	}
+	g := graph.MustBuild(20, edges, graph.BuildOptions{Symmetrize: true})
+	r := extraRuntime(t, g)
+	res, err := LabelPropagation(r, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 2 {
+		t.Fatalf("communities=%d want 2", res.Components)
+	}
+	for v := 0; v < 10; v++ {
+		if res.Component[v] != res.Component[0] {
+			t.Fatalf("clique 1 split: %v", res.Component[:10])
+		}
+		if res.Component[v+10] != res.Component[10] {
+			t.Fatalf("clique 2 split: %v", res.Component[10:])
+		}
+	}
+}
+
+func TestClusteringCoefficients(t *testing.T) {
+	// Triangle + pendant: vertex 0,1,2 form a triangle; 3 hangs off 0.
+	g := graph.MustBuild(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}},
+		graph.BuildOptions{Symmetrize: true})
+	r := extraRuntime(t, g)
+	cc, err := ClusteringCoefficients(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.0 / 3, 1, 1, 0}
+	for v := range want {
+		if math.Abs(cc[v]-want[v]) > 1e-9 {
+			t.Fatalf("cc[%d]=%f want %f", v, cc[v], want[v])
+		}
+	}
+}
+
+func TestSeqReferencesOnKnownGraph(t *testing.T) {
+	// A path 0-1-2-3 plus an isolated vertex 4 (undirected).
+	g := graph.MustBuild(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}},
+		graph.BuildOptions{Symmetrize: true})
+
+	bfs := SeqBFS(g, 0)
+	for v, want := range []uint64{0, 1, 2, 3, None} {
+		if bfs[v] != want {
+			t.Fatalf("bfs[%d]=%d want %d", v, bfs[v], want)
+		}
+	}
+	wcc := SeqWCC(g)
+	if wcc[3] != 0 || wcc[4] != 4 {
+		t.Fatalf("wcc=%v", wcc)
+	}
+	if tri := SeqTriangles(g); tri != 0 {
+		t.Fatalf("path has %d triangles?!", tri)
+	}
+	tri := graph.MustBuild(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}},
+		graph.BuildOptions{Symmetrize: true})
+	if got := SeqTriangles(tri); got != 1 {
+		t.Fatalf("triangle count %d want 1", got)
+	}
+	pr := SeqPageRank(g, 0.85, 1e-10)
+	var sum float64
+	for _, x := range pr {
+		sum += x
+	}
+	// Sum of ranks ~ n*(1-d) + redistributed mass; middle vertices rank higher.
+	if !(pr[1] > pr[0] && pr[2] > pr[3]) {
+		t.Fatalf("pr shape wrong: %v", pr)
+	}
+	if sum <= 0 {
+		t.Fatal("pr sum non-positive")
+	}
+	dist := SeqSSSP(g, 0)
+	if dist[4] != None || dist[0] != 0 {
+		t.Fatalf("sssp=%v", dist)
+	}
+	w01 := uint64(graph.WeightOf(0, 1, MaxEdgeWeight))
+	if dist[1] != w01 {
+		t.Fatalf("dist[1]=%d want %d", dist[1], w01)
+	}
+}
+
+func TestVerifyHelpersRejectBadResults(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}},
+		graph.BuildOptions{Symmetrize: true})
+	// MIS violations.
+	if err := VerifyMIS(g, []bool{true, true, true, false}); err == nil {
+		t.Fatal("dependent set accepted")
+	}
+	if err := VerifyMIS(g, []bool{false, false, true, false}); err == nil {
+		t.Fatal("non-maximal set accepted")
+	}
+	// Matching violations.
+	if err := VerifyMatching(g, []uint64{1, 0, None, None}); err == nil {
+		t.Fatal("non-maximal matching accepted")
+	}
+	if err := VerifyMatching(g, []uint64{2, None, 0, None}); err == nil {
+		t.Fatal("non-edge match accepted")
+	}
+	if err := VerifyMatching(g, []uint64{1, None, None, None}); err == nil {
+		t.Fatal("asymmetric match accepted")
+	}
+	// Coloring violations.
+	if err := VerifyColoring(g, []uint64{0, 0, 0, 1}); err == nil {
+		t.Fatal("monochromatic edge accepted")
+	}
+	if err := VerifyColoring(g, []uint64{colorNone, 0, 0, 1}); err == nil {
+		t.Fatal("uncolored vertex accepted")
+	}
+}

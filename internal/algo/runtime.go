@@ -1,0 +1,211 @@
+// Package algo implements the paper's §VI-A application suite — PageRank,
+// BFS, weakly connected components, triangle counting, Bellman-Ford/SPFA
+// shortest paths, maximal independent set, and greedy maximal matching —
+// once, against the sched.Scheduler interface, so identical user code runs
+// on TuFast and on every baseline scheduler the paper compares.
+package algo
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast/internal/graph"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/worklist"
+)
+
+// Runtime binds a graph, a shared memory space and a scheduler into the
+// execution environment the algorithms run in.
+type Runtime struct {
+	G       *graph.CSR
+	Sp      *mem.Space
+	S       sched.Scheduler
+	Threads int
+
+	wmu     sync.Mutex
+	free    []sched.Worker
+	created int
+}
+
+// NewRuntime creates a Runtime; threads <= 0 means GOMAXPROCS. The space
+// must be large enough for the algorithm's property arrays (SpaceWordsFor
+// sizes it).
+func NewRuntime(g *graph.CSR, sp *mem.Space, s sched.Scheduler, threads int) *Runtime {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Runtime{G: g, Sp: sp, S: s, Threads: threads}
+}
+
+// SpaceWordsFor returns a space size (in words) ample for any algorithm
+// in this package on a graph with n vertices.
+func SpaceWordsFor(n int) int { return 24*(n+8) + 4096 }
+
+// NewVertexArray allocates one word per vertex initialized to init and
+// returns the base address.
+func (r *Runtime) NewVertexArray(init uint64) mem.Addr {
+	n := r.G.NumVertices()
+	base := r.Sp.AllocLineAligned(n)
+	if init != 0 {
+		for i := 0; i < n; i++ {
+			r.Sp.Store(base+mem.Addr(i), init)
+		}
+	}
+	return base
+}
+
+// worker leases a per-goroutine scheduler context (ids are stable per
+// worker — see tufast.System.Worker for why a sync.Pool would be wrong).
+func (r *Runtime) worker() sched.Worker {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if n := len(r.free); n > 0 {
+		w := r.free[n-1]
+		r.free = r.free[:n-1]
+		return w
+	}
+	id := r.created
+	r.created++
+	return r.S.Worker(id)
+}
+
+func (r *Runtime) release(w sched.Worker) {
+	r.wmu.Lock()
+	r.free = append(r.free, w)
+	r.wmu.Unlock()
+}
+
+// ForEachVertex runs fn for every vertex as its own transaction with the
+// degree as the size hint (parallel_for + BEGIN(degree[v])).
+func (r *Runtime) ForEachVertex(fn func(tx sched.Tx, v uint32) error) error {
+	n := r.G.NumVertices()
+	var firstErr atomic.Value
+	worklist.Range(n, r.Threads, 256, func(_, lo, hi int) {
+		w := r.worker()
+		defer r.release(w)
+		for v := lo; v < hi; v++ {
+			if firstErr.Load() != nil {
+				return
+			}
+			vid := uint32(v)
+			hint := r.G.Degree(vid)*2 + 2
+			if err := w.Run(hint, func(tx sched.Tx) error { return fn(tx, vid) }); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	})
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Source is a work queue the queued driver drains (worklist.Queue or
+// worklist.PQ adapters satisfy it).
+type Source interface {
+	Pop() (uint32, bool)
+	Len() int
+}
+
+// FIFOSource adapts worklist.Queue.
+type FIFOSource struct{ *worklist.Queue }
+
+// Pop implements Source.
+func (s FIFOSource) Pop() (uint32, bool) { return s.Queue.Pop() }
+
+// PQSource adapts worklist.PQ.
+type PQSource struct{ *worklist.PQ }
+
+// Pop implements Source.
+func (s PQSource) Pop() (uint32, bool) {
+	v, _, ok := s.PQ.Pop()
+	return v, ok
+}
+
+// ForEachQueued drains q with r.Threads workers, one transaction per
+// polled vertex. Workers quiesce when the queue stays empty.
+func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32) error) error {
+	var firstErr atomic.Value
+	var idle atomic.Int64
+	var wg sync.WaitGroup
+	threads := r.Threads
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := r.worker()
+			defer r.release(w)
+			idleSpins := 0
+			for {
+				if firstErr.Load() != nil {
+					return
+				}
+				v, ok := q.Pop()
+				if ok {
+					idleSpins = 0
+				}
+				if !ok {
+					n := idle.Add(1)
+					if int(n) == threads && q.Len() == 0 {
+						return
+					}
+					idleSpins++
+					if idleSpins > 64 {
+						time.Sleep(50 * time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+					idle.Add(-1)
+					continue
+				}
+				hint := r.G.Degree(v)*2 + 2
+				if err := w.Run(hint, func(tx sched.Tx) error { return fn(tx, v) }); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// ReadArray copies a vertex array out of the space (after all workers
+// finished).
+func (r *Runtime) ReadArray(base mem.Addr) []uint64 {
+	n := r.G.NumVertices()
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.Sp.Load(base + mem.Addr(i))
+	}
+	return out
+}
+
+// ReadFloatArray copies a float64 vertex array out of the space.
+func (r *Runtime) ReadFloatArray(base mem.Addr) []float64 {
+	n := r.G.NumVertices()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = mem.Float(r.Sp.Load(base + mem.Addr(i)))
+	}
+	return out
+}
+
+// None is the property value meaning "unset".
+const None = ^uint64(0)
+
+// checkVertex panics if v is out of range (defensive; algorithms are
+// internal callers).
+func (r *Runtime) checkVertex(v uint32) {
+	if int(v) >= r.G.NumVertices() {
+		panic(fmt.Sprintf("algo: vertex %d out of range", v))
+	}
+}

@@ -1,0 +1,10 @@
+package algo
+
+import "sync/atomic"
+
+// atomicCounter is a tiny convenience wrapper used for progress metrics.
+type atomicCounter struct{ n atomic.Uint64 }
+
+func (c *atomicCounter) inc()         { c.n.Add(1) }
+func (c *atomicCounter) add(d uint64) { c.n.Add(d) }
+func (c *atomicCounter) get() uint64  { return c.n.Load() }

@@ -1,0 +1,242 @@
+package algo
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"tufast/internal/graph"
+)
+
+// This file holds single-threaded reference implementations and result
+// validators. Tests compare every scheduler's and engine's output against
+// them; they are deliberately naive and obviously correct.
+
+// SeqPageRank runs synchronous power iteration to an L1 tolerance.
+func SeqPageRank(g *graph.CSR, d, eps float64) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 - d
+	}
+	for iter := 0; iter < 10_000; iter++ {
+		for i := range next {
+			next[i] = 1 - d
+		}
+		for v := uint32(0); int(v) < n; v++ {
+			deg := g.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			share := d * rank[v] / float64(deg)
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+		}
+		var delta float64
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < eps {
+			break
+		}
+	}
+	return rank
+}
+
+// SeqBFS computes hop levels from source (None = unreachable).
+func SeqBFS(g *graph.CSR, source uint32) []uint64 {
+	n := g.NumVertices()
+	level := make([]uint64, n)
+	for i := range level {
+		level[i] = None
+	}
+	level[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if level[u] == None {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return level
+}
+
+// SeqWCC labels components with the minimum contained vertex id,
+// treating edges as undirected regardless of storage direction.
+func SeqWCC(g *graph.CSR) []uint64 {
+	n := g.NumVertices()
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b uint32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			union(v, u)
+		}
+	}
+	// Compress to minimum id per component.
+	min := make(map[uint32]uint32)
+	for v := uint32(0); int(v) < n; v++ {
+		r := find(v)
+		if m, ok := min[r]; !ok || v < m {
+			min[r] = v
+		}
+	}
+	out := make([]uint64, n)
+	for v := uint32(0); int(v) < n; v++ {
+		out[v] = uint64(min[find(v)])
+	}
+	return out
+}
+
+// SeqTriangles counts triangles on an undirected graph.
+func SeqTriangles(g *graph.CSR) uint64 {
+	var total uint64
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		nv := forward(g.Neighbors(v), v)
+		for _, u := range nv {
+			total += intersectCount(nv, forward(g.Neighbors(u), u))
+		}
+	}
+	return total
+}
+
+type dijkItem struct {
+	v uint32
+	d uint64
+}
+type dijkHeap []dijkItem
+
+func (h dijkHeap) Len() int           { return len(h) }
+func (h dijkHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h dijkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dijkHeap) Push(x any)        { *h = append(*h, x.(dijkItem)) }
+func (h *dijkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SeqSSSP runs Dijkstra with the module's deterministic edge weights.
+func SeqSSSP(g *graph.CSR, source uint32) []uint64 {
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = None
+	}
+	dist[source] = 0
+	h := &dijkHeap{{v: source, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, u := range g.Neighbors(it.v) {
+			nd := it.d + uint64(graph.WeightOf(it.v, u, MaxEdgeWeight))
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, dijkItem{v: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// VerifyMIS checks independence and maximality on an undirected graph.
+func VerifyMIS(g *graph.CSR, inSet []bool) error {
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if inSet[v] {
+			for _, u := range g.Neighbors(v) {
+				if u != v && inSet[u] {
+					return fmt.Errorf("not independent: both %d and %d in set", v, u)
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, u := range g.Neighbors(v) {
+			if inSet[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered && g.Degree(v) > 0 {
+			return fmt.Errorf("not maximal: %d and all its neighbors out of set", v)
+		}
+		if g.Degree(v) == 0 && !inSet[v] {
+			return fmt.Errorf("isolated vertex %d must be in set", v)
+		}
+	}
+	return nil
+}
+
+// VerifyMatching checks symmetry, edge-ness and maximality.
+func VerifyMatching(g *graph.CSR, match []uint64) error {
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		m := match[v]
+		if m == None {
+			continue
+		}
+		u := uint32(m)
+		if int(u) >= g.NumVertices() || match[u] != uint64(v) {
+			return fmt.Errorf("asymmetric match at %d <-> %d", v, u)
+		}
+		if !hasEdge(g, v, u) {
+			return fmt.Errorf("matched non-edge (%d,%d)", v, u)
+		}
+	}
+	// Maximality: no edge with both endpoints unmatched.
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if match[v] != None {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if u != v && match[u] == None {
+				return fmt.Errorf("not maximal: edge (%d,%d) both unmatched", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+func hasEdge(g *graph.CSR, v, u uint32) bool {
+	nb := g.Neighbors(v)
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(nb) && nb[lo] == u
+}

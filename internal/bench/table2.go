@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+
+	"tufast/internal/graph/gen"
+)
+
+// Table2 reports the statistics of the four synthetic stand-ins next to
+// the paper's original dataset sizes (Table II).
+func Table2(o Options) []Table {
+	o = o.normalize()
+	t := &Table{
+		ID:    "table2",
+		Title: "Datasets: paper originals vs synthetic stand-ins (scaled)",
+		Header: []string{"dataset", "paper_V", "paper_E", "standin_V", "standin_E",
+			"E/V", "max_deg", "alpha"},
+		Notes: []string{
+			"stand-ins preserve |E|/|V| ratio, power-law tail and max-degree >> HTM capacity",
+		},
+	}
+	for _, d := range gen.Datasets() {
+		g := d.Generate(o.Scale)
+		t.AddRow(d.Name,
+			fmt.Sprintf("%.1fM", float64(d.PaperV)/1e6),
+			fmt.Sprintf("%.0fM", float64(d.PaperE)/1e6),
+			g.NumVertices(), g.NumEdges(),
+			g.AvgDegree(), g.MaxDegree(), g.PowerLawFit(4))
+	}
+	return []Table{*t}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "figX",
+		Title:  "test table",
+		Header: []string{"a", "long_column", "c"},
+		Notes:  []string{"a note"},
+	}
+	tab.AddRow("x", 1234.5678, 7)
+	tab.AddRow("yyyyy", "str", 0.5)
+
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"figX", "test table", "long_column", "1235", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	tab.CSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines=%d", len(lines))
+	}
+	if lines[0] != "a,long_column,c" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if seen[e.ID] && e.ID != "fig15" && e.ID != "fig16" {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"fig4", "fig13", "fig17", "table2", "ablation", "lowskew"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %s not found", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("phantom experiment found")
+	}
+	if len(IDs()) != len(exps) {
+		t.Fatal("IDs() length mismatch")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Scale != 1 || o.Threads < 8 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	s := Options{Short: true, Scale: 8}.normalize()
+	if s.Scale != 1 {
+		t.Fatalf("short scaling wrong: %f", s.Scale)
+	}
+	e := Options{Threads: 3}.normalize()
+	if e.Threads != 3 {
+		t.Fatal("explicit threads overwritten")
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	if RM.String() != "RM" || RW.String() != "RW" {
+		t.Fatal("workload names wrong")
+	}
+}

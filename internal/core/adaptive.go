@@ -1,0 +1,65 @@
+package core
+
+import "sync/atomic"
+
+// periodController implements the §IV-D adaptive parameter selection.
+//
+// Model: an in-flight HTM segment aborts on its next operation with
+// probability p; committing after P operations therefore yields expected
+// committed work (1-p)^P · P, maximized at P = round(1/p). The controller
+// estimates p from recent O-mode segment outcomes (operations executed vs
+// segment aborts) in a decaying window and publishes round(1/p̂), clamped
+// to [floor, cap].
+type periodController struct {
+	ops    atomic.Uint64 // segment operations observed in current window
+	aborts atomic.Uint64 // segment aborts observed in current window
+	cur    atomic.Int64  // published period
+
+	floor, cap int
+	window     uint64 // decay threshold in ops
+}
+
+func newPeriodController(initial, floor, capP int) *periodController {
+	pc := &periodController{floor: floor, cap: capP, window: 1 << 16}
+	pc.cur.Store(int64(initial))
+	return pc
+}
+
+// Current returns the period to use for a fresh O-mode transaction.
+func (pc *periodController) Current() int { return int(pc.cur.Load()) }
+
+// Observe folds one O-mode attempt's segment telemetry into the estimate
+// and republishes the period. ops counts operations executed inside
+// segments; aborted reports whether a segment died (conflict or capacity).
+func (pc *periodController) Observe(ops uint64, aborted bool) {
+	if ops == 0 && !aborted {
+		return
+	}
+	o := pc.ops.Add(ops)
+	a := pc.aborts.Load()
+	if aborted {
+		a = pc.aborts.Add(1)
+	}
+	if o < 256 {
+		return // too little signal
+	}
+	var period int64
+	if a == 0 {
+		period = int64(pc.cap)
+	} else {
+		period = int64(o / a) // round(1/p̂) with p̂ = a/o
+		if period < int64(pc.floor) {
+			period = int64(pc.floor)
+		}
+		if period > int64(pc.cap) {
+			period = int64(pc.cap)
+		}
+	}
+	pc.cur.Store(period)
+	if o >= pc.window {
+		// Exponential decay: halve both counters so the estimate tracks
+		// the recent workload (§IV-D "base on the recent workload").
+		pc.ops.Store(o / 2)
+		pc.aborts.Store(a / 2)
+	}
+}

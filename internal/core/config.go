@@ -1,0 +1,95 @@
+// Package core implements TuFast's contribution: the three-mode hybrid
+// transactional memory of paper §IV. Transactions are routed by their
+// size hint (Fig. 10) to one of three sub-schedulers that share the same
+// vertex locks and memory metadata (§IV-A):
+//
+//	H mode  one emulated hardware transaction with per-vertex lock
+//	        subscription (Algorithm 1);
+//	O mode  HTM-assisted optimistic execution: private write buffer,
+//	        reads monitored in HTM segments of `period` operations,
+//	        commit-time validation (Algorithm 2, Fig. 9);
+//	L mode  strict two-phase locking with deadlock handling
+//	        (Algorithm 3) — reused from the sched package.
+//
+// The O-mode segment length adapts at run time: modelling a per-operation
+// abort probability p, the expected committed work (1-p)^P·P is maximal
+// at P = round(1/p) (§IV-D), so a monitored estimate of p drives the
+// period, halving on each O abort with a floor below which the
+// transaction escalates to L mode.
+package core
+
+import (
+	"tufast/internal/deadlock"
+	"tufast/internal/htm"
+)
+
+// Config tunes the TuFast runtime. The zero value is usable: every field
+// is defaulted by normalize.
+type Config struct {
+	// HMaxHint is the largest size hint (in shared words) still routed to
+	// H mode first. Defaults to the emulated HTM capacity in words;
+	// transactions between the random-access practical limit and this
+	// bound will typically take one capacity abort and proceed to O mode,
+	// exactly as on real TSX.
+	HMaxHint int
+
+	// OMaxHint is the largest size hint still routed through O mode;
+	// larger transactions go straight to L mode (Fig. 10 "size makes H/O
+	// mode impossible").
+	OMaxHint int
+
+	// HRetries bounds H-mode retries on transient aborts (§IV-D studies
+	// this knob; Intel suggests a small constant). Capacity aborts never
+	// retry.
+	HRetries int
+
+	// PeriodInit is the O-mode segment length used before any adaptive
+	// feedback exists (also the "static parameter" of Fig. 17).
+	PeriodInit int
+
+	// PeriodFloor is the period below which O mode gives up and the
+	// transaction escalates to L mode (paper: 100).
+	PeriodFloor int
+
+	// PeriodCap bounds the adaptive period from above (the HTM capacity
+	// in words is a natural ceiling).
+	PeriodCap int
+
+	// AdaptivePeriod enables the §IV-D controller; when false the period
+	// stays at PeriodInit (Fig. 17's "static" configuration).
+	AdaptivePeriod bool
+
+	// Deadlock selects the L-mode deadlock policy.
+	Deadlock deadlock.Mode
+
+	// DisableEarlyAbort turns off the NOrec-style mid-transaction
+	// conflict detection inside O-mode segments (ablation: the value of
+	// HTM assistance in O mode).
+	DisableEarlyAbort bool
+}
+
+// normalize fills zero fields with defaults.
+func (c Config) normalize() Config {
+	if c.HMaxHint <= 0 {
+		c.HMaxHint = htm.CapacityWords
+	}
+	if c.OMaxHint <= 0 {
+		// O mode pays off while the transaction is "not too far" beyond
+		// the HTM capacity (§IV-A, Fig. 8); eight capacities out, the
+		// validation-failure risk and re-execution cost favour locks.
+		c.OMaxHint = 8 * htm.CapacityWords
+	}
+	if c.HRetries <= 0 {
+		c.HRetries = 8
+	}
+	if c.PeriodInit <= 0 {
+		c.PeriodInit = 1000
+	}
+	if c.PeriodFloor <= 0 {
+		c.PeriodFloor = 100
+	}
+	if c.PeriodCap <= 0 {
+		c.PeriodCap = htm.CapacityWords
+	}
+	return c
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+
+	"tufast/internal/gentab"
+	"tufast/internal/htm"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/vlock"
+)
+
+// hCtx executes a transaction as one emulated hardware transaction with
+// per-vertex lock integration (paper Algorithm 1):
+//
+//   - touching a vertex the first time "subscribes" to its lock: the
+//     stamp must show no exclusive holder now and must be unchanged at
+//     every validation point, so an L/O-mode writer acquiring the lock
+//     aborts us — the software equivalent of the lock word sitting in
+//     the hardware read set;
+//   - writing a vertex records an exclusive-lock intent. On real TSX the
+//     lock-word store is buffered until XEND, so nothing is visibly held
+//     during execution; we emulate that by acquiring the exclusive locks
+//     only inside commit (validate + publish under the line seqlocks),
+//     releasing them immediately after (Algorithm 1 line 17).
+type hCtx struct {
+	w  *worker
+	tx *htm.Tx
+
+	subs []hSub
+	// vstate maps a vertex to its subscription index; writeIntent marks
+	// an exclusive-lock intent.
+	vstate *gentab.Table
+	wvs    []uint32 // vertices with write intent, in first-touch order
+
+	held []uint32 // exclusive locks currently held (commit window only)
+
+	nreads, nwrites uint64
+}
+
+type hSub struct {
+	v     uint32
+	stamp uint64
+}
+
+func newHCtx(w *worker) *hCtx {
+	return &hCtx{
+		w:      w,
+		tx:     htm.NewTx(w.s.sp, &w.s.htmStats),
+		vstate: gentab.New(6),
+	}
+}
+
+// runH drives fn through H mode with retries (Fig. 10): transient aborts
+// retry up to HRetries times; a capacity abort proceeds to O mode
+// immediately ("an abort caused by capacity overflow will repeat on
+// retry"). Returns done=false when the transaction should continue in O
+// mode.
+func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
+	h := w.h
+	for attempt := 0; ; attempt++ {
+		h.begin()
+		uerr, ok := sched.RunAttempt(h, fn)
+		if ok && uerr != nil {
+			w.s.stats.UserStops.Add(1)
+			return true, uerr
+		}
+		if ok && h.commit() {
+			w.s.stats.Commits.Add(1)
+			w.s.stats.Reads.Add(h.nreads)
+			w.s.stats.Writes.Add(h.nwrites)
+			w.s.mode.record(ClassH, h.nreads+h.nwrites)
+			w.bo.Reset()
+			return true, nil
+		}
+		w.s.stats.Aborts.Add(1)
+		if h.tx.LastAbort() == htm.AbortCapacity {
+			return false, nil // straight to O mode
+		}
+		if attempt >= w.s.cfg.HRetries {
+			return false, nil
+		}
+		w.bo.Wait()
+	}
+}
+
+func (h *hCtx) begin() {
+	h.tx.Begin()
+	h.subs = h.subs[:0]
+	h.wvs = h.wvs[:0]
+	h.vstate.Reset()
+	h.nreads, h.nwrites = 0, 0
+	// One hook validates every subscription (registered once to avoid a
+	// closure per vertex).
+	h.tx.AddCheck(h.validateSubs)
+}
+
+func (h *hCtx) validateSubs() bool {
+	locks := h.w.s.locks
+	for i := range h.subs {
+		if locks.Stamp(h.subs[i].v) != h.subs[i].stamp {
+			return false
+		}
+	}
+	return true
+}
+
+// writeIntent marks a subscription index as carrying exclusive intent.
+const writeIntent = int32(1) << 30
+
+// subscribe registers v's lock stamp on first touch, returning the
+// vstate value. A vertex exclusively locked elsewhere aborts immediately
+// (Algorithm 1 "if fails then ABORT").
+func (h *hCtx) subscribe(v uint32) int32 {
+	if st, known := h.vstate.Get(uint64(v)); known {
+		return st
+	}
+	st := h.w.s.locks.Stamp(v)
+	if !vlock.StampFree(st) {
+		h.tx.Explicit()
+		sched.ThrowAbort("vertex locked")
+	}
+	// The subscribed lock words occupy cache too; eight share an
+	// emulated line, so charge the capacity model one line per eight
+	// subscriptions (vertex ids cluster under sorted adjacency).
+	if len(h.subs)&7 == 0 {
+		if h.tx.TouchExternal(lockKey(v)) != htm.AbortNone {
+			sched.ThrowAbort("htm capacity")
+		}
+	}
+	idx := int32(len(h.subs))
+	h.vstate.Put(uint64(v), idx)
+	h.subs = append(h.subs, hSub{v: v, stamp: st})
+	return idx
+}
+
+// commit attempts XEND. When an L-mode transaction is in flight, the
+// write-intent vertex locks are acquired for real (bounded spin, sorted
+// order) so L's plain reads stay excluded; otherwise the emulated HTM's
+// line locks already make validate+publish atomic and the vertex locks
+// are skipped — the software analogue of TSX buffering the lock-word
+// stores (they would never become globally visible on the fast path).
+func (h *hCtx) commit() bool {
+	h.w.s.lGate.RLock()
+	defer h.w.s.lGate.RUnlock()
+	if h.w.s.lActive.Load() == 0 || len(h.wvs) == 0 {
+		return h.tx.Commit() == htm.AbortNone
+	}
+	locks := h.w.s.locks
+	tid := h.w.tid
+	if len(h.wvs) > 1 {
+		sort.Slice(h.wvs, func(i, j int) bool { return h.wvs[i] < h.wvs[j] })
+	}
+	h.held = h.held[:0]
+	for _, v := range h.wvs {
+		idx, _ := h.vstate.Get(uint64(v))
+		sub := &h.subs[idx&^writeIntent]
+		acquired := false
+		for attempt := 0; attempt < 16; attempt++ {
+			pre := locks.Stamp(v)
+			if pre != sub.stamp {
+				break // someone committed to v since we touched it
+			}
+			if locks.TryExclusive(v, tid) {
+				// Our own acquisition moved the stamp; retarget the
+				// subscription so validateSubs keeps passing while we
+				// hold the lock.
+				sub.stamp = vlock.StampAfterExclusive(pre, tid)
+				h.held = append(h.held, v)
+				acquired = true
+				break
+			}
+			if attempt&3 == 3 {
+				runtime.Gosched()
+			}
+		}
+		if !acquired {
+			h.releaseHeld()
+			h.tx.Explicit()
+			return false
+		}
+	}
+	if h.tx.Commit() != htm.AbortNone {
+		h.releaseHeld()
+		return false
+	}
+	h.releaseHeld()
+	return true
+}
+
+func (h *hCtx) releaseHeld() {
+	for _, v := range h.held {
+		h.w.s.locks.ReleaseExclusive(v, h.w.tid)
+	}
+	h.held = h.held[:0]
+}
+
+// Read implements sched.Tx (Algorithm 1 lines 5-9).
+func (h *hCtx) Read(v uint32, addr mem.Addr) uint64 {
+	h.subscribe(v)
+	val, code := h.tx.Read(addr)
+	if code != htm.AbortNone {
+		sched.ThrowAbort("htm abort")
+	}
+	h.nreads++
+	return val
+}
+
+// Write implements sched.Tx (Algorithm 1 lines 10-14): subscribe, record
+// the exclusive intent, buffer the store.
+func (h *hCtx) Write(v uint32, addr mem.Addr, val uint64) {
+	idx := h.subscribe(v)
+	if idx&writeIntent == 0 {
+		h.vstate.Put(uint64(v), idx|writeIntent)
+		h.wvs = append(h.wvs, v)
+	}
+	if h.tx.Write(addr, val) != htm.AbortNone {
+		sched.ThrowAbort("htm abort")
+	}
+	h.nwrites++
+}
+
+// lockKey maps a vertex to a pseudo cache-line key for the capacity
+// model: vlock words are 8 bytes, so 8 locks share an emulated line.
+func lockKey(v uint32) uint64 { return uint64(v) / mem.WordsPerLine }

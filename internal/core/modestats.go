@@ -1,0 +1,71 @@
+package core
+
+import "sync/atomic"
+
+// ModeClass is the paper's Figure 15 classification of a committed
+// transaction by the path it took through the Fig. 10 routing.
+type ModeClass int
+
+const (
+	// ClassH committed inside a single hardware transaction.
+	ClassH ModeClass = iota
+	// ClassO committed in O mode on its first O attempt.
+	ClassO
+	// ClassOPlus committed in O mode after at least one period
+	// adjustment (the paper's "O+").
+	ClassOPlus
+	// ClassO2L entered O mode, exhausted it, and committed in L mode.
+	ClassO2L
+	// ClassL was routed directly to L mode by its size hint.
+	ClassL
+	numClasses
+)
+
+// String names the class as in Figure 15.
+func (c ModeClass) String() string {
+	switch c {
+	case ClassH:
+		return "H"
+	case ClassO:
+		return "O"
+	case ClassOPlus:
+		return "O+"
+	case ClassO2L:
+		return "O2L"
+	case ClassL:
+		return "L"
+	default:
+		return "?"
+	}
+}
+
+// Classes lists all classes in display order.
+func Classes() []ModeClass {
+	return []ModeClass{ClassH, ClassO, ClassOPlus, ClassO2L, ClassL}
+}
+
+// ModeStats counts committed transactions and their operation workload per
+// class — the data behind Figure 15 (a/c: counts, b/d: workloads).
+type ModeStats struct {
+	count [numClasses]atomic.Uint64
+	ops   [numClasses]atomic.Uint64
+}
+
+func (m *ModeStats) record(c ModeClass, ops uint64) {
+	m.count[c].Add(1)
+	m.ops[c].Add(ops)
+}
+
+// Count returns the committed-transaction count of class c.
+func (m *ModeStats) Count(c ModeClass) uint64 { return m.count[c].Load() }
+
+// Ops returns the total committed operations of class c.
+func (m *ModeStats) Ops(c ModeClass) uint64 { return m.ops[c].Load() }
+
+// Reset zeroes all counters.
+func (m *ModeStats) Reset() {
+	for i := range numClasses {
+		m.count[i].Store(0)
+		m.ops[i].Store(0)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+
+	"tufast/internal/gentab"
+	"tufast/internal/htm"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/vlock"
+)
+
+// oCtx executes a transaction in O mode (paper Algorithm 2, Fig. 9):
+// optimistic execution with a private write buffer, whose reads are
+// chopped into emulated-HTM segments of `period` operations. Within the
+// live segment, a conflicting commit anywhere aborts us at our next
+// operation (the "red zone" of Fig. 9); reads of already-closed segments
+// are only re-checked at final validation (the "green zone"). Each
+// segment runs against the L1 capacity model, so an oversized period
+// aborts exactly as an oversized hardware transaction would — that
+// tension is what the adaptive period controller optimizes.
+type oCtx struct {
+	w *worker
+
+	reads    []oRead
+	readIdx  *gentab.Table
+	writes   []oWrite
+	writeIdx *gentab.Table
+
+	// Live segment state (the emulated open hardware transaction).
+	segLines []segLine
+	segSeen  *gentab.Table
+	sets     [htm.CacheSets]uint8
+	segOps   int
+	snapshot uint64
+	period   int
+
+	// Commit-phase write-vertex bookkeeping, reused across attempts.
+	wvs   []uint32
+	wpre  []uint64
+	wvIdx *gentab.Table
+
+	// Telemetry for the adaptive controller and Fig. 15/17.
+	opsInSegments uint64
+	segAborted    bool
+	// capacityAbort records that the last abort was a segment capacity
+	// overflow (the only abort kind the period can fix).
+	capacityAbort bool
+
+	nreads, nwrites uint64
+}
+
+type oRead struct {
+	v    uint32
+	addr mem.Addr
+	val  uint64
+	line mem.Line
+	ver  uint64 // line version at read time
+}
+
+type oWrite struct {
+	v    uint32
+	addr mem.Addr
+	val  uint64
+}
+
+type segLine struct {
+	line mem.Line
+	ver  uint64
+}
+
+func newOCtx(w *worker) *oCtx {
+	return &oCtx{
+		w:        w,
+		readIdx:  gentab.New(7),
+		writeIdx: gentab.New(5),
+		segSeen:  gentab.New(7),
+		wvIdx:    gentab.New(5),
+	}
+}
+
+// runO drives fn through O mode with the Fig. 10 retry policy: each abort
+// halves the period; below the floor the transaction escalates to L mode.
+// Returns done=false for escalation.
+func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
+	o := w.o
+	period := w.s.period.Current()
+	if !w.s.cfg.AdaptivePeriod {
+		period = w.s.cfg.PeriodInit
+	}
+	first := true
+	// Conflict aborts retry with the same period (shrinking the segment
+	// cannot fix a data conflict); only capacity overflows halve it
+	// (Fig. 10: the period adjustment exists because the segment no
+	// longer fits, §IV-D).
+	conflictBudget := 6
+	for period >= w.s.cfg.PeriodFloor {
+		o.begin(period)
+		uerr, ok := sched.RunAttempt(o, fn)
+		o.settleTelemetry()
+		if ok && uerr != nil {
+			w.s.stats.UserStops.Add(1)
+			return true, uerr
+		}
+		if ok && o.commit() {
+			w.s.stats.Commits.Add(1)
+			w.s.stats.Reads.Add(o.nreads)
+			w.s.stats.Writes.Add(o.nwrites)
+			class := ClassO
+			if !first {
+				class = ClassOPlus
+			}
+			w.s.mode.record(class, o.nreads+o.nwrites)
+			w.bo.Reset()
+			return true, nil
+		}
+		w.s.stats.Aborts.Add(1)
+		first = false
+		if o.capacityAbort {
+			period /= 2
+		} else {
+			conflictBudget--
+			if conflictBudget < 0 {
+				break
+			}
+		}
+		w.bo.Wait()
+	}
+	return false, nil
+}
+
+// settleTelemetry reports this attempt's segment statistics to the
+// adaptive controller.
+func (o *oCtx) settleTelemetry() {
+	if o.w.s.cfg.AdaptivePeriod {
+		o.w.s.period.Observe(o.opsInSegments, o.segAborted)
+	}
+	o.opsInSegments = 0
+	o.segAborted = false
+}
+
+func (o *oCtx) begin(period int) {
+	o.capacityAbort = false
+	o.reads = o.reads[:0]
+	o.writes = o.writes[:0]
+	o.readIdx.Reset()
+	o.writeIdx.Reset()
+	o.period = period
+	o.nreads, o.nwrites = 0, 0
+	o.segBegin()
+}
+
+// segBegin opens a fresh emulated hardware segment (XBEGIN).
+func (o *oCtx) segBegin() {
+	o.segLines = o.segLines[:0]
+	o.segSeen.Reset()
+	clear(o.sets[:])
+	o.segOps = 0
+	o.snapshot = o.w.s.sp.Commits()
+	o.w.s.htmStats.Starts.Add(1)
+}
+
+// segAbort records an aborted segment and unwinds the attempt.
+func (o *oCtx) segAbort(code htm.AbortCode, reason string) {
+	o.segAborted = true
+	switch code {
+	case htm.AbortCapacity:
+		o.capacityAbort = true
+		o.w.s.htmStats.AbortCapacity.Add(1)
+	default:
+		o.w.s.htmStats.AbortConflicts.Add(1)
+	}
+	sched.ThrowAbort(reason)
+}
+
+// segTick is run on every read: NOrec early revalidation of the live
+// segment, then the period boundary (XEND; XBEGIN — Algorithm 2 lines
+// 27-30).
+func (o *oCtx) segTick() {
+	if !o.w.s.cfg.DisableEarlyAbort {
+		if c := o.w.s.sp.Commits(); c != o.snapshot {
+			sp := o.w.s.sp
+			for i := range o.segLines {
+				if sp.Meta(o.segLines[i].line) != o.segLines[i].ver {
+					o.segAbort(htm.AbortConflict, "o segment conflict")
+				}
+			}
+			o.snapshot = c
+		}
+	}
+	o.segOps++
+	o.opsInSegments++
+	if o.segOps >= o.period {
+		o.w.s.htmStats.Commits.Add(1) // segment XEND
+		o.segBegin()
+	}
+}
+
+// touchSeg feeds a line into the per-segment L1 capacity model.
+func (o *oCtx) touchSeg(l mem.Line) {
+	if _, ok := o.segSeen.Get(uint64(l)); ok {
+		return
+	}
+	set := uint64(l) % htm.CacheSets
+	if o.sets[set] >= htm.CacheWays {
+		o.segAbort(htm.AbortCapacity, "o segment capacity")
+	}
+	o.sets[set]++
+	o.segSeen.Put(uint64(l), 0)
+}
+
+// Read implements sched.Tx (Algorithm 2 lines 26-35).
+func (o *oCtx) Read(v uint32, addr mem.Addr) uint64 {
+	if len(o.writes) != 0 {
+		if i, ok := o.writeIdx.Get(uint64(addr)); ok {
+			return o.writes[i].val // read own buffered write
+		}
+	}
+	if i, ok := o.readIdx.Get(uint64(addr)); ok {
+		o.nreads++
+		return o.reads[i].val // repeatable read from the record
+	}
+	o.segTick()
+	o.touchSeg(mem.LineOf(addr))
+
+	locks := o.w.s.locks
+	if !vlock.StampFree(locks.Stamp(v)) {
+		// An exclusive holder may be writing v in place (L mode): do not
+		// read dirty data.
+		o.segAbort(htm.AbortConflict, "vertex locked")
+	}
+	val, ver, ok := o.w.s.sp.ReadConsistent(addr)
+	if !ok {
+		o.segAbort(htm.AbortConflict, "line locked")
+	}
+	l := mem.LineOf(addr)
+	o.segLines = append(o.segLines, segLine{line: l, ver: ver})
+	o.readIdx.Put(uint64(addr), int32(len(o.reads)))
+	o.reads = append(o.reads, oRead{v: v, addr: addr, val: val, line: l, ver: ver})
+	o.nreads++
+	return val
+}
+
+// Write implements sched.Tx (Algorithm 2 lines 36-37): buffered privately,
+// no shared access, hence no segment tick.
+func (o *oCtx) Write(v uint32, addr mem.Addr, val uint64) {
+	if i, ok := o.writeIdx.Get(uint64(addr)); ok {
+		o.writes[i].val = val
+		o.nwrites++
+		return
+	}
+	o.writeIdx.Put(uint64(addr), int32(len(o.writes)))
+	o.writes = append(o.writes, oWrite{v: v, addr: addr, val: val})
+	o.nwrites++
+}
+
+// commit implements Algorithm 2 lines 38-49: XEND the live segment, lock
+// the write vertices, verify every read, install the writes.
+func (o *oCtx) commit() bool {
+	o.w.s.htmStats.Commits.Add(1) // final segment XEND
+
+	locks := o.w.s.locks
+	tid := o.w.tid
+
+	// Collect and sort distinct write vertices (order avoids needless
+	// mutual aborts between O committers; try-lock keeps us wait-free).
+	o.wvs = o.wvs[:0]
+	o.wpre = o.wpre[:0]
+	o.wvIdx.Reset()
+	for i := range o.writes {
+		v := o.writes[i].v
+		if _, ok := o.wvIdx.Get(uint64(v)); !ok {
+			o.wvIdx.Put(uint64(v), int32(len(o.wvs)))
+			o.wvs = append(o.wvs, v)
+		}
+	}
+	sort.Slice(o.wvs, func(i, j int) bool { return o.wvs[i] < o.wvs[j] })
+	o.wvIdx.Reset() // re-key after the sort
+	for i, v := range o.wvs {
+		o.wvIdx.Put(uint64(v), int32(i))
+	}
+	o.wpre = append(o.wpre, make([]uint64, len(o.wvs))...)
+	for i, v := range o.wvs {
+		// Bounded spin before giving up (Silo commits do the same): an
+		// instant abort on a momentarily-held lock causes escalation
+		// cascades under write contention.
+		acquired := false
+		for attempt := 0; attempt < 32; attempt++ {
+			p := locks.Stamp(v)
+			if vlock.StampFree(p) && locks.TryExclusive(v, tid) {
+				o.wpre[i] = p
+				acquired = true
+				break
+			}
+			if attempt&7 == 7 {
+				runtime.Gosched()
+			}
+		}
+		if !acquired {
+			o.release(o.wvs[:i])
+			return false
+		}
+	}
+
+	// Verify read access (Algorithm 2 lines 44-46): the line version must
+	// be unchanged since the read (all committers — H line locks, O
+	// write-backs, L in-place stores — bump line versions), the vertex
+	// must not be exclusively held by a concurrent committer, and the
+	// recorded value must still be current (the paper's value check).
+	sp := o.w.s.sp
+	for i := range o.reads {
+		r := &o.reads[i]
+		if sp.Meta(r.line) != r.ver {
+			o.release(o.wvs)
+			return false
+		}
+		if _, own := o.wvIdx.Get(uint64(r.v)); !own {
+			if !vlock.StampFree(locks.Stamp(r.v)) {
+				o.release(o.wvs)
+				return false
+			}
+		}
+		if sp.Load(r.addr) != r.val {
+			o.release(o.wvs)
+			return false
+		}
+	}
+
+	for i := range o.writes {
+		o.w.s.sp.StoreVersioned(o.writes[i].addr, o.writes[i].val)
+	}
+	o.release(o.wvs)
+	return true
+}
+
+func (o *oCtx) release(vs []uint32) {
+	for _, v := range vs {
+		o.w.s.locks.ReleaseExclusive(v, o.w.tid)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tufast/internal/deadlock"
+	"tufast/internal/htm"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/vlock"
+)
+
+// System is the TuFast runtime: a three-mode hybrid TM over one memory
+// space and one vertex-lock table. It implements sched.Scheduler so the
+// same algorithm code runs unchanged on TuFast and on every baseline.
+type System struct {
+	sp    *mem.Space
+	locks *vlock.Table
+	det   *deadlock.Detector
+	cfg   Config
+
+	lmode  *sched.TPL
+	period *periodController
+
+	stats    sched.Stats
+	mode     ModeStats
+	htmStats htm.Stats
+
+	// lGate/lActive let H-mode commits skip vertex-lock acquisition when
+	// no L-mode transaction is in flight: the emulated HTM's line locks
+	// already make validate+publish atomic, and only L-mode readers
+	// (plain loads under shared locks) need writers excluded at vertex
+	// granularity. An L transaction announces itself through the write
+	// side of the gate, so an H commit that observed lActive == 0 under
+	// the read side is guaranteed to finish publishing before any L read
+	// begins. On real TSX this fast path is implicit: the lock words are
+	// written transactionally and cost nothing.
+	lGate   sync.RWMutex
+	lActive atomic.Int32
+}
+
+// maxThreads bounds worker ids for the deadlock detector's per-thread
+// state. Thread ids must be below this.
+const maxThreads = 512
+
+// New creates a TuFast system over sp with per-vertex locks for
+// nVertices vertices.
+func New(sp *mem.Space, nVertices int, cfg Config) *System {
+	cfg = cfg.normalize()
+	det := deadlock.NewDetector(maxThreads)
+	s := &System{
+		sp:     sp,
+		locks:  vlock.NewTable(nVertices),
+		det:    det,
+		cfg:    cfg,
+		period: newPeriodController(cfg.PeriodInit, cfg.PeriodFloor, cfg.PeriodCap),
+	}
+	s.lmode = sched.NewTPL(sp, s.locks, det, cfg.Deadlock)
+	return s
+}
+
+// Name implements sched.Scheduler.
+func (s *System) Name() string { return "TuFast" }
+
+// Stats implements sched.Scheduler.
+func (s *System) Stats() *sched.Stats { return &s.stats }
+
+// ModeStats exposes the Figure 15 per-mode breakdown.
+func (s *System) ModeStats() *ModeStats { return &s.mode }
+
+// HTMStats exposes the emulated-HTM counters (H-mode transactions and
+// O-mode segments).
+func (s *System) HTMStats() *htm.Stats { return &s.htmStats }
+
+// LModeStats exposes the L-mode (2PL) sub-scheduler counters.
+func (s *System) LModeStats() *sched.Stats { return s.lmode.Stats() }
+
+// CurrentPeriod returns the adaptive O-mode segment length now in force
+// (the Fig. 17 trace reads this).
+func (s *System) CurrentPeriod() int { return s.period.Current() }
+
+// Locks exposes the vertex lock table (tests and invariant checks).
+func (s *System) Locks() *vlock.Table { return s.locks }
+
+// Space returns the memory space the system schedules over.
+func (s *System) Space() *mem.Space { return s.sp }
+
+// Config returns the normalized configuration in force.
+func (s *System) Config() Config { return s.cfg }
+
+// Worker implements sched.Scheduler.
+func (s *System) Worker(tid int) sched.Worker {
+	if tid < 0 || tid >= maxThreads {
+		panic("core: worker tid out of range")
+	}
+	w := &worker{s: s, tid: tid}
+	w.h = newHCtx(w)
+	w.o = newOCtx(w)
+	w.l = s.lmode.NewWorker(tid)
+	w.bo = sched.NewBackoff(uint64(tid)*0x9E3779B97F4A7C15 + 0xA5)
+	return w
+}
+
+// worker is the per-goroutine TuFast execution context.
+type worker struct {
+	s   *System
+	tid int
+	h   *hCtx
+	o   *oCtx
+	l   *sched.TPLWorker
+	bo  sched.Backoff
+}
+
+// Run implements sched.Worker: the Fig. 10 routing state machine.
+// Transactions with an unknown hint (0) start optimistic in H mode.
+func (w *worker) Run(sizeHint int, fn sched.TxFunc) error {
+	cfg := &w.s.cfg
+	if sizeHint > cfg.OMaxHint {
+		return w.runL(fn, ClassL)
+	}
+	if sizeHint <= cfg.HMaxHint {
+		if done, err := w.runH(fn); done {
+			return err
+		}
+	}
+	if done, err := w.runO(fn); done {
+		return err
+	}
+	return w.runL(fn, ClassO2L)
+}
+
+// runL executes fn under blocking 2PL, which always commits (deadlock
+// victims restart inside the TPL worker).
+func (w *worker) runL(fn sched.TxFunc, class ModeClass) error {
+	// Announce the L transaction: after the gate write-section, every
+	// H commit either sees lActive > 0 (and takes real vertex locks) or
+	// finished publishing before we got here.
+	w.s.lGate.Lock()
+	w.s.lActive.Add(1)
+	w.s.lGate.Unlock()
+	defer w.s.lActive.Add(-1)
+
+	err := w.l.Run(0, fn)
+	if err != nil {
+		w.s.stats.UserStops.Add(1)
+		return err
+	}
+	r, wr := w.l.LastOpCounts()
+	w.s.stats.Commits.Add(1)
+	w.s.stats.Reads.Add(r)
+	w.s.stats.Writes.Add(wr)
+	w.s.mode.record(class, r+wr)
+	return nil
+}

@@ -1,0 +1,485 @@
+package dist
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"tufast/internal/graph"
+	"tufast/internal/simcost"
+	"tufast/internal/worklist"
+)
+
+// gather simulates the GAS gather direction: every node sends per-vertex
+// partial aggregates to the vertex's owner, which folds them with combine.
+func (e *Engine) gather(partials [][]update, combine func(id uint32, val uint64)) {
+	e.Supersteps++
+	cfg := e.cfg
+	bufs := make([][][]byte, cfg.Nodes)
+	var wg sync.WaitGroup
+	for src := 0; src < cfg.Nodes; src++ {
+		bufs[src] = make([][]byte, cfg.Nodes)
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for _, up := range partials[src] {
+				dst := int(e.owner[up.id])
+				if dst == src {
+					continue // local fold handled by caller
+				}
+				var rec [12]byte
+				binary.LittleEndian.PutUint32(rec[0:4], up.id)
+				binary.LittleEndian.PutUint64(rec[4:12], up.val)
+				bufs[src][dst] = append(bufs[src][dst], rec[:]...)
+			}
+		}(src)
+	}
+	wg.Wait()
+	var bytes uint64
+	for src := range bufs {
+		for dst := range bufs[src] {
+			bytes += uint64(len(bufs[src][dst]))
+		}
+	}
+	e.BytesMoved += bytes
+	net := cfg.RoundLatency + time.Duration(float64(bytes)/cfg.Bandwidth*float64(time.Second))
+	e.NetworkTime += net
+	time.Sleep(net)
+	// The owner fold is sequential per destination to keep combine free
+	// of synchronization (combine touches owner-local state only).
+	for dst := 0; dst < cfg.Nodes; dst++ {
+		for src := 0; src < cfg.Nodes; src++ {
+			b := bufs[src][dst]
+			for off := 0; off+12 <= len(b); off += 12 {
+				combine(binary.LittleEndian.Uint32(b[off:off+4]),
+					binary.LittleEndian.Uint64(b[off+4:off+12]))
+			}
+		}
+	}
+}
+
+// localEdges invokes fn(node, v, u) for every arc grouped by the node the
+// cut placed it on.
+func (e *Engine) localEdges(node int, fn func(v, u uint32)) {
+	g := e.G
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if e.edgeNode(v, u) == node {
+				fn(v, u)
+			}
+		}
+	}
+}
+
+// PageRank runs synchronous GAS PageRank to an L1 tolerance. Returns
+// ranks and supersteps.
+func (e *Engine) PageRank(d, eps float64) ([]float64, int) {
+	g := e.G
+	n := g.NumVertices()
+	cfg := e.cfg
+	rank := make([]float64, n) // owner-authoritative state
+	replica := make([][]float64, cfg.Nodes)
+	for node := range replica {
+		replica[node] = make([]float64, n)
+	}
+	for v := range rank {
+		rank[v] = 1 - d
+		for node := range replica {
+			replica[node][v] = 1 - d
+		}
+	}
+	steps := 0
+	for {
+		steps++
+		// Gather: every node accumulates contributions along its local
+		// edges using its replicas, then ships partials to owners.
+		partials := make([][]update, cfg.Nodes)
+		acc := make([][]float64, cfg.Nodes)
+		var wg sync.WaitGroup
+		for node := 0; node < cfg.Nodes; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				a := make([]float64, n)
+				e.localEdges(node, func(v, u uint32) {
+					deg := g.Degree(v)
+					if deg > 0 {
+						simcost.Tax() // per-edge apply cost on cluster nodes
+						a[u] += d * replica[node][v] / float64(deg)
+					}
+				})
+				ups := make([]update, 0, 1024)
+				for u := 0; u < n; u++ {
+					if a[u] != 0 {
+						ups = append(ups, update{id: uint32(u), val: math.Float64bits(a[u])})
+					}
+				}
+				acc[node] = a
+				partials[node] = ups
+			}(node)
+		}
+		wg.Wait()
+		next := make([]float64, n)
+		for v := range next {
+			next[v] = 1 - d
+		}
+		// Local folds first, then the simulated remote folds.
+		for node := 0; node < cfg.Nodes; node++ {
+			for v := 0; v < n; v++ {
+				if e.owner[v] == uint8(node) {
+					next[v] += acc[node][v]
+				}
+			}
+		}
+		e.gather(partials, func(id uint32, val uint64) {
+			next[id] += math.Float64frombits(val)
+		})
+		var delta float64
+		for v := range next {
+			delta += math.Abs(next[v] - rank[v])
+		}
+		copy(rank, next)
+		// Scatter: owners broadcast new ranks to every mirror.
+		ups := make([][]update, cfg.Nodes)
+		for v := 0; v < n; v++ {
+			o := int(e.owner[v])
+			ups[o] = append(ups[o], update{id: uint32(v), val: math.Float64bits(rank[v])})
+		}
+		e.exchange(ups, func(node int, id uint32, val uint64) {
+			replica[node][id] = math.Float64frombits(val)
+		})
+		for node := 0; node < cfg.Nodes; node++ {
+			for v := 0; v < n; v++ {
+				if e.owner[v] == uint8(node) {
+					replica[node][v] = rank[v]
+				}
+			}
+		}
+		if delta < eps || steps > 10_000 {
+			break
+		}
+	}
+	return rank, steps
+}
+
+// propagateMin runs the frontier min-propagation skeleton shared by BFS,
+// WCC and SSSP: dist[u] = min(dist[u], dist[v] + w(v,u)) until fixpoint,
+// with one gather+scatter round per superstep.
+func (e *Engine) propagateMin(init []uint64, weight func(v, u uint32) uint64) []uint64 {
+	g := e.G
+	n := g.NumVertices()
+	cfg := e.cfg
+	val := make([]uint64, n)
+	copy(val, init)
+	replica := make([][]uint64, cfg.Nodes)
+	for node := range replica {
+		replica[node] = make([]uint64, n)
+		copy(replica[node], val)
+	}
+	active := worklist.NewBitset(n)
+	for v := 0; v < n; v++ {
+		if val[v] != ^uint64(0) {
+			active.TestAndSet(uint32(v))
+		}
+	}
+	for active.Count() > 0 {
+		partials := make([][]update, cfg.Nodes)
+		var wg sync.WaitGroup
+		for node := 0; node < cfg.Nodes; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				best := make(map[uint32]uint64)
+				e.localEdges(node, func(v, u uint32) {
+					if !active.Test(v) {
+						return
+					}
+					dv := replica[node][v]
+					if dv == ^uint64(0) {
+						return
+					}
+					simcost.Tax() // per-edge apply cost on cluster nodes
+					nd := dv + weight(v, u)
+					if cur, ok := best[u]; (!ok || nd < cur) && nd < replica[node][u] {
+						best[u] = nd
+					}
+				})
+				ups := make([]update, 0, len(best))
+				for u, d := range best {
+					ups = append(ups, update{id: u, val: d})
+				}
+				partials[node] = ups
+			}(node)
+		}
+		wg.Wait()
+		nextActive := worklist.NewBitset(n)
+		fold := func(id uint32, nd uint64) {
+			if nd < val[id] {
+				val[id] = nd
+				nextActive.TestAndSet(id)
+			}
+		}
+		for node := 0; node < cfg.Nodes; node++ {
+			for _, up := range partials[node] {
+				if e.owner[up.id] == uint8(node) {
+					fold(up.id, up.val)
+				}
+			}
+		}
+		e.gather(partials, fold)
+		// Scatter improved values to mirrors.
+		ups := make([][]update, cfg.Nodes)
+		for v := 0; v < n; v++ {
+			if nextActive.Test(uint32(v)) {
+				o := int(e.owner[v])
+				ups[o] = append(ups[o], update{id: uint32(v), val: val[v]})
+			}
+		}
+		e.exchange(ups, func(node int, id uint32, v uint64) {
+			if v < replica[node][id] {
+				replica[node][id] = v
+			}
+		})
+		for node := 0; node < cfg.Nodes; node++ {
+			for v := 0; v < n; v++ {
+				if nextActive.Test(uint32(v)) && e.owner[v] == uint8(node) {
+					replica[node][v] = val[v]
+				}
+			}
+		}
+		active = nextActive
+	}
+	return val
+}
+
+// BFS computes hop levels from source.
+func (e *Engine) BFS(source uint32) []uint64 {
+	n := e.G.NumVertices()
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = ^uint64(0)
+	}
+	init[source] = 0
+	return e.propagateMin(init, func(_, _ uint32) uint64 { return 1 })
+}
+
+// SSSP computes shortest paths with the module's deterministic weights.
+func (e *Engine) SSSP(source uint32) []uint64 {
+	n := e.G.NumVertices()
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = ^uint64(0)
+	}
+	init[source] = 0
+	return e.propagateMin(init, func(v, u uint32) uint64 {
+		return uint64(graph.WeightOf(v, u, 100))
+	})
+}
+
+// WCC computes weakly connected components by min-label propagation.
+func (e *Engine) WCC() []uint64 {
+	n := e.G.NumVertices()
+	init := make([]uint64, n)
+	for v := range init {
+		init[v] = uint64(v)
+	}
+	return e.propagateMin(init, func(_, _ uint32) uint64 { return 0 })
+}
+
+// MIS runs Luby rounds with one gather+scatter pair per round.
+func (e *Engine) MIS(seed uint64) []bool {
+	g := e.G
+	n := g.NumVertices()
+	const (
+		unknown = 0
+		in      = 1
+		out     = 2
+	)
+	state := make([]uint64, n)
+	// With full replication of the tiny state vector, each round costs
+	// one scatter of changed states; priorities are derived, not stored.
+	replica := make([][]uint64, e.cfg.Nodes)
+	for node := range replica {
+		replica[node] = make([]uint64, n)
+	}
+	prio := func(v uint32, round uint64) uint64 {
+		return mix64(uint64(v)*0x9E3779B97F4A7C15 + round*0xBF58476D1CE4E5B9 + seed)
+	}
+	round := uint64(0)
+	for {
+		round++
+		changed := make([][]update, e.cfg.Nodes)
+		var wg sync.WaitGroup
+		anyUnknown := false
+		for v := 0; v < n; v++ {
+			if state[v] == unknown {
+				anyUnknown = true
+				break
+			}
+		}
+		if !anyUnknown {
+			break
+		}
+		for node := 0; node < e.cfg.Nodes; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				ups := make([]update, 0, 256)
+				for v := uint32(0); int(v) < n; v++ {
+					if e.owner[v] != uint8(node) || replica[node][v] != unknown {
+						continue
+					}
+					min := true
+					for _, u := range g.Neighbors(v) {
+						if u == v || replica[node][u] != unknown {
+							if u != v && replica[node][u] == in {
+								min = false
+								break
+							}
+							continue
+						}
+						if prio(u, round) < prio(v, round) || (prio(u, round) == prio(v, round) && u < v) {
+							min = false
+							break
+						}
+					}
+					if min {
+						ups = append(ups, update{id: v, val: in})
+					}
+				}
+				changed[node] = ups
+			}(node)
+		}
+		wg.Wait()
+		for node := range changed {
+			for _, up := range changed[node] {
+				state[up.id] = in
+			}
+		}
+		// Neighbors of joined vertices leave.
+		outs := make([]update, 0, 256)
+		for v := uint32(0); int(v) < n; v++ {
+			if state[v] != unknown {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if u != v && state[u] == in {
+					outs = append(outs, update{id: v, val: out})
+					break
+				}
+			}
+		}
+		for _, up := range outs {
+			state[up.id] = out
+		}
+		// Scatter every state change to all replicas.
+		ups := make([][]update, e.cfg.Nodes)
+		for node := range changed {
+			ups[node] = append(ups[node], changed[node]...)
+		}
+		for _, up := range outs {
+			ups[int(e.owner[up.id])] = append(ups[int(e.owner[up.id])], up)
+		}
+		e.exchange(ups, func(node int, id uint32, val uint64) {
+			replica[node][id] = val
+		})
+		for node := 0; node < e.cfg.Nodes; node++ {
+			for v := 0; v < n; v++ {
+				replica[node][v] = state[v]
+			}
+		}
+	}
+	res := make([]bool, n)
+	for v := range res {
+		res[v] = state[v] == in
+	}
+	return res
+}
+
+// Triangles counts triangles; every node intersects the adjacency of its
+// local edges but must first fetch remote adjacency lists — the traffic
+// that makes distributed triangle counting expensive. We charge the
+// fabric for every adjacency list a node needs but does not own.
+func (e *Engine) Triangles() uint64 {
+	g := e.G
+	n := g.NumVertices()
+	cfg := e.cfg
+	// Adjacency bytes each node must fetch: lists of mirrored vertices.
+	var fetched uint64
+	for node := 0; node < cfg.Nodes; node++ {
+		for v := uint32(0); int(v) < n; v++ {
+			if e.mirrors[node][v] {
+				fetched += uint64(4 * g.Degree(v))
+			}
+		}
+	}
+	e.BytesMoved += fetched
+	net := cfg.RoundLatency + time.Duration(float64(fetched)/cfg.Bandwidth*float64(time.Second))
+	e.NetworkTime += net
+	e.Supersteps++
+	time.Sleep(net)
+
+	var total uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for node := 0; node < cfg.Nodes; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			var local uint64
+			for v := uint32(0); int(v) < n; v++ {
+				if e.owner[v] != uint8(node) {
+					continue
+				}
+				nv := fwd(g.Neighbors(v), v)
+				for _, u := range nv {
+					local += isect(nv, fwd(g.Neighbors(u), u))
+				}
+			}
+			mu.Lock()
+			total += local
+			mu.Unlock()
+		}(node)
+	}
+	wg.Wait()
+	return total
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+func fwd(nb []uint32, v uint32) []uint32 {
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return nb[lo:]
+}
+
+func isect(a, b []uint32) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"tufast/internal/graph/gen"
+)
+
+func fastCfg(cut Cut, nodes int) Config {
+	return Config{
+		Nodes:        nodes,
+		Cut:          cut,
+		RoundLatency: time.Microsecond,
+		Bandwidth:    1 << 34,
+	}
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := gen.PowerLaw(1000, 8000, 2.1, 3)
+	e := New(g, fastCfg(EdgeCut, 4))
+	for v := 0; v < g.NumVertices(); v++ {
+		if int(e.owner[v]) >= 4 {
+			t.Fatalf("vertex %d assigned to node %d", v, e.owner[v])
+		}
+	}
+}
+
+func TestMirrorsOnlyForRemoteEndpoints(t *testing.T) {
+	g := gen.PowerLaw(1000, 8000, 2.1, 3)
+	e := New(g, fastCfg(EdgeCut, 4))
+	for node := 0; node < 4; node++ {
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			if e.mirrors[node][v] && e.owner[v] == uint8(node) {
+				t.Fatalf("node %d mirrors its own vertex %d", node, v)
+			}
+		}
+	}
+}
+
+func TestEdgeNodeDeterministic(t *testing.T) {
+	g := gen.PowerLaw(500, 4000, 2.1, 9)
+	for _, cut := range []Cut{EdgeCut, HybridCut} {
+		e := New(g, fastCfg(cut, 4))
+		for v := uint32(0); v < 100; v++ {
+			for _, u := range g.Neighbors(v) {
+				if e.edgeNode(v, u) != e.edgeNode(v, u) {
+					t.Fatal("edge placement not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestHybridCutKeepsLowDegreeLocal(t *testing.T) {
+	g := gen.PowerLaw(1000, 8000, 2.1, 3)
+	e := New(g, fastCfg(HybridCut, 4))
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if g.Degree(u) <= e.cfg.HighDegree {
+				if e.edgeNode(v, u) != int(e.owner[u]) {
+					t.Fatalf("low-degree target %d's in-edge placed remotely", u)
+				}
+			}
+		}
+	}
+}
+
+func TestTelemetryAccumulates(t *testing.T) {
+	g := gen.PowerLaw(800, 6000, 2.1, 5)
+	e := New(g, fastCfg(EdgeCut, 4))
+	_, steps := e.PageRank(0.85, 1e-4)
+	if steps < 2 {
+		t.Fatalf("pagerank converged in %d supersteps?", steps)
+	}
+	if e.BytesMoved == 0 || e.Supersteps == 0 || e.NetworkTime <= 0 {
+		t.Fatalf("telemetry empty: bytes=%d steps=%d net=%v",
+			e.BytesMoved, e.Supersteps, e.NetworkTime)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Nodes != 16 || c.RoundLatency != 250*time.Microsecond ||
+		c.Bandwidth != 1<<30 || c.HighDegree != 100 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

@@ -1,0 +1,184 @@
+// Package engines_test cross-validates every comparison engine against
+// the sequential references: all engines must compute identical (or, for
+// PageRank, numerically indistinguishable) results, so the Figure 11/12
+// timing differences measure scheduling, not algorithmic divergence.
+package engines_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tufast/internal/algo"
+	"tufast/internal/engines/bsp"
+	"tufast/internal/engines/dist"
+	"tufast/internal/engines/lockstep"
+	"tufast/internal/engines/numa"
+	"tufast/internal/engines/ooc"
+	"tufast/internal/graph"
+	"tufast/internal/graph/gen"
+)
+
+func testGraph() *graph.CSR {
+	g := gen.PowerLaw(2_000, 16_000, 2.1, 7)
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			edges = append(edges, graph.Edge{U: v, V: u})
+		}
+	}
+	return graph.MustBuild(g.NumVertices(), edges, graph.BuildOptions{Symmetrize: true})
+}
+
+func checkU64(t *testing.T, got, want []uint64, what string) {
+	t.Helper()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s[%d]=%d want %d", what, v, got[v], want[v])
+		}
+	}
+}
+
+func checkPR(t *testing.T, got, want []float64) {
+	t.Helper()
+	var l1 float64
+	for v := range want {
+		l1 += math.Abs(got[v] - want[v])
+	}
+	if l1/float64(len(want)) > 1e-4 {
+		t.Fatalf("pagerank mean L1 deviation %g too large", l1/float64(len(want)))
+	}
+}
+
+func TestBSPEngine(t *testing.T) {
+	g := testGraph()
+	e := bsp.New(g, 8)
+	checkU64(t, e.BFS(0), algo.SeqBFS(g, 0), "bfs")
+	checkU64(t, e.WCC(), algo.SeqWCC(g), "wcc")
+	checkU64(t, e.SSSP(0), algo.SeqSSSP(g, 0), "sssp")
+	if got, want := e.Triangles(), algo.SeqTriangles(g); got != want {
+		t.Fatalf("triangles=%d want %d", got, want)
+	}
+	pr, steps := e.PageRank(0.85, 1e-7)
+	checkPR(t, pr, algo.SeqPageRank(g, 0.85, 1e-7))
+	if steps < 2 {
+		t.Fatalf("suspiciously few supersteps: %d", steps)
+	}
+	mis := e.MIS(1)
+	if err := algo.VerifyMIS(g, mis); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockstepEngine(t *testing.T) {
+	g := testGraph()
+	e := lockstep.New(g, 8)
+	checkU64(t, e.BFS(0), algo.SeqBFS(g, 0), "bfs")
+	checkU64(t, e.WCC(), algo.SeqWCC(g), "wcc")
+	checkU64(t, e.SSSP(0), algo.SeqSSSP(g, 0), "sssp")
+	if got, want := e.Triangles(), algo.SeqTriangles(g); got != want {
+		t.Fatalf("triangles=%d want %d", got, want)
+	}
+	checkPR(t, e.PageRank(0.85, 1e-7), algo.SeqPageRank(g, 0.85, 1e-7))
+	if err := algo.VerifyMIS(g, e.MIS()); err != nil {
+		t.Fatal(err)
+	}
+	if e.LockOps.Load() == 0 {
+		t.Fatal("lockstep engine took no locks")
+	}
+}
+
+func TestNumaEngine(t *testing.T) {
+	g := testGraph()
+	e := numa.New(g, 8, 2)
+	pr, _ := e.PageRank(0.85, 1e-7)
+	checkPR(t, pr, algo.SeqPageRank(g, 0.85, 1e-7))
+}
+
+func TestDistEngine(t *testing.T) {
+	g := testGraph()
+	for _, cut := range []dist.Cut{dist.EdgeCut, dist.HybridCut} {
+		e := dist.New(g, dist.Config{
+			Nodes:        4,
+			Cut:          cut,
+			RoundLatency: 10 * time.Microsecond, // keep the test fast
+			Bandwidth:    1 << 33,
+		})
+		checkU64(t, e.BFS(0), algo.SeqBFS(g, 0), "bfs")
+		checkU64(t, e.WCC(), algo.SeqWCC(g), "wcc")
+		checkU64(t, e.SSSP(0), algo.SeqSSSP(g, 0), "sssp")
+		if got, want := e.Triangles(), algo.SeqTriangles(g); got != want {
+			t.Fatalf("triangles=%d want %d", got, want)
+		}
+		pr, _ := e.PageRank(0.85, 1e-7)
+		checkPR(t, pr, algo.SeqPageRank(g, 0.85, 1e-7))
+		if err := algo.VerifyMIS(g, e.MIS(1)); err != nil {
+			t.Fatal(err)
+		}
+		if e.BytesMoved == 0 {
+			t.Fatal("distributed engine moved no bytes")
+		}
+	}
+}
+
+func TestHybridCutFewerMirrors(t *testing.T) {
+	g := testGraph()
+	pg := dist.New(g, dist.Config{Nodes: 8, Cut: dist.EdgeCut, RoundLatency: time.Microsecond})
+	pl := dist.New(g, dist.Config{Nodes: 8, Cut: dist.HybridCut, RoundLatency: time.Microsecond})
+	if pl.MirrorCount >= pg.MirrorCount {
+		t.Fatalf("hybrid-cut should create fewer mirrors: hybrid=%d edge=%d",
+			pl.MirrorCount, pg.MirrorCount)
+	}
+}
+
+func TestOOCEngine(t *testing.T) {
+	g := testGraph()
+	e, err := ooc.New(g, t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	got, err := e.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkU64(t, got, algo.SeqBFS(g, 0), "bfs")
+
+	got, err = e.WCC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkU64(t, got, algo.SeqWCC(g), "wcc")
+
+	got, err = e.SSSP(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkU64(t, got, algo.SeqSSSP(g, 0), "sssp")
+
+	tri, err := e.Triangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := algo.SeqTriangles(g); tri != want {
+		t.Fatalf("triangles=%d want %d", tri, want)
+	}
+
+	pr, err := e.PageRank(0.85, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPR(t, pr, algo.SeqPageRank(g, 0.85, 1e-7))
+
+	mis, err := e.MIS(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := algo.VerifyMIS(g, mis); err != nil {
+		t.Fatal(err)
+	}
+	if e.BytesRead == 0 || e.BytesWritten == 0 {
+		t.Fatal("out-of-core engine did no file I/O")
+	}
+}

@@ -1,0 +1,326 @@
+// Package lockstep implements a Galois-like asynchronous engine:
+// in-place updates driven by a work list, with every operator guarded by
+// per-vertex spinlocks acquired in id order ("its default configuration
+// prevents data races using locks", §VI-A). Unlike TuFast there is no
+// optimistic path: every operator pays lock acquisition on the vertex and
+// each neighbor it touches, which is exactly the overhead the paper's H
+// mode elides for the low-degree majority.
+package lockstep
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"tufast/internal/graph"
+	"tufast/internal/simcost"
+	"tufast/internal/worklist"
+)
+
+// Engine runs async lock-guarded algorithms over one graph.
+type Engine struct {
+	G       *graph.CSR
+	Threads int
+	locks   []atomic.Uint32
+	// LockOps counts acquisitions (reported in experiments).
+	LockOps atomic.Uint64
+}
+
+// New creates an engine.
+func New(g *graph.CSR, threads int) *Engine {
+	if threads <= 0 {
+		threads = 1
+	}
+	return &Engine{G: g, Threads: threads, locks: make([]atomic.Uint32, g.NumVertices())}
+}
+
+func (e *Engine) lock(v uint32) {
+	simcost.Tax() // cross-core lock acquisition cost (see internal/simcost)
+	spins := 0
+	for !e.locks[v].CompareAndSwap(0, 1) {
+		spins++
+		if spins&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+	e.LockOps.Add(1)
+}
+
+func (e *Engine) unlock(v uint32) { e.locks[v].Store(0) }
+
+// lockNeighborhood locks v and its neighbors in ascending id order
+// (Galois's ordered neighborhood locking; deadlock-free).
+func (e *Engine) lockNeighborhood(v uint32, nbrs []uint32) []uint32 {
+	all := make([]uint32, 0, len(nbrs)+1)
+	all = append(all, v)
+	all = append(all, nbrs...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	// Dedupe in place.
+	w := 0
+	for i, x := range all {
+		if i == 0 || x != all[w-1] {
+			all[w] = x
+			w++
+		}
+	}
+	all = all[:w]
+	for _, u := range all {
+		e.lock(u)
+	}
+	return all
+}
+
+func (e *Engine) unlockAll(vs []uint32) {
+	for _, u := range vs {
+		e.unlock(u)
+	}
+}
+
+// drain processes a queue with the engine's threads until quiescence.
+func (e *Engine) drain(q *worklist.Queue, fn func(v uint32)) {
+	var idle atomic.Int64
+	done := make(chan struct{})
+	for t := 0; t < e.Threads; t++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				v, ok := q.Pop()
+				if !ok {
+					n := idle.Add(1)
+					if int(n) == e.Threads && q.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					idle.Add(-1)
+					continue
+				}
+				fn(v)
+			}
+		}()
+	}
+	for t := 0; t < e.Threads; t++ {
+		<-done
+	}
+}
+
+// PageRank runs asynchronous residual PageRank (same algorithm as the
+// TuFast version) with neighborhood locking around every operator.
+func (e *Engine) PageRank(d, eps float64) []float64 {
+	g := e.G
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	resid := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 - d
+	}
+	for v := uint32(0); int(v) < n; v++ {
+		deg := g.Degree(v)
+		if deg == 0 {
+			continue
+		}
+		share := d * (1 - d) / float64(deg)
+		for _, u := range g.Neighbors(v) {
+			resid[u] += share
+		}
+	}
+	q := worklist.NewQueue(e.Threads)
+	queued := worklist.NewBitset(n)
+	for v := uint32(0); int(v) < n; v++ {
+		if resid[v] > eps {
+			queued.TestAndSet(v)
+			q.Push(v)
+		}
+	}
+	e.drain(q, func(v uint32) {
+		nbrs := g.Neighbors(v)
+		held := e.lockNeighborhood(v, nbrs)
+		queued.Clear(v)
+		rv := resid[v]
+		if rv <= eps {
+			e.unlockAll(held)
+			return
+		}
+		resid[v] = 0
+		rank[v] += rv
+		if deg := len(nbrs); deg > 0 {
+			share := d * rv / float64(deg)
+			for _, u := range nbrs {
+				old := resid[u]
+				resid[u] = old + share
+				if old <= eps && resid[u] > eps && queued.TestAndSet(u) {
+					q.Push(u)
+				}
+			}
+		}
+		e.unlockAll(held)
+	})
+	return rank
+}
+
+// BFS computes hop levels with per-edge target locking.
+func (e *Engine) BFS(source uint32) []uint64 {
+	return e.relax(source, func(_, _ uint32) uint64 { return 1 })
+}
+
+// SSSP computes shortest paths with the deterministic weights.
+func (e *Engine) SSSP(source uint32) []uint64 {
+	return e.relax(source, func(v, u uint32) uint64 {
+		return uint64(graph.WeightOf(v, u, 100))
+	})
+}
+
+func (e *Engine) relax(source uint32, weight func(v, u uint32) uint64) []uint64 {
+	g := e.G
+	n := g.NumVertices()
+	dist := make([]uint64, n)
+	for i := range dist {
+		dist[i] = ^uint64(0)
+	}
+	dist[source] = 0
+	q := worklist.NewQueue(e.Threads)
+	q.Push(source)
+	e.drain(q, func(v uint32) {
+		e.lock(v)
+		dv := dist[v]
+		e.unlock(v)
+		if dv == ^uint64(0) {
+			return
+		}
+		for _, u := range g.Neighbors(v) {
+			nd := dv + weight(v, u)
+			e.lock(u)
+			if nd < dist[u] {
+				dist[u] = nd
+				e.unlock(u)
+				q.Push(u)
+			} else {
+				e.unlock(u)
+			}
+		}
+	})
+	return dist
+}
+
+// WCC runs asynchronous label propagation with neighborhood locking.
+func (e *Engine) WCC() []uint64 {
+	g := e.G
+	n := g.NumVertices()
+	comp := make([]uint64, n)
+	for i := range comp {
+		comp[i] = uint64(i)
+	}
+	q := worklist.NewQueue(e.Threads)
+	for v := uint32(0); int(v) < n; v++ {
+		q.Push(v)
+	}
+	e.drain(q, func(v uint32) {
+		nbrs := g.Neighbors(v)
+		held := e.lockNeighborhood(v, nbrs)
+		min := comp[v]
+		for _, u := range nbrs {
+			if comp[u] < min {
+				min = comp[u]
+			}
+		}
+		if min < comp[v] {
+			comp[v] = min
+		}
+		changed := make([]uint32, 0, 8)
+		for _, u := range nbrs {
+			if comp[u] > min {
+				comp[u] = min
+				changed = append(changed, u)
+			}
+		}
+		e.unlockAll(held)
+		for _, u := range changed {
+			q.Push(u)
+		}
+	})
+	return comp
+}
+
+// MIS runs the greedy transactional-style MIS under neighborhood locks.
+func (e *Engine) MIS() []bool {
+	g := e.G
+	n := g.NumVertices()
+	const (
+		unknown uint8 = 0
+		in      uint8 = 1
+		out     uint8 = 2
+	)
+	state := make([]uint8, n)
+	q := worklist.NewQueue(e.Threads)
+	for v := uint32(0); int(v) < n; v++ {
+		q.Push(v)
+	}
+	e.drain(q, func(v uint32) {
+		nbrs := g.Neighbors(v)
+		held := e.lockNeighborhood(v, nbrs)
+		if state[v] == unknown {
+			decided := in
+			for _, u := range nbrs {
+				if u != v && state[u] == in {
+					decided = out
+					break
+				}
+			}
+			state[v] = decided
+		}
+		e.unlockAll(held)
+	})
+	res := make([]bool, n)
+	for v := range res {
+		res[v] = state[v] == in
+	}
+	return res
+}
+
+// Triangles counts triangles; adjacency is immutable so no locking is
+// needed — the engines tie on this workload, as in the paper.
+func (e *Engine) Triangles() uint64 {
+	g := e.G
+	var total atomic.Uint64
+	worklist.Range(g.NumVertices(), e.Threads, 256, func(_, lo, hi int) {
+		var local uint64
+		for v := lo; v < hi; v++ {
+			nv := forward(g.Neighbors(uint32(v)), uint32(v))
+			for _, u := range nv {
+				local += intersectCount(nv, forward(g.Neighbors(u), u))
+			}
+		}
+		total.Add(local)
+	})
+	return total.Load()
+}
+
+func forward(nb []uint32, v uint32) []uint32 {
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return nb[lo:]
+}
+
+func intersectCount(a, b []uint32) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

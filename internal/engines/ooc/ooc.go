@@ -1,0 +1,423 @@
+// Package ooc implements a GraphChi-like out-of-core engine for the
+// Figure 12 comparison: the graph lives in edge-shard files on disk, the
+// vertex value vector is loaded from and stored back to disk around every
+// iteration, and each iteration streams every shard (the parallel
+// sliding windows schedule collapsed to interval order). We have no
+// dedicated SSD box, so the substitution performs *real* file I/O against
+// a temporary directory; the OS page cache makes it faster than a raw
+// SSD, but the syscall, copy and full-edge-scan-per-iteration costs that
+// separate GraphChi from in-memory systems in the paper remain.
+package ooc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"tufast/internal/graph"
+)
+
+// Engine is the out-of-core runtime.
+type Engine struct {
+	g      *graph.CSR
+	dir    string
+	shards int
+
+	// Telemetry.
+	BytesRead    uint64
+	BytesWritten uint64
+	Iterations   int
+}
+
+// New shards g into dir (which must exist and be writable). shards <= 0
+// picks a default.
+func New(g *graph.CSR, dir string, shards int) (*Engine, error) {
+	if shards <= 0 {
+		shards = 8
+	}
+	e := &Engine{g: g, dir: dir, shards: shards}
+	if err := e.writeShards(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// interval returns the shard owning vertex u.
+func (e *Engine) interval(u uint32) int {
+	per := (e.g.NumVertices() + e.shards - 1) / e.shards
+	return int(u) / per
+}
+
+func (e *Engine) shardPath(s int) string {
+	return filepath.Join(e.dir, fmt.Sprintf("shard-%03d.edges", s))
+}
+
+func (e *Engine) valuesPath() string {
+	return filepath.Join(e.dir, "values.bin")
+}
+
+// writeShards materializes the edge shards: shard s holds all arcs whose
+// target lies in interval s, in source order (the GraphChi layout).
+func (e *Engine) writeShards() error {
+	files := make([]*bufio.Writer, e.shards)
+	handles := make([]*os.File, e.shards)
+	for s := 0; s < e.shards; s++ {
+		f, err := os.Create(e.shardPath(s))
+		if err != nil {
+			return err
+		}
+		handles[s] = f
+		files[s] = bufio.NewWriterSize(f, 1<<20)
+	}
+	var rec [8]byte
+	for v := uint32(0); int(v) < e.g.NumVertices(); v++ {
+		for _, u := range e.g.Neighbors(v) {
+			s := e.interval(u)
+			binary.LittleEndian.PutUint32(rec[0:4], v)
+			binary.LittleEndian.PutUint32(rec[4:8], u)
+			if _, err := files[s].Write(rec[:]); err != nil {
+				return err
+			}
+			e.BytesWritten += 8
+		}
+	}
+	for s := 0; s < e.shards; s++ {
+		if err := files[s].Flush(); err != nil {
+			return err
+		}
+		if err := handles[s].Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close removes the shard files.
+func (e *Engine) Close() error {
+	var first error
+	for s := 0; s < e.shards; s++ {
+		if err := os.Remove(e.shardPath(s)); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := os.Remove(e.valuesPath()); err != nil && !os.IsNotExist(err) && first == nil {
+		first = err
+	}
+	return first
+}
+
+// streamShards reads every shard file in interval order, invoking fn for
+// each arc.
+func (e *Engine) streamShards(fn func(v, u uint32)) error {
+	var rec [8]byte
+	for s := 0; s < e.shards; s++ {
+		f, err := os.Open(e.shardPath(s))
+		if err != nil {
+			return err
+		}
+		br := bufio.NewReaderSize(f, 1<<20)
+		for {
+			if _, err := readFull(br, rec[:]); err != nil {
+				break
+			}
+			e.BytesRead += 8
+			fn(binary.LittleEndian.Uint32(rec[0:4]), binary.LittleEndian.Uint32(rec[4:8]))
+		}
+		f.Close()
+	}
+	return nil
+}
+
+func readFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// storeValues writes the vertex value vector to disk (end of iteration).
+func (e *Engine) storeValues(vals []uint64) error {
+	f, err := os.Create(e.valuesPath())
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := binary.Write(bw, binary.LittleEndian, vals); err != nil {
+		return err
+	}
+	e.BytesWritten += uint64(8 * len(vals))
+	return bw.Flush()
+}
+
+// loadValues reads the vertex value vector from disk (start of iteration).
+func (e *Engine) loadValues(n int) ([]uint64, error) {
+	vals := make([]uint64, n)
+	f, err := os.Open(e.valuesPath())
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := binary.Read(bufio.NewReaderSize(f, 1<<20), binary.LittleEndian, vals); err != nil {
+		return nil, err
+	}
+	e.BytesRead += uint64(8 * len(vals))
+	return vals, nil
+}
+
+// PageRank runs Jacobi iterations out of core until the L1 delta drops
+// below eps.
+func (e *Engine) PageRank(d, eps float64) ([]float64, error) {
+	n := e.g.NumVertices()
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = math.Float64bits(1 - d)
+	}
+	if err := e.storeValues(vals); err != nil {
+		return nil, err
+	}
+	deg := make([]float64, n)
+	for v := uint32(0); int(v) < n; v++ {
+		deg[v] = float64(e.g.Degree(v))
+	}
+	for iter := 0; iter < 10_000; iter++ {
+		e.Iterations++
+		cur, err := e.loadValues(n)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = 1 - d
+		}
+		err = e.streamShards(func(v, u uint32) {
+			if deg[v] > 0 {
+				next[u] += d * math.Float64frombits(cur[v]) / deg[v]
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		var delta float64
+		for i := range next {
+			delta += math.Abs(next[i] - math.Float64frombits(cur[i]))
+			cur[i] = math.Float64bits(next[i])
+		}
+		if err := e.storeValues(cur); err != nil {
+			return nil, err
+		}
+		if delta < eps {
+			break
+		}
+	}
+	final, err := e.loadValues(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(final[i])
+	}
+	return out, nil
+}
+
+// propagateMin runs full-edge-stream relaxation iterations to fixpoint
+// (BFS/WCC/SSSP share it; GraphChi pays a complete scan per hop).
+func (e *Engine) propagateMin(init []uint64, weight func(v, u uint32) uint64) ([]uint64, error) {
+	n := e.g.NumVertices()
+	if err := e.storeValues(init); err != nil {
+		return nil, err
+	}
+	for {
+		e.Iterations++
+		vals, err := e.loadValues(n)
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		err = e.streamShards(func(v, u uint32) {
+			dv := vals[v]
+			if dv == ^uint64(0) {
+				return
+			}
+			if nd := dv + weight(v, u); nd < vals[u] {
+				vals[u] = nd
+				changed = true
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.storeValues(vals); err != nil {
+			return nil, err
+		}
+		if !changed {
+			return vals, nil
+		}
+	}
+}
+
+// BFS computes hop levels from source.
+func (e *Engine) BFS(source uint32) ([]uint64, error) {
+	n := e.g.NumVertices()
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = ^uint64(0)
+	}
+	init[source] = 0
+	return e.propagateMin(init, func(_, _ uint32) uint64 { return 1 })
+}
+
+// SSSP computes shortest paths with the module's deterministic weights.
+func (e *Engine) SSSP(source uint32) ([]uint64, error) {
+	n := e.g.NumVertices()
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = ^uint64(0)
+	}
+	init[source] = 0
+	return e.propagateMin(init, func(v, u uint32) uint64 {
+		return uint64(graph.WeightOf(v, u, 100))
+	})
+}
+
+// WCC computes components by min-label propagation.
+func (e *Engine) WCC() ([]uint64, error) {
+	n := e.g.NumVertices()
+	init := make([]uint64, n)
+	for v := range init {
+		init[v] = uint64(v)
+	}
+	return e.propagateMin(init, func(_, _ uint32) uint64 { return 0 })
+}
+
+// MIS runs Luby rounds, one full edge stream per sub-phase.
+func (e *Engine) MIS(seed uint64) ([]bool, error) {
+	n := e.g.NumVertices()
+	const (
+		unknown = 0
+		in      = 1
+		out     = 2
+	)
+	state := make([]uint64, n)
+	if err := e.storeValues(state); err != nil {
+		return nil, err
+	}
+	prio := func(v uint32, round uint64) uint64 {
+		x := uint64(v)*0x9E3779B97F4A7C15 + round*0xBF58476D1CE4E5B9 + seed
+		x ^= x >> 33
+		x *= 0xFF51AFD7ED558CCD
+		x ^= x >> 33
+		return x
+	}
+	for round := uint64(1); ; round++ {
+		e.Iterations++
+		vals, err := e.loadValues(n)
+		if err != nil {
+			return nil, err
+		}
+		remaining := false
+		for v := range vals {
+			if vals[v] == unknown {
+				remaining = true
+				break
+			}
+		}
+		if !remaining {
+			st := make([]bool, n)
+			for v := range vals {
+				st[v] = vals[v] == in
+			}
+			return st, nil
+		}
+		// Phase 1: find non-minima via an edge stream.
+		notMin := make([]bool, n)
+		err = e.streamShards(func(v, u uint32) {
+			if v == u || vals[v] != unknown || vals[u] != unknown {
+				return
+			}
+			if prio(v, round) < prio(u, round) || (prio(v, round) == prio(u, round) && v < u) {
+				notMin[u] = true
+			} else {
+				notMin[v] = true
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		for v := range vals {
+			if vals[v] == unknown && !notMin[v] {
+				vals[v] = in
+			}
+		}
+		// Phase 2: neighbors of joined vertices leave.
+		err = e.streamShards(func(v, u uint32) {
+			if vals[v] == in && u != v && vals[u] == unknown {
+				vals[u] = out
+			}
+			if vals[u] == in && u != v && vals[v] == unknown {
+				vals[v] = out
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.storeValues(vals); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Triangles counts triangles; GraphChi needs adjacency joins, which we
+// run shard-against-CSR while charging a full extra shard scan of I/O
+// (the simplification is documented in DESIGN.md).
+func (e *Engine) Triangles() (uint64, error) {
+	var total uint64
+	err := e.streamShards(func(v, u uint32) {
+		if v >= u {
+			return
+		}
+		total += isect(fwdFrom(e.g.Neighbors(v), u), fwdFrom(e.g.Neighbors(u), u))
+	})
+	return total, err
+}
+
+// fwdFrom returns the suffix of sorted adjacency strictly greater than x.
+func fwdFrom(nb []uint32, x uint32) []uint32 {
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return nb[lo:]
+}
+
+func isect(a, b []uint32) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

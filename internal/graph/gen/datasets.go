@@ -1,0 +1,81 @@
+package gen
+
+import "tufast/internal/graph"
+
+// Dataset names a synthetic stand-in for one of the paper's Table II
+// graphs, at a laptop scale that preserves the |E|/|V| ratio and the
+// power-law shape.
+type Dataset struct {
+	Name string
+	// PaperV/PaperE are the original sizes (for the Table II report).
+	PaperV, PaperE uint64
+	// Generate builds the scaled stand-in; scale multiplies the default
+	// vertex count (1.0 ~ 100k-130k vertices).
+	Generate func(scale float64) *graph.CSR
+}
+
+// Datasets returns the four Table II stand-ins in paper order.
+//
+//	friendster  |V|=65.6M |E|=1806M  E/V=27.5  social, alpha~2.3
+//	twitter-mpi |V|=52.6M |E|=1963M  E/V=37.3  social, alpha~2.0 (heavier tail)
+//	sk-2005     |V|=50.6M |E|=1949M  E/V=38.5  web crawl (RMAT)
+//	uk-2007-05  |V|=105.8M |E|=3738M E/V=35.3  web crawl (RMAT, larger)
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "friendster", PaperV: 65_600_000, PaperE: 1_806_000_000,
+			Generate: func(scale float64) *graph.CSR {
+				n := scaled(120_000, scale)
+				return PowerLaw(n, n*27, 2.3, 0xF51E)
+			},
+		},
+		{
+			Name: "twitter-mpi", PaperV: 52_600_000, PaperE: 1_963_000_000,
+			Generate: func(scale float64) *graph.CSR {
+				n := scaled(100_000, scale)
+				return PowerLaw(n, n*37, 2.0, 0x7717)
+			},
+		},
+		{
+			Name: "sk-2005", PaperV: 50_600_000, PaperE: 1_949_000_000,
+			Generate: func(scale float64) *graph.CSR {
+				sc := rmatScale(100_000, scale)
+				return RMAT(sc, 38, 0x5E05)
+			},
+		},
+		{
+			Name: "uk-2007-05", PaperV: 105_800_000, PaperE: 3_738_000_000,
+			Generate: func(scale float64) *graph.CSR {
+				sc := rmatScale(130_000, scale)
+				return RMAT(sc, 35, 0x0720)
+			},
+		},
+	}
+}
+
+// DatasetByName returns the stand-in with the given name, or false.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1024 {
+		n = 1024
+	}
+	return n
+}
+
+func rmatScale(base int, scale float64) int {
+	n := scaled(base, scale)
+	sc := 1
+	for 1<<sc < n {
+		sc++
+	}
+	return sc
+}

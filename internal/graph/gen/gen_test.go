@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"testing"
+
+	"tufast/internal/htm"
+)
+
+func TestPowerLawShape(t *testing.T) {
+	g := PowerLaw(20_000, 300_000, 2.1, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 20_000 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	// Power-law essentials: a heavy hub and a long tail of small degrees.
+	if g.MaxDegree() < 100 {
+		t.Fatalf("max degree %d too small for a power law", g.MaxDegree())
+	}
+	small := 0
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		if g.Degree(v) <= 32 {
+			small++
+		}
+	}
+	if frac := float64(small) / 20_000; frac < 0.80 {
+		t.Fatalf("only %.0f%% of vertices are small-degree; not a power law", frac*100)
+	}
+	alpha := g.PowerLawFit(4)
+	if alpha < 1.5 || alpha > 3.5 {
+		t.Fatalf("alpha=%.2f outside plausible power-law range", alpha)
+	}
+}
+
+func TestPowerLawDeterministic(t *testing.T) {
+	a := PowerLaw(1000, 5000, 2.1, 7)
+	b := PowerLaw(1000, 5000, 2.1, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed, different graphs")
+	}
+	for v := uint32(0); v < 1000; v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("degree differs at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency differs at %d", v)
+			}
+		}
+	}
+	c := PowerLaw(1000, 5000, 2.1, 8)
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		// Edge counts can collide; check adjacency actually differs.
+		diff := false
+		for v := uint32(0); v < 1000 && !diff; v++ {
+			if len(a.Neighbors(v)) != len(c.Neighbors(v)) {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(12, 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1<<12 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	if g.MaxDegree() < 32 {
+		t.Fatalf("RMAT max degree %d suspiciously small", g.MaxDegree())
+	}
+}
+
+func TestUniformDegree(t *testing.T) {
+	g := Uniform(500, 8, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 500; v++ {
+		if d := g.Degree(v); d > 8 || d < 4 {
+			// Dedupe can drop a few duplicates but not half.
+			t.Fatalf("vertex %d degree %d, want ~8", v, d)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(10, 10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	// Interior vertices have degree 4, corners 2.
+	if d := g.Degree(0); d != 2 {
+		t.Fatalf("corner degree %d", d)
+	}
+	if d := g.Degree(5*10 + 5); d != 4 {
+		t.Fatalf("interior degree %d", d)
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatal("grid must have no skew")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(1000)
+	if g.Degree(0) != 999 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	if g.Degree(5) != 1 {
+		t.Fatalf("spoke degree %d", g.Degree(5))
+	}
+}
+
+func TestDatasetsMatchPaperShapes(t *testing.T) {
+	for _, d := range Datasets() {
+		g := d.Generate(0.1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		paperRatio := float64(d.PaperE) / float64(d.PaperV)
+		ratio := g.AvgDegree()
+		if ratio < paperRatio/2 || ratio > paperRatio*2 {
+			t.Errorf("%s: E/V=%.1f, paper %.1f (want within 2x)", d.Name, ratio, paperRatio)
+		}
+		if g.MaxDegree() <= htm.CapacityWords/4 {
+			t.Errorf("%s: max degree %d does not exceed HTM capacity — the routing argument needs giants",
+				d.Name, g.MaxDegree())
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	if _, ok := DatasetByName("twitter-mpi"); !ok {
+		t.Fatal("known dataset missing")
+	}
+	if _, ok := DatasetByName("nope"); ok {
+		t.Fatal("unknown dataset found")
+	}
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func small(t *testing.T) *CSR {
+	t.Helper()
+	g, err := Build(5, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {0, 1}, {1, 1}}, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildDedupesAndDropsSelfLoops(t *testing.T) {
+	g := small(t)
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges=%d want 4 (dup and self-loop dropped)", g.NumEdges())
+	}
+	if got := g.Neighbors(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("N(0)=%v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildKeepSelfLoops(t *testing.T) {
+	g, err := Build(2, []Edge{{1, 1}}, BuildOptions{KeepSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(1) != 1 {
+		t.Fatal("self loop dropped despite KeepSelfLoops")
+	}
+}
+
+func TestBuildSymmetrize(t *testing.T) {
+	g, err := Build(3, []Edge{{0, 1}, {1, 2}}, BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Undirected() {
+		t.Fatal("undirected flag unset")
+	}
+	for _, e := range [][2]uint32{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+		if !hasEdgeT(g, e[0], e[1]) {
+			t.Fatalf("missing arc %v", e)
+		}
+	}
+}
+
+func hasEdgeT(g *CSR, v, u uint32) bool {
+	for _, x := range g.Neighbors(v) {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	if _, err := Build(2, []Edge{{0, 5}}, BuildOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Build(0, nil, BuildOptions{}); err == nil {
+		t.Fatal("expected error on zero vertices")
+	}
+}
+
+func TestDegreeAndStats(t *testing.T) {
+	g := small(t)
+	if g.Degree(3) != 1 || g.Degree(4) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	if g.MaxDegree() != 1 {
+		t.Fatalf("maxdeg=%d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 4.0/5 {
+		t.Fatalf("avg=%f", g.AvgDegree())
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := small(t)
+	r := g.Reverse()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if !hasEdgeT(r, u, v) {
+				t.Fatalf("reverse missing (%d,%d)", u, v)
+			}
+		}
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := small(t)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("sizes differ after round trip")
+	}
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("N(%d) length differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("N(%d)[%d] differs", v, i)
+			}
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph at all.....")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n% another\n2 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, 3, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+func TestReadEdgeListMalformed(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "1 x\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0, BuildOptions{}); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWeightOfDeterministicAndBounded(t *testing.T) {
+	f := func(u, v uint32, m uint8) bool {
+		maxW := uint32(m)%100 + 1
+		w1 := WeightOf(u, v, maxW)
+		w2 := WeightOf(u, v, maxW)
+		return w1 == w2 && w1 >= 1 && w1 <= maxW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g, _ := Build(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}}, BuildOptions{})
+	buckets, zeros := g.DegreeHistogram()
+	if zeros != 2 { // vertices 2 and 3
+		t.Fatalf("zeros=%d", zeros)
+	}
+	// degree 3 -> bucket 1 (log2 3 = 1), degree 1 -> bucket 0.
+	if buckets[0] != 1 || buckets[1] != 1 {
+		t.Fatalf("buckets=%v", buckets)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := small(t)
+	g.adj[0] = 200 // out of range
+	if err := g.Validate(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}

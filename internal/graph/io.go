@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// binaryMagic identifies the CSR binary format.
+const binaryMagic = 0x54554641 // "TUFA"
+
+// WriteBinary streams the CSR in a compact binary format.
+func (g *CSR) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.adj)), boolWord(g.undirected)}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return fmt.Errorf("graph: write header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return fmt.Errorf("graph: write offsets: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return fmt.Errorf("graph: write adjacency: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a CSR written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: read header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, m := int(hdr[1]), int(hdr[2])
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	offsets := make([]uint64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, fmt.Errorf("graph: read offsets: %w", err)
+	}
+	adj := make([]uint32, m)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, fmt.Errorf("graph: read adjacency: %w", err)
+	}
+	return FromCSRParts(n, offsets, adj, hdr[3] != 0)
+}
+
+// SaveBinary writes the CSR to a file.
+func (g *CSR) SaveBinary(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadBinary reads a CSR from a file.
+func LoadBinary(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// ReadEdgeList parses a whitespace-separated "u v" edge list (SNAP
+// format); lines starting with '#' or '%' are comments. Vertex count is
+// 1 + the largest id seen unless n > 0 forces it.
+func ReadEdgeList(r io.Reader, n int, opt BuildOptions) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := uint32(0)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", line, err)
+		}
+		edges = append(edges, Edge{U: uint32(u), V: uint32(v)})
+		if uint32(u) > maxID {
+			maxID = uint32(u)
+		}
+		if uint32(v) > maxID {
+			maxID = uint32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		n = int(maxID) + 1
+	}
+	return Build(n, edges, opt)
+}
+
+// WriteEdgeList emits the adjacency as a "u v" text edge list.
+func (g *CSR) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for v := uint32(0); int(v) < g.n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

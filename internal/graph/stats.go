@@ -1,0 +1,76 @@
+package graph
+
+import "math"
+
+// DegreeHistogram returns, bucketed by log2(degree), how many vertices
+// fall into each bucket (Figure 5's log-log degree distribution). Index i
+// counts vertices with degree in [2^i, 2^(i+1)); index 0 additionally
+// holds degree-1, and zero-degree vertices are returned separately.
+func (g *CSR) DegreeHistogram() (buckets []uint64, zeros uint64) {
+	for v := uint32(0); int(v) < g.n; v++ {
+		d := g.Degree(v)
+		if d == 0 {
+			zeros++
+			continue
+		}
+		b := 0
+		for dd := d; dd > 1; dd >>= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	return buckets, zeros
+}
+
+// PowerLawFit estimates the degree-distribution exponent alpha via the
+// maximum-likelihood estimator over vertices with degree >= dmin
+// (Clauset-Shalizi-Newman): alpha = 1 + n / sum(ln(d_i / (dmin - 0.5))).
+func (g *CSR) PowerLawFit(dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var n int
+	var s float64
+	for v := uint32(0); int(v) < g.n; v++ {
+		d := g.Degree(v)
+		if d >= dmin {
+			n++
+			s += math.Log(float64(d) / (float64(dmin) - 0.5))
+		}
+	}
+	if n == 0 || s == 0 {
+		return 0
+	}
+	return 1 + float64(n)/s
+}
+
+// GiniDegree returns the Gini coefficient of the degree distribution — a
+// scalar skew measure used in reports (0 = perfectly even, ->1 = all
+// edges on one vertex).
+func (g *CSR) GiniDegree() float64 {
+	if g.n == 0 || len(g.adj) == 0 {
+		return 0
+	}
+	// Gini over sorted degrees: counting sort by degree (degrees bounded
+	// by n).
+	counts := make([]uint64, g.MaxDegree()+1)
+	for v := uint32(0); int(v) < g.n; v++ {
+		counts[g.Degree(v)]++
+	}
+	var cum, weighted float64
+	var i float64
+	total := float64(len(g.adj))
+	for d, c := range counts {
+		for range c {
+			cum += float64(d)
+			weighted += (i + 1) * float64(d)
+			i++
+		}
+	}
+	_ = cum
+	nf := float64(g.n)
+	return (2*weighted)/(nf*total) - (nf+1)/nf
+}

@@ -1,0 +1,94 @@
+package htm
+
+import (
+	"testing"
+
+	"tufast/internal/mem"
+)
+
+// BenchmarkReadOp measures the cost of one emulated-HTM transactional
+// read (the number simcost's tax is calibrated against).
+func BenchmarkReadOp(b *testing.B) {
+	sp := mem.NewSpace(1 << 16)
+	tx := NewTx(sp, nil)
+	tx.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%256 == 255 {
+			// Stay under capacity: restart periodically.
+			b.StopTimer()
+			tx.Begin()
+			b.StartTimer()
+		}
+		tx.Read(mem.Addr(i % 2048))
+	}
+}
+
+// BenchmarkWriteOp measures one buffered transactional write.
+func BenchmarkWriteOp(b *testing.B) {
+	sp := mem.NewSpace(1 << 16)
+	tx := NewTx(sp, nil)
+	tx.Begin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%256 == 255 {
+			b.StopTimer()
+			tx.Begin()
+			b.StartTimer()
+		}
+		tx.Write(mem.Addr(i%2048), uint64(i))
+	}
+}
+
+// BenchmarkSmallTxnCommit measures a full begin/2-op/commit cycle — the
+// H-mode fast path for a tiny power-law vertex.
+func BenchmarkSmallTxnCommit(b *testing.B) {
+	sp := mem.NewSpace(1 << 16)
+	tx := NewTx(sp, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		v, _ := tx.Read(mem.Addr(i % 1024))
+		tx.Write(mem.Addr(i%1024), v+1)
+		if tx.Commit() != AbortNone {
+			b.Fatal("unexpected abort")
+		}
+	}
+}
+
+// BenchmarkMediumTxnCommit measures a degree-64-like transaction.
+func BenchmarkMediumTxnCommit(b *testing.B) {
+	sp := mem.NewSpace(1 << 18)
+	tx := NewTx(sp, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		base := mem.Addr((i * 977) % (1 << 12))
+		sum := uint64(0)
+		for k := 0; k < 64; k++ {
+			v, _ := tx.Read(base + mem.Addr(k*29))
+			sum += v
+		}
+		tx.Write(base, sum)
+		if tx.Commit() != AbortNone {
+			b.Fatal("unexpected abort")
+		}
+	}
+}
+
+// BenchmarkCapacityAbort measures the cost of discovering a capacity
+// overflow (the routing signal that sends transactions to O mode).
+func BenchmarkCapacityAbort(b *testing.B) {
+	sp := mem.NewSpace(1 << 22)
+	tx := NewTx(sp, nil)
+	stride := mem.Addr(CacheSets * mem.WordsPerLine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.Begin()
+		for k := 0; ; k++ {
+			if _, code := tx.Read(stride * mem.Addr(k)); code == AbortCapacity {
+				break
+			}
+		}
+	}
+}

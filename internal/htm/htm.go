@@ -1,0 +1,403 @@
+// Package htm emulates Intel Restricted Transactional Memory (TSX/RTM) in
+// software. Go has no HTM intrinsics and TSX is disabled on modern
+// hardware, so this package reproduces the behaviours TuFast's design
+// depends on (see DESIGN.md §2):
+//
+//   - XBEGIN / XEND / XABORT semantics with TSX-style abort codes
+//     (conflict, capacity, explicit);
+//   - conflict detection at 64-byte cache-line granularity via the
+//     seqlock version words of a mem.Space, with NOrec-style early
+//     (mid-transaction) revalidation standing in for the eager aborts of
+//     the hardware cache-coherence protocol;
+//   - an L1 capacity model: 64 sets x 8 ways of 64-byte lines (32 KB).
+//     The 9th distinct line mapped to a set aborts the transaction, so
+//     random access patterns abort well before 32 KB with rising
+//     probability while sequential ones fit — the paper's Figure 4 curve.
+package htm
+
+import (
+	"tufast/internal/gentab"
+	"tufast/internal/mem"
+)
+
+// Geometry of the emulated L1 data cache used for capacity aborts.
+// 64 sets x 8 ways x 64-byte lines = 32 KB, matching Intel Haswell L1d.
+const (
+	CacheSets     = 64
+	CacheWays     = 8
+	LineBytes     = mem.WordsPerLine * 8
+	CapacityBytes = CacheSets * CacheWays * LineBytes // 32 KB
+	// CapacityWords is the absolute maximum transaction footprint in
+	// 8-byte words (8 KB words = the paper's "8192 ints" at 4 bytes,
+	// halved because our words are 8 bytes).
+	CapacityWords = CapacityBytes / 8
+)
+
+// AbortCode classifies why a hardware transaction aborted, mirroring the
+// EAX abort status of real RTM.
+type AbortCode uint8
+
+const (
+	// AbortNone means no abort occurred.
+	AbortNone AbortCode = iota
+	// AbortConflict is a data conflict with another thread (another
+	// commit invalidated a line in this transaction's read or write set).
+	AbortConflict
+	// AbortCapacity is a cache-capacity overflow: a set of the emulated
+	// L1 received its 9th distinct line. Retrying cannot help.
+	AbortCapacity
+	// AbortExplicit is a user-requested XABORT (TuFast's H mode issues it
+	// when a vertex lock is held incompatibly).
+	AbortExplicit
+	// AbortLocked means a line's seqlock was held at access or commit
+	// time; the hardware analogue is conflicting with a writer's store.
+	AbortLocked
+)
+
+// String returns the conventional name of the abort code.
+func (c AbortCode) String() string {
+	switch c {
+	case AbortNone:
+		return "none"
+	case AbortConflict:
+		return "conflict"
+	case AbortCapacity:
+		return "capacity"
+	case AbortExplicit:
+		return "explicit"
+	case AbortLocked:
+		return "locked"
+	default:
+		return "unknown"
+	}
+}
+
+// Retryable reports whether a retry of the same transaction could
+// plausibly succeed (Intel's guidance: retry conflicts, never capacity).
+func (c AbortCode) Retryable() bool {
+	return c == AbortConflict || c == AbortLocked
+}
+
+type readEntry struct {
+	line mem.Line
+	ver  uint64
+}
+
+// writeOnlyLine marks a line present in the capacity model without a
+// read-set entry (buffered writes and external touches).
+const writeOnlyLine = int32(-1)
+
+type writeEntry struct {
+	addr mem.Addr
+	val  uint64
+}
+
+type lockedLine struct {
+	line mem.Line
+	from uint64 // meta value observed when locking (even)
+}
+
+// Check is an external validation hook registered by a scheduler, used by
+// TuFast's H mode to "subscribe" to per-vertex lock words: the hook must
+// return true while the subscription still holds. Hooks run during early
+// revalidation and at commit, emulating the hardware read-set monitoring
+// of the lock word.
+type Check func() bool
+
+// Tx is one emulated hardware transaction. A Tx is single-threaded and
+// reusable: Begin resets it. Zero value is ready after Bind.
+type Tx struct {
+	sp       *mem.Space
+	snapshot uint64 // NOrec global-commit snapshot
+
+	reads   []readEntry
+	lineIdx *gentab.Table // line -> reads index, or writeOnlyLine
+
+	writes   []writeEntry
+	writeIdx *gentab.Table // addr -> index in writes
+
+	// Commit-phase lock bookkeeping, reused across attempts.
+	lockedLines []lockedLine
+	lockedIdx   *gentab.Table // line -> lockedLines index
+
+	checks []Check
+
+	sets      [CacheSets]uint8 // distinct lines per emulated cache set
+	active    bool
+	overflow  bool
+	lastAbort AbortCode
+
+	// ops is batched into stats at commit/abort to keep the hot path
+	// free of cross-thread atomics.
+	ops uint64
+
+	// lastLine/lastIdx cache the most recent read line: sorted-adjacency
+	// scans hit the same 8-word line repeatedly.
+	lastLine mem.Line
+	lastIdx  int32
+
+	stats *Stats
+}
+
+// LastAbort returns the code of the most recent abort (AbortNone if the
+// last attempt committed).
+func (t *Tx) LastAbort() AbortCode { return t.lastAbort }
+
+// LastAbortRetryable reports whether retrying after the last abort could
+// succeed (false for capacity overflows).
+func (t *Tx) LastAbortRetryable() bool { return t.lastAbort.Retryable() }
+
+// NewTx returns a transaction bound to sp, reporting into stats (which may
+// be nil).
+func NewTx(sp *mem.Space, stats *Stats) *Tx {
+	return &Tx{
+		sp:        sp,
+		lineIdx:   gentab.New(7),
+		writeIdx:  gentab.New(5),
+		lockedIdx: gentab.New(5),
+		stats:     stats,
+	}
+}
+
+// Begin starts (XBEGIN) the transaction, clearing all per-attempt state.
+func (t *Tx) Begin() {
+	t.snapshot = t.sp.Commits()
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.checks = t.checks[:0]
+	t.lineIdx.Reset()
+	t.writeIdx.Reset()
+	clear(t.sets[:])
+	t.active = true
+	t.overflow = false
+	t.lastAbort = AbortNone
+	t.ops = 0
+	t.lastLine = ^mem.Line(0)
+	t.lastIdx = writeOnlyLine
+	if t.stats != nil {
+		t.stats.Starts.Add(1)
+	}
+}
+
+// Active reports whether the transaction is between Begin and Commit.
+func (t *Tx) Active() bool { return t.active }
+
+// Footprint returns the number of distinct cache lines touched so far.
+func (t *Tx) Footprint() int { return t.lineIdx.Len() }
+
+// admit records line l in the capacity model, returning its read-set
+// index (or writeOnlyLine if it has none yet), whether it was already
+// present, and an abort code on set overflow.
+func (t *Tx) admit(l mem.Line) (idx int32, seen bool, code AbortCode) {
+	if idx, ok := t.lineIdx.Get(uint64(l)); ok {
+		return idx, true, AbortNone
+	}
+	set := uint64(l) % CacheSets
+	if t.sets[set] >= CacheWays {
+		t.overflow = true
+		return 0, false, t.fail(AbortCapacity)
+	}
+	t.sets[set]++
+	t.lineIdx.Put(uint64(l), writeOnlyLine)
+	return writeOnlyLine, false, AbortNone
+}
+
+// TouchExternal feeds an out-of-space word (e.g. a vertex lock word) into
+// the capacity model; key should be a stable pseudo-address of that word.
+func (t *Tx) TouchExternal(key uint64) AbortCode {
+	// High bit marks the external namespace so it cannot collide with
+	// data lines of the Space.
+	_, _, code := t.admit(mem.Line(key | 1<<63))
+	return code
+}
+
+// AddCheck registers a subscription hook; a hook returning false aborts
+// the transaction with AbortConflict at the next validation point.
+func (t *Tx) AddCheck(c Check) {
+	t.checks = append(t.checks, c)
+}
+
+// maybeRevalidate performs the NOrec early check: if any commit happened
+// since our snapshot, re-validate the read set and hooks now. This is the
+// software stand-in for HTM's eager coherence-triggered aborts: a
+// conflicting commit kills the transaction at its next memory operation
+// rather than at XEND.
+func (t *Tx) maybeRevalidate() AbortCode {
+	c := t.sp.Commits()
+	if c == t.snapshot {
+		return AbortNone
+	}
+	if !t.validate(false) {
+		return t.fail(AbortConflict)
+	}
+	t.snapshot = c
+	return AbortNone
+}
+
+// validate checks every read line version and every hook. When inCommit
+// is true, lines this transaction holds locked (lockedLines) are checked
+// against their pre-lock version instead.
+func (t *Tx) validate(inCommit bool) bool {
+	for i := range t.reads {
+		r := &t.reads[i]
+		m := t.sp.Meta(r.line)
+		if m == r.ver {
+			continue
+		}
+		if inCommit {
+			if j, ok := t.lockedIdx.Get(uint64(r.line)); ok && t.lockedLines[j].from == r.ver {
+				continue // we locked it ourselves, version pinned
+			}
+		}
+		return false
+	}
+	for _, c := range t.checks {
+		if !c() {
+			return false
+		}
+	}
+	return true
+}
+
+// Read transactionally loads the word at a. On a non-AbortNone code the
+// transaction is dead and must be re-Begun.
+func (t *Tx) Read(a mem.Addr) (uint64, AbortCode) {
+	if len(t.writes) != 0 {
+		if i, ok := t.writeIdx.Get(uint64(a)); ok {
+			return t.writes[i].val, AbortNone // read own write
+		}
+	}
+	if code := t.maybeRevalidate(); code != AbortNone {
+		return 0, code
+	}
+	l := mem.LineOf(a)
+	var (
+		idx  int32
+		seen bool
+	)
+	if l == t.lastLine {
+		idx, seen = t.lastIdx, true
+	} else {
+		var code AbortCode
+		idx, seen, code = t.admit(l)
+		if code != AbortNone {
+			return 0, code
+		}
+	}
+	val, ver, ok := t.sp.ReadConsistent(a)
+	if !ok {
+		return 0, t.fail(AbortLocked)
+	}
+	switch {
+	case seen && idx != writeOnlyLine:
+		// Line already in the read set: the recorded version must still
+		// hold or we are reading an inconsistent snapshot.
+		if t.reads[idx].ver != ver {
+			return 0, t.fail(AbortConflict)
+		}
+	default:
+		idx = int32(len(t.reads))
+		t.lineIdx.Put(uint64(l), idx)
+		t.reads = append(t.reads, readEntry{line: l, ver: ver})
+	}
+	t.lastLine, t.lastIdx = l, idx
+	t.ops++
+	return val, AbortNone
+}
+
+// Write transactionally buffers a store of val to a; it becomes visible
+// only if Commit succeeds.
+func (t *Tx) Write(a mem.Addr, val uint64) AbortCode {
+	if i, ok := t.writeIdx.Get(uint64(a)); ok {
+		t.writes[i].val = val
+		return AbortNone
+	}
+	if code := t.maybeRevalidate(); code != AbortNone {
+		return code
+	}
+	if _, _, code := t.admit(mem.LineOf(a)); code != AbortNone {
+		return code
+	}
+	t.writeIdx.Put(uint64(a), int32(len(t.writes)))
+	t.writes = append(t.writes, writeEntry{addr: a, val: val})
+	t.ops++
+	return AbortNone
+}
+
+// Explicit aborts the transaction by user request (XABORT).
+func (t *Tx) Explicit() AbortCode { return t.fail(AbortExplicit) }
+
+// fail terminates the attempt, recording the abort.
+func (t *Tx) fail(code AbortCode) AbortCode {
+	t.active = false
+	t.lastAbort = code
+	if t.stats != nil {
+		t.stats.record(code)
+		t.stats.WastedOps.Add(t.ops)
+	}
+	return code
+}
+
+// Commit attempts XEND: lock write lines, validate the read set and all
+// subscription hooks, publish writes, bump versions. On success the
+// global commit counter advances (other in-flight transactions will
+// revalidate at their next operation).
+func (t *Tx) Commit() AbortCode {
+	if !t.active {
+		return AbortConflict
+	}
+	if len(t.writes) == 0 {
+		// Read-only commit: validate and finish; no global bump needed.
+		if !t.validate(false) {
+			return t.fail(AbortConflict)
+		}
+		t.active = false
+		if t.stats != nil {
+			t.stats.Commits.Add(1)
+			t.stats.Ops.Add(t.ops)
+		}
+		return AbortNone
+	}
+
+	t.lockedLines = t.lockedLines[:0]
+	t.lockedIdx.Reset()
+	for i := range t.writes {
+		l := mem.LineOf(t.writes[i].addr)
+		if _, ok := t.lockedIdx.Get(uint64(l)); ok {
+			continue
+		}
+		m := t.sp.Meta(l)
+		if m&1 != 0 || !t.sp.TryLockLine(l, m) {
+			t.unlockAll(false)
+			return t.fail(AbortConflict)
+		}
+		t.lockedIdx.Put(uint64(l), int32(len(t.lockedLines)))
+		t.lockedLines = append(t.lockedLines, lockedLine{line: l, from: m})
+	}
+	if !t.validate(true) {
+		t.unlockAll(false)
+		return t.fail(AbortConflict)
+	}
+	for i := range t.writes {
+		t.sp.Store(t.writes[i].addr, t.writes[i].val)
+	}
+	t.unlockAll(true)
+	t.sp.BumpCommits()
+	t.active = false
+	if t.stats != nil {
+		t.stats.Commits.Add(1)
+		t.stats.Ops.Add(t.ops)
+	}
+	return AbortNone
+}
+
+func (t *Tx) unlockAll(publish bool) {
+	for _, ll := range t.lockedLines {
+		if publish {
+			t.sp.UnlockLine(ll.line, ll.from|1)
+		} else {
+			t.sp.RevertLine(ll.line, ll.from|1)
+		}
+	}
+	t.lockedLines = t.lockedLines[:0]
+}

@@ -1,0 +1,254 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tufast/internal/mem"
+)
+
+func newTestTx() (*mem.Space, *Tx, *Stats) {
+	sp := mem.NewSpace(1 << 16)
+	st := &Stats{}
+	return sp, NewTx(sp, st), st
+}
+
+func TestReadWriteCommit(t *testing.T) {
+	sp, tx, st := newTestTx()
+	tx.Begin()
+	if code := tx.Write(3, 42); code != AbortNone {
+		t.Fatal(code)
+	}
+	if v, code := tx.Read(3); code != AbortNone || v != 42 {
+		t.Fatalf("read-own-write: %d %v", v, code)
+	}
+	if code := tx.Commit(); code != AbortNone {
+		t.Fatal(code)
+	}
+	if sp.Load(3) != 42 {
+		t.Fatal("write not published")
+	}
+	if st.Commits.Load() != 1 {
+		t.Fatal("commit not counted")
+	}
+}
+
+func TestWritesInvisibleBeforeCommit(t *testing.T) {
+	sp, tx, _ := newTestTx()
+	tx.Begin()
+	tx.Write(3, 42)
+	if sp.Load(3) != 0 {
+		t.Fatal("uncommitted write visible")
+	}
+}
+
+func TestExplicitAbortDiscards(t *testing.T) {
+	sp, tx, st := newTestTx()
+	tx.Begin()
+	tx.Write(3, 42)
+	if code := tx.Explicit(); code != AbortExplicit {
+		t.Fatal(code)
+	}
+	if sp.Load(3) != 0 {
+		t.Fatal("aborted write visible")
+	}
+	if st.AbortExplicit.Load() != 1 {
+		t.Fatal("explicit abort not counted")
+	}
+	if tx.LastAbort() != AbortExplicit || tx.LastAbortRetryable() {
+		t.Fatal("abort code bookkeeping wrong")
+	}
+}
+
+func TestConflictAbortsReader(t *testing.T) {
+	sp, tx, _ := newTestTx()
+	tx.Begin()
+	if _, code := tx.Read(3); code != AbortNone {
+		t.Fatal(code)
+	}
+	// A foreign commit to the same line.
+	sp.StoreVersioned(3, 99)
+	if code := tx.Commit(); code != AbortConflict {
+		t.Fatalf("commit code %v, want conflict", code)
+	}
+}
+
+func TestEarlyAbortOnNextOperation(t *testing.T) {
+	sp, tx, _ := newTestTx()
+	tx.Begin()
+	if _, code := tx.Read(3); code != AbortNone {
+		t.Fatal(code)
+	}
+	sp.StoreVersioned(3, 99)
+	// NOrec-style: the *next* operation detects the conflict, before
+	// commit (the hardware eager-abort emulation).
+	if _, code := tx.Read(1000); code != AbortConflict {
+		t.Fatalf("early detection missed: %v", code)
+	}
+}
+
+func TestUnrelatedCommitDoesNotAbort(t *testing.T) {
+	sp, tx, _ := newTestTx()
+	tx.Begin()
+	tx.Read(3)
+	sp.StoreVersioned(4096, 1) // different line
+	if _, code := tx.Read(5); code != AbortNone {
+		t.Fatal("spurious abort on unrelated commit")
+	}
+	if tx.Commit() != AbortNone {
+		t.Fatal("spurious commit failure")
+	}
+}
+
+func TestCapacitySequentialBoundary(t *testing.T) {
+	_, tx, st := newTestTx()
+	// Sequential words: capacity is exactly CacheSets*CacheWays lines.
+	tx.Begin()
+	for i := 0; i < CacheSets*CacheWays*mem.WordsPerLine; i++ {
+		if _, code := tx.Read(mem.Addr(i)); code != AbortNone {
+			t.Fatalf("abort below capacity at word %d: %v", i, code)
+		}
+	}
+	// The next line must overflow.
+	if _, code := tx.Read(mem.Addr(CacheSets * CacheWays * mem.WordsPerLine)); code != AbortCapacity {
+		t.Fatalf("expected capacity abort, got %v", code)
+	}
+	if st.AbortCapacity.Load() != 1 {
+		t.Fatal("capacity abort not counted")
+	}
+	if AbortCapacity.Retryable() {
+		t.Fatal("capacity aborts must not be retryable")
+	}
+}
+
+func TestCapacitySetConflict(t *testing.T) {
+	sp := mem.NewSpace(1 << 22)
+	tx := NewTx(sp, nil)
+	tx.Begin()
+	// Nine lines mapping to the same set (stride CacheSets lines).
+	stride := mem.Addr(CacheSets * mem.WordsPerLine)
+	for i := 0; i < CacheWays; i++ {
+		if _, code := tx.Read(stride * mem.Addr(i)); code != AbortNone {
+			t.Fatalf("abort at way %d: %v", i, code)
+		}
+	}
+	if _, code := tx.Read(stride * CacheWays); code != AbortCapacity {
+		t.Fatalf("9th way in one set must abort, got %v", code)
+	}
+}
+
+func TestTouchExternalCountsCapacity(t *testing.T) {
+	_, tx, _ := newTestTx()
+	tx.Begin()
+	for i := 0; i < CacheSets*CacheWays; i++ {
+		if code := tx.TouchExternal(uint64(i)); code != AbortNone {
+			t.Fatalf("abort at external %d: %v", i, code)
+		}
+	}
+	if code := tx.TouchExternal(uint64(CacheSets * CacheWays)); code != AbortCapacity {
+		t.Fatalf("externals must hit the capacity model, got %v", code)
+	}
+}
+
+func TestCheckHookAbortsCommit(t *testing.T) {
+	_, tx, _ := newTestTx()
+	tx.Begin()
+	ok := true
+	tx.AddCheck(func() bool { return ok })
+	tx.Read(3)
+	ok = false
+	if code := tx.Commit(); code != AbortConflict {
+		t.Fatalf("failed check must abort commit: %v", code)
+	}
+}
+
+func TestReadOnlyCommitValidates(t *testing.T) {
+	sp, tx, _ := newTestTx()
+	tx.Begin()
+	tx.Read(3)
+	sp.StoreVersioned(3, 1)
+	if code := tx.Commit(); code != AbortConflict {
+		t.Fatalf("stale read-only commit must abort: %v", code)
+	}
+}
+
+func TestWriteWriteConflictSerializes(t *testing.T) {
+	sp := mem.NewSpace(1 << 12)
+	const goroutines, each = 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := NewTx(sp, nil)
+			for i := 0; i < each; i++ {
+				for {
+					tx.Begin()
+					v, code := tx.Read(0)
+					if code != AbortNone {
+						continue
+					}
+					if tx.Write(0, v+1) != AbortNone {
+						continue
+					}
+					if tx.Commit() == AbortNone {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sp.Load(0); got != goroutines*each {
+		t.Fatalf("lost updates: %d want %d", got, goroutines*each)
+	}
+}
+
+func TestAbortCodeStrings(t *testing.T) {
+	want := map[AbortCode]string{
+		AbortNone: "none", AbortConflict: "conflict", AbortCapacity: "capacity",
+		AbortExplicit: "explicit", AbortLocked: "locked", AbortCode(99): "unknown",
+	}
+	for code, s := range want {
+		if code.String() != s {
+			t.Errorf("%d.String()=%q want %q", code, code.String(), s)
+		}
+	}
+}
+
+func TestFootprintCountsDistinctLines(t *testing.T) {
+	_, tx, _ := newTestTx()
+	tx.Begin()
+	tx.Read(0)
+	tx.Read(1) // same line
+	tx.Read(mem.Addr(mem.WordsPerLine))
+	if got := tx.Footprint(); got != 2 {
+		t.Fatalf("footprint=%d want 2", got)
+	}
+}
+
+// TestSnapshotConsistencyProperty: within one transaction, re-reading an
+// address must return the first-read value or abort — never a torn or
+// newer value.
+func TestSnapshotConsistencyProperty(t *testing.T) {
+	sp := mem.NewSpace(1 << 12)
+	f := func(addr uint16, val uint64) bool {
+		a := mem.Addr(addr) % (1 << 12)
+		sp.StoreVersioned(a, val)
+		tx := NewTx(sp, nil)
+		tx.Begin()
+		v1, code := tx.Read(a)
+		if code != AbortNone {
+			return true
+		}
+		v2, code := tx.Read(a)
+		if code != AbortNone {
+			return true
+		}
+		return v1 == v2 && v1 == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

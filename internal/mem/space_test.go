@@ -1,0 +1,182 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocSequential(t *testing.T) {
+	s := NewSpace(128)
+	a := s.Alloc(10)
+	b := s.Alloc(10)
+	if a == b {
+		t.Fatalf("allocations overlap: %d %d", a, b)
+	}
+	if b != a+10 {
+		t.Fatalf("expected bump allocation, got %d then %d", a, b)
+	}
+}
+
+func TestAllocLineAligned(t *testing.T) {
+	s := NewSpace(256)
+	s.Alloc(3) // misalign the cursor
+	a := s.AllocLineAligned(10)
+	if uint64(a)%WordsPerLine != 0 {
+		t.Fatalf("AllocLineAligned returned unaligned base %d", a)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	s := NewSpace(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	s.Alloc(17)
+}
+
+func TestNewSpaceRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", n)
+				}
+			}()
+			NewSpace(n)
+		}()
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := NewSpace(64)
+	s.Store(7, 0xDEADBEEF)
+	if got := s.Load(7); got != 0xDEADBEEF {
+		t.Fatalf("Load=%x", got)
+	}
+}
+
+func TestStoreVersionedBumpsLine(t *testing.T) {
+	s := NewSpace(64)
+	l := LineOf(9)
+	before := s.Meta(l)
+	s.StoreVersioned(9, 42)
+	after := s.Meta(l)
+	if after <= before || after&1 != 0 {
+		t.Fatalf("meta %d -> %d, want larger even value", before, after)
+	}
+	if s.Load(9) != 42 {
+		t.Fatalf("value not stored")
+	}
+	if s.Commits() == 0 {
+		t.Fatal("commit counter not bumped")
+	}
+}
+
+func TestLineLockProtocol(t *testing.T) {
+	s := NewSpace(64)
+	l := Line(0)
+	m := s.Meta(l)
+	if !s.TryLockLine(l, m) {
+		t.Fatal("TryLockLine failed on free line")
+	}
+	if s.Meta(l)&1 != 1 {
+		t.Fatal("line not odd while locked")
+	}
+	if s.TryLockLine(l, s.Meta(l)) {
+		t.Fatal("locked line re-locked")
+	}
+	s.UnlockLine(l, m|1)
+	if got := s.Meta(l); got != m+2 {
+		t.Fatalf("unlock published %d, want %d", got, m+2)
+	}
+}
+
+func TestRevertLineKeepsVersion(t *testing.T) {
+	s := NewSpace(64)
+	l := Line(2)
+	m := s.Meta(l)
+	if !s.TryLockLine(l, m) {
+		t.Fatal("lock failed")
+	}
+	s.RevertLine(l, m|1)
+	if got := s.Meta(l); got != m {
+		t.Fatalf("revert changed version: %d -> %d", m, got)
+	}
+}
+
+func TestReadConsistentSeesStableValue(t *testing.T) {
+	s := NewSpace(64)
+	s.Store(5, 77)
+	val, ver, ok := s.ReadConsistent(5)
+	if !ok || val != 77 {
+		t.Fatalf("val=%d ok=%v", val, ok)
+	}
+	if ver != s.Meta(LineOf(5)) {
+		t.Fatal("version mismatch")
+	}
+}
+
+func TestReadConsistentFailsWhileLocked(t *testing.T) {
+	s := NewSpace(64)
+	l := LineOf(5)
+	m := s.Meta(l)
+	s.TryLockLine(l, m)
+	if _, _, ok := s.ReadConsistent(5); ok {
+		t.Fatal("ReadConsistent succeeded on locked line")
+	}
+	s.UnlockLine(l, m|1)
+}
+
+// TestStoreVersionedConcurrent hammers versioned stores on one line from
+// many goroutines; the seqlock must stay consistent (even, monotone) and
+// no store may be lost entirely.
+func TestStoreVersionedConcurrent(t *testing.T) {
+	s := NewSpace(64)
+	const writers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.StoreVersioned(Addr(w), uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	m := s.Meta(0)
+	if m&1 != 0 {
+		t.Fatal("line left locked")
+	}
+	if m != uint64(writers*each*2) {
+		t.Fatalf("meta=%d want %d (every store bumps by 2)", m, writers*each*2)
+	}
+	for w := 0; w < writers; w++ {
+		if got := s.Load(Addr(w)); got != each-1 {
+			t.Fatalf("slot %d = %d, want %d", w, got, each-1)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		return x != x /* NaN: bit pattern still survives */ ||
+			Float(Word(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	f := func(a uint32) bool {
+		l := LineOf(Addr(a))
+		return uint64(l) == uint64(a)/WordsPerLine
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

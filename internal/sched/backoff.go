@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"runtime"
+	"time"
+)
+
+// backoff implements randomized exponential backoff for retry loops. It is
+// per-worker state (not safe for concurrent use).
+type Backoff struct {
+	rng   uint64
+	level uint
+}
+
+func NewBackoff(seed uint64) Backoff {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return Backoff{rng: seed}
+}
+
+func (b *Backoff) Next() uint64 {
+	b.rng ^= b.rng << 13
+	b.rng ^= b.rng >> 7
+	b.rng ^= b.rng << 17
+	return b.rng
+}
+
+// wait spins for a randomized, exponentially growing number of iterations,
+// yielding the processor at higher levels.
+func (b *Backoff) Wait() {
+	if b.level < 12 {
+		b.level++
+	}
+	spins := b.Next() % (1 << b.level)
+	for range spins {
+		cpuRelax()
+	}
+	switch {
+	case b.level > 8:
+		// Persistent contention: sleep so the conflicting transaction
+		// can actually finish (critical on few-core machines, where a
+		// spinner starves the very holder it waits for).
+		time.Sleep(time.Duration(b.level-8) * 20 * time.Microsecond)
+	case b.level > 3:
+		runtime.Gosched()
+	}
+}
+
+// reset returns the backoff to its minimum level after a success.
+func (b *Backoff) Reset() { b.level = 0 }
+
+//go:noinline
+func cpuRelax() {}

@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tufast/internal/htm"
+	"tufast/internal/mem"
+	"tufast/internal/simcost"
+)
+
+// HTMOnly is the "manually-implemented parallel graph algorithm that
+// executes HTM tasks on both high- and low-degree vertices" the paper's
+// abstract says TuFast beats: every transaction is attempted as a single
+// hardware transaction, retried a few times, and then serialized under a
+// single global fallback lock (classic lock elision). On a power-law
+// graph the giant vertices always overflow the HTM capacity and funnel
+// into the global lock, destroying parallelism.
+type HTMOnly struct {
+	sp      *mem.Space
+	retries int
+	mu      sync.Mutex
+	// fallback is set (odd) while the global lock path runs; HTM attempts
+	// subscribe to it and abort when it changes.
+	fallback atomic.Uint64
+	stats    Stats
+	HTMStats htm.Stats
+}
+
+// NewHTMOnly creates the naive all-HTM scheduler; retries is the number
+// of HTM attempts before taking the global lock (Intel's guidance: a
+// small constant).
+func NewHTMOnly(sp *mem.Space, retries int) *HTMOnly {
+	if retries < 0 {
+		retries = 0
+	}
+	return &HTMOnly{sp: sp, retries: retries}
+}
+
+// Name implements Scheduler.
+func (s *HTMOnly) Name() string { return "HTM-only" }
+
+// Stats implements Scheduler.
+func (s *HTMOnly) Stats() *Stats { return &s.stats }
+
+// Worker implements Scheduler.
+func (s *HTMOnly) Worker(tid int) Worker {
+	return &htmOnlyWorker{
+		s:  s,
+		tx: htm.NewTx(s.sp, &s.HTMStats),
+		bo: NewBackoff(uint64(tid)*0x94D049BB133111EB + 5),
+	}
+}
+
+type htmOnlyWorker struct {
+	s    *HTMOnly
+	tx   *htm.Tx
+	bo   Backoff
+	mode uint8 // 0 = HTM, 1 = fallback
+	undo []undoRec
+
+	nreads, nwrites uint64
+}
+
+// Run implements Worker.
+func (w *htmOnlyWorker) Run(_ int, fn TxFunc) error {
+	attempts := 0
+	for {
+		w.mode = 0
+		w.nreads, w.nwrites = 0, 0
+		w.tx.Begin()
+		// Subscribe to the fallback flag: a fallback transaction starting
+		// anywhere aborts us.
+		fb := w.s.fallback.Load()
+		if fb&1 != 0 {
+			w.s.stats.Aborts.Add(1)
+			w.bo.Wait()
+			continue
+		}
+		w.tx.AddCheck(func() bool { return w.s.fallback.Load() == fb })
+		err, ok := RunAttempt(w, fn)
+		if ok && err != nil {
+			w.s.stats.UserStops.Add(1)
+			return err
+		}
+		if ok && w.tx.Commit() == htm.AbortNone {
+			w.commitStats()
+			return nil
+		}
+		w.s.stats.Aborts.Add(1)
+		attempts++
+		if attempts > w.s.retries || !w.tx.LastAbortRetryable() {
+			return w.runFallback(fn)
+		}
+		w.bo.Wait()
+	}
+}
+
+func (w *htmOnlyWorker) commitStats() {
+	w.s.stats.Commits.Add(1)
+	w.s.stats.Reads.Add(w.nreads)
+	w.s.stats.Writes.Add(w.nwrites)
+	w.bo.Reset()
+}
+
+// runFallback serializes the transaction under the global mutex. HTM
+// attempts in flight observe the fallback flag flip and abort; writes go
+// through StoreVersioned so their read sets cannot validate either.
+func (w *htmOnlyWorker) runFallback(fn TxFunc) error {
+	w.s.mu.Lock()
+	w.s.fallback.Add(1) // even -> odd: fallback active
+	w.mode = 1
+	w.undo = w.undo[:0]
+	w.nreads, w.nwrites = 0, 0
+	err, ok := RunAttempt(w, fn)
+	if !ok || err != nil {
+		for i := len(w.undo) - 1; i >= 0; i-- {
+			w.s.sp.StoreVersioned(w.undo[i].addr, w.undo[i].old)
+		}
+	}
+	w.s.fallback.Add(1) // odd -> even: done
+	w.s.mu.Unlock()
+	if !ok {
+		// User code aborted internally in fallback mode; cannot happen
+		// (fallback never conflicts), but fail safe by retrying.
+		w.s.stats.Aborts.Add(1)
+		return w.Run(0, fn)
+	}
+	if err != nil {
+		w.s.stats.UserStops.Add(1)
+		return err
+	}
+	w.commitStats()
+	return nil
+}
+
+// Read implements Tx.
+func (w *htmOnlyWorker) Read(_ uint32, addr mem.Addr) uint64 {
+	w.nreads++
+	if w.mode == 1 {
+		simcost.Tax() // global-lock fallback is a software path
+		return w.s.sp.Load(addr)
+	}
+	val, code := w.tx.Read(addr)
+	if code != htm.AbortNone {
+		ThrowAbort("htm abort")
+	}
+	return val
+}
+
+// Write implements Tx.
+func (w *htmOnlyWorker) Write(_ uint32, addr mem.Addr, val uint64) {
+	w.nwrites++
+	if w.mode == 1 {
+		simcost.Tax()
+		w.undo = append(w.undo, undoRec{addr: addr, old: w.s.sp.Load(addr)})
+		w.s.sp.StoreVersioned(addr, val)
+		return
+	}
+	if w.tx.Write(addr, val) != htm.AbortNone {
+		ThrowAbort("htm abort")
+	}
+}

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"sort"
+
+	"tufast/internal/gentab"
+	"tufast/internal/mem"
+	"tufast/internal/simcost"
+	"tufast/internal/vlock"
+)
+
+// OCC is a Silo-style optimistic scheduler (§VI-B "an optimistic
+// transaction scheduler Silo optimized for main-memory database"):
+// reads record the vertex lock stamp, writes are buffered privately, and
+// commit locks the write set in vertex order, validates every read stamp,
+// and installs the writes. All mutation happens under exclusive vertex
+// locks, so the stamp check alone proves the read set is unchanged.
+type OCC struct {
+	sp    *mem.Space
+	locks *vlock.Table
+	stats Stats
+}
+
+// NewOCC creates an OCC scheduler over sp with vertex locks in locks.
+func NewOCC(sp *mem.Space, locks *vlock.Table) *OCC {
+	return &OCC{sp: sp, locks: locks}
+}
+
+// Name implements Scheduler.
+func (s *OCC) Name() string { return "OCC" }
+
+// Stats implements Scheduler.
+func (s *OCC) Stats() *Stats { return &s.stats }
+
+// Worker implements Scheduler.
+func (s *OCC) Worker(tid int) Worker {
+	return &occWorker{
+		s:        s,
+		tid:      tid,
+		readIdx:  gentab.New(6),
+		writeIdx: gentab.New(5),
+		bo:       NewBackoff(uint64(tid)*0x2545F4914F6CDD1D + 7),
+	}
+}
+
+type occRead struct {
+	v     uint32
+	addr  mem.Addr
+	stamp uint64
+}
+
+type occWrite struct {
+	v    uint32
+	addr mem.Addr
+	val  uint64
+}
+
+type occWorker struct {
+	s   *OCC
+	tid int
+
+	reads    []occRead
+	readIdx  *gentab.Table
+	writes   []occWrite
+	writeIdx *gentab.Table
+	bo       Backoff
+}
+
+// Run implements Worker.
+func (w *occWorker) Run(_ int, fn TxFunc) error {
+	for {
+		w.reset()
+		err, ok := RunAttempt(w, fn)
+		if ok && err != nil {
+			w.s.stats.UserStops.Add(1)
+			return err
+		}
+		if ok && w.commit() {
+			w.s.stats.Commits.Add(1)
+			w.s.stats.Reads.Add(uint64(len(w.reads)))
+			w.s.stats.Writes.Add(uint64(len(w.writes)))
+			w.bo.Reset()
+			return nil
+		}
+		w.s.stats.Aborts.Add(1)
+		w.bo.Wait()
+	}
+}
+
+func (w *occWorker) reset() {
+	w.reads = w.reads[:0]
+	w.writes = w.writes[:0]
+	w.readIdx.Reset()
+	w.writeIdx.Reset()
+}
+
+// Read implements Tx.
+func (w *occWorker) Read(v uint32, addr mem.Addr) uint64 {
+	simcost.Tax()
+	if len(w.writes) != 0 {
+		if i, ok := w.writeIdx.Get(uint64(addr)); ok {
+			return w.writes[i].val
+		}
+	}
+	if _, ok := w.readIdx.Get(uint64(addr)); ok {
+		val, _, okc := w.s.sp.ReadConsistent(addr)
+		if !okc {
+			ThrowAbort("line locked")
+		}
+		return val
+	}
+	s1 := w.s.locks.Stamp(v)
+	if !vlock.StampFree(s1) {
+		ThrowAbort("vertex exclusively locked")
+	}
+	val, _, okc := w.s.sp.ReadConsistent(addr)
+	if !okc {
+		ThrowAbort("line locked")
+	}
+	if w.s.locks.Stamp(v) != s1 {
+		ThrowAbort("stamp moved during read")
+	}
+	w.readIdx.Put(uint64(addr), int32(len(w.reads)))
+	w.reads = append(w.reads, occRead{v: v, addr: addr, stamp: s1})
+	return val
+}
+
+// Write implements Tx.
+func (w *occWorker) Write(v uint32, addr mem.Addr, val uint64) {
+	simcost.Tax()
+	if i, ok := w.writeIdx.Get(uint64(addr)); ok {
+		w.writes[i].val = val
+		return
+	}
+	w.writeIdx.Put(uint64(addr), int32(len(w.writes)))
+	w.writes = append(w.writes, occWrite{v: v, addr: addr, val: val})
+}
+
+// commit implements the Silo commit protocol: lock write vertices in ID
+// order, validate read stamps, install, release.
+func (w *occWorker) commit() bool {
+	if len(w.writes) == 0 {
+		return w.validate(nil)
+	}
+	vs := make([]uint32, 0, len(w.writes))
+	seen := make(map[uint32]uint64, len(w.writes)) // v -> stamp before our acquire
+	for i := range w.writes {
+		v := w.writes[i].v
+		if _, ok := seen[v]; !ok {
+			seen[v] = 0
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	acquired := 0
+	for _, v := range vs {
+		pre := w.s.locks.Stamp(v)
+		if !w.s.locks.TryExclusive(v, w.tid) {
+			w.releaseLocks(vs[:acquired])
+			return false
+		}
+		seen[v] = pre
+		acquired++
+	}
+	if !w.validate(seen) {
+		w.releaseLocks(vs)
+		return false
+	}
+	for i := range w.writes {
+		w.s.sp.StoreVersioned(w.writes[i].addr, w.writes[i].val)
+	}
+	w.releaseLocks(vs)
+	return true
+}
+
+// validate checks every read's vertex stamp. ownPre maps vertices we hold
+// exclusively to their pre-acquisition stamp.
+func (w *occWorker) validate(ownPre map[uint32]uint64) bool {
+	for i := range w.reads {
+		r := &w.reads[i]
+		if ownPre != nil {
+			if pre, ok := ownPre[r.v]; ok {
+				if pre != r.stamp {
+					return false
+				}
+				continue
+			}
+		}
+		if w.s.locks.Stamp(r.v) != r.stamp {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *occWorker) releaseLocks(vs []uint32) {
+	for _, v := range vs {
+		w.s.locks.ReleaseExclusive(v, w.tid)
+	}
+}

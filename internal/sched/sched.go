@@ -1,0 +1,98 @@
+// Package sched defines the transaction-scheduler interface shared by
+// TuFast and every baseline the paper compares against (§VI-B), and
+// implements the baselines themselves:
+//
+//	tpl      two-phase locking with deadlock handling (also TuFast's L mode)
+//	occ      Silo-style optimistic concurrency control
+//	to       timestamp ordering
+//	stm      TL2/TinySTM-style software transactional memory
+//	htmonly  "everything in one HTM" with a global-lock fallback
+//	hsync    HTM-first hybrid with STM fallback (HSync-like)
+//	hto      HTM-accelerated timestamp ordering (H-TO-like)
+//
+// Transactions address shared state through a mem.Space; every operation
+// names the vertex the address belongs to, which is the lock and conflict
+// granularity (paper Table I: READ(v, addr), WRITE(v, addr, val)).
+package sched
+
+import (
+	"errors"
+
+	"tufast/internal/mem"
+)
+
+// Tx is the transactional handle passed to user code. Implementations are
+// single-goroutine. Read and Write may abort the attempt internally (the
+// scheduler retries transparently); user code aborts by returning an error
+// from the transaction function.
+type Tx interface {
+	// Read returns the word at addr, which belongs to vertex v.
+	Read(v uint32, addr mem.Addr) uint64
+	// Write stores val to addr, which belongs to vertex v.
+	Write(v uint32, addr mem.Addr, val uint64)
+}
+
+// TxFunc is the body of a transaction. Returning nil commits; returning an
+// error aborts the transaction (its effects are discarded) and the error
+// is surfaced from Run without retry.
+type TxFunc func(tx Tx) error
+
+// ErrAborted is the conventional error for a user-requested abort.
+var ErrAborted = errors.New("sched: transaction aborted by user")
+
+// Worker executes transactions on behalf of one goroutine. Workers are not
+// safe for concurrent use; create one per goroutine via Scheduler.Worker.
+type Worker interface {
+	// Run executes fn as one serializable transaction, retrying internal
+	// aborts until commit. sizeHint is the paper's optional BEGIN(size)
+	// hint: the approximate number of shared words the transaction will
+	// touch (0 = unknown).
+	Run(sizeHint int, fn TxFunc) error
+}
+
+// Scheduler is a transaction scheduling discipline over one mem.Space.
+type Scheduler interface {
+	// Name identifies the scheduler in reports ("2PL", "OCC", ...).
+	Name() string
+	// Worker returns the per-thread execution context for thread tid.
+	// tid must be unique among concurrently running workers.
+	Worker(tid int) Worker
+	// Stats returns the scheduler's shared counters.
+	Stats() *Stats
+}
+
+// ReadFloat reads a float64 stored as bits at addr.
+func ReadFloat(tx Tx, v uint32, addr mem.Addr) float64 {
+	return mem.Float(tx.Read(v, addr))
+}
+
+// WriteFloat stores a float64 as bits at addr.
+func WriteFloat(tx Tx, v uint32, addr mem.Addr, val float64) {
+	tx.Write(v, addr, mem.Word(val))
+}
+
+// abortSig is the panic payload used to unwind user code on an internal
+// abort. Schedulers recover it and retry.
+type abortSig struct {
+	reason string
+}
+
+// ThrowAbort unwinds the current transaction attempt.
+func ThrowAbort(reason string) {
+	panic(abortSig{reason: reason})
+}
+
+// RunAttempt invokes fn(tx), converting an internal abort panic into
+// ok=false. A user error is returned as err with ok=true.
+func RunAttempt(tx Tx, fn TxFunc) (err error, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, is := r.(abortSig); is {
+				err, ok = nil, false
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), true
+}

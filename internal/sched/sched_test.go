@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tufast/internal/deadlock"
+	"tufast/internal/mem"
+	"tufast/internal/vlock"
+)
+
+// makeAll builds every baseline scheduler over a fresh space with n
+// vertices.
+func makeAll(n int) map[string]func() (Scheduler, *mem.Space) {
+	mk := func(f func(sp *mem.Space) Scheduler) func() (Scheduler, *mem.Space) {
+		return func() (Scheduler, *mem.Space) {
+			sp := mem.NewSpace(4*n + 1024)
+			return f(sp), sp
+		}
+	}
+	return map[string]func() (Scheduler, *mem.Space){
+		"2pl-detect": mk(func(sp *mem.Space) Scheduler {
+			return NewTPL(sp, vlock.NewTable(n), deadlock.NewDetector(16), deadlock.Detect)
+		}),
+		"2pl-nowait": mk(func(sp *mem.Space) Scheduler {
+			return NewTPL(sp, vlock.NewTable(n), nil, deadlock.NoWait)
+		}),
+		"2pl-ordered": mk(func(sp *mem.Space) Scheduler {
+			return NewTPL(sp, vlock.NewTable(n), nil, deadlock.PreventOrdered)
+		}),
+		"occ": mk(func(sp *mem.Space) Scheduler {
+			return NewOCC(sp, vlock.NewTable(n))
+		}),
+		"to": mk(func(sp *mem.Space) Scheduler {
+			return NewTO(sp, vlock.NewTable(n), n)
+		}),
+		"stm": mk(func(sp *mem.Space) Scheduler {
+			return NewSTM(sp)
+		}),
+		"htm-only": mk(func(sp *mem.Space) Scheduler {
+			return NewHTMOnly(sp, 4)
+		}),
+		"hsync": mk(func(sp *mem.Space) Scheduler {
+			return NewHSync(sp, 4)
+		}),
+		"hto": mk(func(sp *mem.Space) Scheduler {
+			return NewHTO(sp, vlock.NewTable(n), n, 100)
+		}),
+	}
+}
+
+// TestCounterIsolation: concurrent increments of one counter must not
+// lose updates under any scheduler.
+func TestCounterIsolation(t *testing.T) {
+	for name, mk := range makeAll(8) {
+		t.Run(name, func(t *testing.T) {
+			s, sp := mk()
+			const goroutines, each = 6, 400
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					w := s.Worker(tid)
+					for i := 0; i < each; i++ {
+						err := w.Run(2, func(tx Tx) error {
+							v := tx.Read(0, 0)
+							tx.Write(0, 0, v+1)
+							return nil
+						})
+						if err != nil {
+							t.Errorf("run: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := sp.Load(0); got != goroutines*each {
+				t.Fatalf("lost updates: %d want %d", got, goroutines*each)
+			}
+			if s.Stats().Commits.Load() != goroutines*each {
+				t.Fatalf("commit count %d", s.Stats().Commits.Load())
+			}
+		})
+	}
+}
+
+// TestBankTransfer: the classic invariant — transfers between accounts
+// preserve the total.
+func TestBankTransfer(t *testing.T) {
+	const accounts = 16
+	for name, mk := range makeAll(accounts) {
+		t.Run(name, func(t *testing.T) {
+			s, sp := mk()
+			for i := 0; i < accounts; i++ {
+				sp.Store(mem.Addr(i), 1000)
+			}
+			const goroutines, each = 4, 300
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					w := s.Worker(tid)
+					rng := uint64(tid)*0x9E3779B97F4A7C15 + 5
+					for i := 0; i < each; i++ {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						from := uint32(rng % accounts)
+						to := uint32((rng >> 8) % accounts)
+						if from == to {
+							continue
+						}
+						_ = w.Run(4, func(tx Tx) error {
+							a := tx.Read(from, mem.Addr(from))
+							b := tx.Read(to, mem.Addr(to))
+							if a == 0 {
+								return nil
+							}
+							tx.Write(from, mem.Addr(from), a-1)
+							tx.Write(to, mem.Addr(to), b+1)
+							return nil
+						})
+					}
+				}(g)
+			}
+			wg.Wait()
+			var total uint64
+			for i := 0; i < accounts; i++ {
+				total += sp.Load(mem.Addr(i))
+			}
+			if total != accounts*1000 {
+				t.Fatalf("money not conserved: %d want %d", total, accounts*1000)
+			}
+		})
+	}
+}
+
+// TestUserErrorRollsBack: a user error must discard every write and be
+// returned without retry.
+func TestUserErrorRollsBack(t *testing.T) {
+	boom := errors.New("boom")
+	for name, mk := range makeAll(8) {
+		t.Run(name, func(t *testing.T) {
+			s, sp := mk()
+			w := s.Worker(0)
+			err := w.Run(4, func(tx Tx) error {
+				tx.Write(1, 1, 111)
+				tx.Write(2, 2, 222)
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err=%v", err)
+			}
+			if sp.Load(1) != 0 || sp.Load(2) != 0 {
+				t.Fatalf("writes visible after user abort: %d %d", sp.Load(1), sp.Load(2))
+			}
+			if s.Stats().UserStops.Load() != 1 {
+				t.Fatalf("user stop not counted")
+			}
+		})
+	}
+}
+
+// TestReadYourOwnWrites within one transaction.
+func TestReadYourOwnWrites(t *testing.T) {
+	for name, mk := range makeAll(8) {
+		t.Run(name, func(t *testing.T) {
+			s, _ := mk()
+			w := s.Worker(0)
+			err := w.Run(4, func(tx Tx) error {
+				tx.Write(3, 3, 77)
+				if got := tx.Read(3, 3); got != 77 {
+					return fmt.Errorf("read-own-write got %d", got)
+				}
+				tx.Write(3, 3, 88)
+				if got := tx.Read(3, 3); got != 88 {
+					return fmt.Errorf("second read-own-write got %d", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWriteSkewPrevented: serializability (not just snapshot isolation)
+// requires that of two transactions each reading both flags and writing
+// one, the invariant "at most one flag set" survives.
+func TestWriteSkewPrevented(t *testing.T) {
+	for name, mk := range makeAll(8) {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 50; round++ {
+				s, sp := mk()
+				var wg sync.WaitGroup
+				body := func(tid int, mine, other uint32) {
+					defer wg.Done()
+					w := s.Worker(tid)
+					_ = w.Run(4, func(tx Tx) error {
+						a := tx.Read(mine, mem.Addr(mine))
+						b := tx.Read(other, mem.Addr(other))
+						if a == 0 && b == 0 {
+							tx.Write(mine, mem.Addr(mine), 1)
+						}
+						return nil
+					})
+				}
+				wg.Add(2)
+				go body(0, 1, 2)
+				go body(1, 2, 1)
+				wg.Wait()
+				if sp.Load(1) == 1 && sp.Load(2) == 1 {
+					t.Fatalf("write skew: both flags set (round %d)", round)
+				}
+			}
+		})
+	}
+}
+
+// TestDeadlockResolution: transactions locking {A,B} in opposite orders
+// must all eventually commit under 2PL with detection.
+func TestDeadlockResolution(t *testing.T) {
+	sp := mem.NewSpace(64)
+	s := NewTPL(sp, vlock.NewTable(8), deadlock.NewDetector(8), deadlock.Detect)
+	var wg sync.WaitGroup
+	const each = 200
+	order := [][2]uint32{{1, 2}, {2, 1}}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := s.Worker(tid)
+			a, b := order[tid][0], order[tid][1]
+			for i := 0; i < each; i++ {
+				err := w.Run(2, func(tx Tx) error {
+					tx.Write(a, mem.Addr(a), tx.Read(a, mem.Addr(a))+1)
+					tx.Write(b, mem.Addr(b), tx.Read(b, mem.Addr(b))+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sp.Load(1) != 2*each || sp.Load(2) != 2*each {
+		t.Fatalf("counts %d %d want %d", sp.Load(1), sp.Load(2), 2*each)
+	}
+}
+
+// TestHTMOnlyFallsBackOnCapacity: a transaction too big for the HTM must
+// still commit via the global-lock fallback.
+func TestHTMOnlyFallsBackOnCapacity(t *testing.T) {
+	n := 20_000
+	sp := mem.NewSpace(2*n + 64)
+	s := NewHTMOnly(sp, 4)
+	w := s.Worker(0)
+	err := w.Run(n, func(tx Tx) error {
+		for i := 0; i < n; i++ {
+			tx.Write(uint32(i%64), mem.Addr(i), 7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i += 997 {
+		if sp.Load(mem.Addr(i)) != 7 {
+			t.Fatalf("word %d not written", i)
+		}
+	}
+	if s.HTMStats.AbortCapacity.Load() == 0 {
+		t.Fatal("expected a capacity abort before fallback")
+	}
+}
+
+// TestHSyncFallsBackToSTM similarly.
+func TestHSyncFallsBackToSTM(t *testing.T) {
+	n := 20_000
+	sp := mem.NewSpace(2*n + 64)
+	s := NewHSync(sp, 4)
+	w := s.Worker(0)
+	err := w.Run(n, func(tx Tx) error {
+		for i := 0; i < n; i++ {
+			tx.Write(uint32(i%64), mem.Addr(i), 9)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Load(0) != 9 || sp.Load(mem.Addr(n-1)) != 9 {
+		t.Fatal("writes missing after STM fallback")
+	}
+}
+
+// TestStatsSnapshotAndReset round-trips the counters.
+func TestStatsSnapshotAndReset(t *testing.T) {
+	var s Stats
+	s.Commits.Add(3)
+	s.Aborts.Add(2)
+	snap := s.Snapshot()
+	if snap.Commits != 3 || snap.Aborts != 2 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if r := s.AbortRate(); r < 0.39 || r > 0.41 {
+		t.Fatalf("abort rate %f", r)
+	}
+	s.Reset()
+	if s.Commits.Load() != 0 || s.AbortRate() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,49 @@
+package sched
+
+import "sync/atomic"
+
+// Stats are the shared counters every scheduler maintains.
+type Stats struct {
+	Commits   atomic.Uint64 // transactions committed
+	Aborts    atomic.Uint64 // attempts aborted and retried
+	UserStops atomic.Uint64 // transactions cancelled by user error
+	Reads     atomic.Uint64 // committed read operations
+	Writes    atomic.Uint64 // committed write operations
+	Deadlocks atomic.Uint64 // deadlock victims (lock-based schedulers)
+}
+
+// Snapshot is a plain-value copy of Stats.
+type Snapshot struct {
+	Commits, Aborts, UserStops, Reads, Writes, Deadlocks uint64
+}
+
+// Snapshot copies the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Commits:   s.Commits.Load(),
+		Aborts:    s.Aborts.Load(),
+		UserStops: s.UserStops.Load(),
+		Reads:     s.Reads.Load(),
+		Writes:    s.Writes.Load(),
+		Deadlocks: s.Deadlocks.Load(),
+	}
+}
+
+// AbortRate returns aborted attempts per started attempt.
+func (s *Stats) AbortRate() float64 {
+	c, a := s.Commits.Load(), s.Aborts.Load()
+	if c+a == 0 {
+		return 0
+	}
+	return float64(a) / float64(c+a)
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	s.Commits.Store(0)
+	s.Aborts.Store(0)
+	s.UserStops.Store(0)
+	s.Reads.Store(0)
+	s.Writes.Store(0)
+	s.Deadlocks.Store(0)
+}

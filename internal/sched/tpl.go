@@ -1,0 +1,271 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"tufast/internal/deadlock"
+	"tufast/internal/gentab"
+	"tufast/internal/mem"
+	"tufast/internal/simcost"
+	"tufast/internal/vlock"
+)
+
+// TPL is strict two-phase locking over per-vertex reader-writer locks,
+// with pluggable deadlock handling (detection, ordered prevention, or
+// no-wait restart). It is both the paper's 2PL baseline (§III, §VI-B) and
+// TuFast's L mode (§IV-A, Algorithm 3): writes go in place under
+// exclusive locks (with an undo log), so optimistic readers in other
+// modes observe the version bumps and the lock stamps.
+type TPL struct {
+	sp    *mem.Space
+	locks *vlock.Table
+	det   *deadlock.Detector
+	mode  deadlock.Mode
+	stats Stats
+	name  string
+
+	// drain is the starvation escape hatch: under extreme contention the
+	// shared->exclusive upgrade path can deadlock-victim the same
+	// transaction indefinitely (every retry meets fresh shared holders).
+	// After starveLimit consecutive aborts a transaction runs alone.
+	drain sync.RWMutex
+
+	// exclusiveOnly acquires every lock in exclusive mode (the classic
+	// pessimistic configuration; read-then-update transactions otherwise
+	// live on the deadlock-prone upgrade path). This is how 2PL "wins at
+	// high contention" in the paper's Figure 7: blocking on an exclusive
+	// lock is cheap, repeated upgrade deadlocks are not.
+	exclusiveOnly bool
+}
+
+// SetExclusiveOnly switches every acquisition to exclusive mode.
+func (s *TPL) SetExclusiveOnly(on bool) { s.exclusiveOnly = on }
+
+// NewTPL creates a 2PL scheduler. det may be nil unless mode is Detect.
+func NewTPL(sp *mem.Space, locks *vlock.Table, det *deadlock.Detector, mode deadlock.Mode) *TPL {
+	if mode == deadlock.Detect && det == nil {
+		panic("sched: TPL in Detect mode requires a detector")
+	}
+	return &TPL{sp: sp, locks: locks, det: det, mode: mode, name: "2PL"}
+}
+
+// Name implements Scheduler.
+func (s *TPL) Name() string { return s.name }
+
+// Stats implements Scheduler.
+func (s *TPL) Stats() *Stats { return &s.stats }
+
+// Worker implements Scheduler.
+func (s *TPL) Worker(tid int) Worker { return s.NewWorker(tid) }
+
+// NewWorker returns the concrete worker (TuFast's core uses it directly
+// as the L-mode executor).
+func (s *TPL) NewWorker(tid int) *TPLWorker {
+	return &TPLWorker{
+		s:    s,
+		tid:  tid,
+		held: gentab.New(6),
+		bo:   NewBackoff(uint64(tid)*0x9E3779B97F4A7C15 + 1),
+	}
+}
+
+const (
+	holdShared uint8 = 1
+	holdExcl   uint8 = 2
+)
+
+type undoRec struct {
+	addr mem.Addr
+	old  uint64
+}
+
+// TPLWorker executes transactions under strict 2PL for one goroutine.
+type TPLWorker struct {
+	s     *TPL
+	tid   int
+	held  *gentab.Table // vertex -> holdShared/holdExcl
+	order []uint32
+	undo  []undoRec
+	bo    Backoff
+
+	nreads, nwrites       uint64
+	lastReads, lastWrites uint64
+}
+
+// LastOpCounts reports the committed read and write operation counts of
+// the most recently finished transaction (TuFast's core attributes them
+// to the L mode class).
+func (w *TPLWorker) LastOpCounts() (reads, writes uint64) {
+	return w.lastReads, w.lastWrites
+}
+
+// upgradeSpinLimit bounds shared-to-exclusive upgrade spinning in modes
+// without detection; two upgraders of the same vertex deadlock otherwise.
+const upgradeSpinLimit = 1 << 14
+
+// Run implements Worker. The size hint is ignored: 2PL handles any size.
+func (w *TPLWorker) Run(_ int, fn TxFunc) error {
+	consecutive := 0
+	for {
+		exclusive := consecutive >= starveLimit
+		if exclusive {
+			w.s.drain.Lock()
+		} else {
+			w.s.drain.RLock()
+		}
+		err, ok := RunAttempt(w, fn)
+		unlock := func() {
+			if exclusive {
+				w.s.drain.Unlock()
+			} else {
+				w.s.drain.RUnlock()
+			}
+		}
+		if ok && err == nil {
+			w.finish(true)
+			unlock()
+			w.s.stats.Commits.Add(1)
+			w.s.stats.Reads.Add(w.nreads)
+			w.s.stats.Writes.Add(w.nwrites)
+			w.resetCounters()
+			w.bo.Reset()
+			return nil
+		}
+		w.finish(false)
+		unlock()
+		if ok { // user abort: do not retry
+			w.s.stats.UserStops.Add(1)
+			w.resetCounters()
+			return err
+		}
+		w.s.stats.Aborts.Add(1)
+		w.resetCounters()
+		consecutive++
+		w.bo.Wait()
+	}
+}
+
+func (w *TPLWorker) resetCounters() {
+	w.lastReads, w.lastWrites = w.nreads, w.nwrites
+	w.nreads, w.nwrites = 0, 0
+}
+
+// finish ends the attempt: on abort it rolls back the undo log first
+// (still under the exclusive locks), then all locks are released.
+func (w *TPLWorker) finish(commit bool) {
+	if !commit {
+		for i := len(w.undo) - 1; i >= 0; i-- {
+			w.s.sp.StoreVersioned(w.undo[i].addr, w.undo[i].old)
+		}
+	}
+	for _, v := range w.order {
+		m, _ := w.held.Get(uint64(v))
+		switch uint8(m) {
+		case holdShared:
+			w.s.locks.ReleaseShared(v)
+		case holdExcl:
+			w.s.locks.ReleaseExclusive(v, w.tid)
+		}
+	}
+	if w.s.mode == deadlock.Detect {
+		w.s.det.RemoveAll(w.tid)
+	}
+	w.order = w.order[:0]
+	w.undo = w.undo[:0]
+	w.held.Reset()
+}
+
+// Read implements Tx.
+func (w *TPLWorker) Read(v uint32, addr mem.Addr) uint64 {
+	simcost.Tax()
+	if _, ok := w.held.Get(uint64(v)); !ok {
+		if w.s.exclusiveOnly {
+			w.lockExclusive(v)
+		} else {
+			w.lockShared(v)
+		}
+	}
+	w.nreads++
+	return w.s.sp.Load(addr)
+}
+
+// Write implements Tx.
+func (w *TPLWorker) Write(v uint32, addr mem.Addr, val uint64) {
+	simcost.Tax()
+	if m, ok := w.held.Get(uint64(v)); !ok || uint8(m) != holdExcl {
+		w.lockExclusive(v)
+	}
+	w.undo = append(w.undo, undoRec{addr: addr, old: w.s.sp.Load(addr)})
+	w.s.sp.StoreVersioned(addr, val)
+	w.nwrites++
+}
+
+func (w *TPLWorker) lockShared(v uint32) {
+	w.block(v, false, func() bool { return w.s.locks.TryShared(v) })
+	w.held.Put(uint64(v), int32(holdShared))
+	w.order = append(w.order, v)
+	if w.s.mode == deadlock.Detect {
+		w.s.det.AddHold(w.tid, v, false)
+	}
+}
+
+func (w *TPLWorker) lockExclusive(v uint32) {
+	if m, ok := w.held.Get(uint64(v)); ok && uint8(m) == holdShared {
+		// Shared-to-exclusive upgrade: wait until we are the sole holder.
+		w.block(v, true, func() bool { return w.s.locks.UpgradeToExclusive(v, w.tid) })
+		w.held.Put(uint64(v), int32(holdExcl))
+		if w.s.mode == deadlock.Detect {
+			w.s.det.UpgradeHold(w.tid, v)
+		}
+		return
+	}
+	w.block(v, true, func() bool { return w.s.locks.TryExclusive(v, w.tid) })
+	w.held.Put(uint64(v), int32(holdExcl))
+	w.order = append(w.order, v)
+	if w.s.mode == deadlock.Detect {
+		w.s.det.AddHold(w.tid, v, true)
+	}
+}
+
+// block acquires a lock via try, spinning according to the deadlock mode.
+// On deadlock (or no-wait failure) it unwinds the attempt.
+func (w *TPLWorker) block(v uint32, exclusive bool, try func() bool) {
+	if try() {
+		return
+	}
+	switch w.s.mode {
+	case deadlock.NoWait:
+		ThrowAbort("lock busy (no-wait)")
+	case deadlock.PreventOrdered:
+		for i := 0; ; i++ {
+			if try() {
+				return
+			}
+			if exclusive && i >= upgradeSpinLimit {
+				// Ordered acquisition cannot order upgrades; bail out to
+				// avoid upgrade-upgrade deadlock.
+				ThrowAbort("upgrade stall")
+			}
+			if i&15 == 15 {
+				runtime.Gosched()
+			}
+		}
+	case deadlock.Detect:
+		if err := w.s.det.BeginWait(w.tid, v, exclusive); err != nil {
+			w.s.stats.Deadlocks.Add(1)
+			ThrowAbort("deadlock victim")
+		}
+		for i := 0; ; i++ {
+			if try() {
+				w.s.det.EndWait(w.tid)
+				return
+			}
+			if i&15 == 15 {
+				runtime.Gosched()
+			}
+		}
+	default:
+		panic("sched: unknown deadlock mode")
+	}
+}

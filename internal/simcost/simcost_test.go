@@ -1,0 +1,52 @@
+package simcost
+
+import (
+	"testing"
+	"time"
+)
+
+func TestToggle(t *testing.T) {
+	if !Enabled() {
+		t.Fatal("cost model should default on")
+	}
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("disable failed")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("re-enable failed")
+	}
+}
+
+func TestTaxCostsSomethingWhenEnabled(t *testing.T) {
+	const n = 20000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		Tax()
+	}
+	enabled := time.Since(start)
+
+	SetEnabled(false)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		Tax()
+	}
+	disabled := time.Since(start)
+	SetEnabled(true)
+
+	if enabled < 5*disabled {
+		t.Fatalf("tax too cheap: enabled=%v disabled=%v", enabled, disabled)
+	}
+	// Calibration sanity: one tax should be tens to a few hundred ns.
+	per := enabled / n
+	if per < 10*time.Nanosecond || per > 2*time.Microsecond {
+		t.Fatalf("per-op tax %v outside calibration band", per)
+	}
+}
+
+func BenchmarkTax(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Tax()
+	}
+}

@@ -1,0 +1,21 @@
+// Package trace is a tiny leveled logger for experiment telemetry; quiet
+// by default so tests and benchmarks stay clean.
+package trace
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+var verbose atomic.Bool
+
+// SetVerbose toggles experiment telemetry output.
+func SetVerbose(on bool) { verbose.Store(on) }
+
+// Logf prints telemetry when verbose is on.
+func Logf(format string, args ...any) {
+	if verbose.Load() {
+		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+	}
+}

@@ -1,0 +1,11 @@
+package trace
+
+import "testing"
+
+func TestVerboseToggle(t *testing.T) {
+	SetVerbose(false)
+	Logf("quiet %d", 1) // must not panic and must not print (visually)
+	SetVerbose(true)
+	Logf("loud %d", 2)
+	SetVerbose(false)
+}

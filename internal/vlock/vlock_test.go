@@ -1,0 +1,176 @@
+package vlock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSharedCompatibility(t *testing.T) {
+	tb := NewTable(8)
+	if !tb.TryShared(1) || !tb.TryShared(1) {
+		t.Fatal("shared locks must be compatible")
+	}
+	if tb.SharedCount(1) != 2 {
+		t.Fatalf("count=%d", tb.SharedCount(1))
+	}
+	if tb.TryExclusive(1, 0) {
+		t.Fatal("exclusive granted over shared holders")
+	}
+	tb.ReleaseShared(1)
+	tb.ReleaseShared(1)
+	if !tb.TryExclusive(1, 0) {
+		t.Fatal("exclusive refused on free lock")
+	}
+}
+
+func TestExclusiveExcludesEverything(t *testing.T) {
+	tb := NewTable(8)
+	if !tb.TryExclusive(2, 3) {
+		t.Fatal("acquire failed")
+	}
+	if tb.TryShared(2) || tb.TryExclusive(2, 4) {
+		t.Fatal("lock not exclusive")
+	}
+	owner, held := tb.ExclusiveOwner(2)
+	if !held || owner != 3 {
+		t.Fatalf("owner=%d held=%v", owner, held)
+	}
+	tb.ReleaseExclusive(2, 3)
+	if _, held := tb.ExclusiveOwner(2); held {
+		t.Fatal("still held after release")
+	}
+}
+
+func TestStampBumpsOnExclusiveTransitions(t *testing.T) {
+	tb := NewTable(8)
+	s0 := tb.Stamp(5)
+	if !StampFree(s0) {
+		t.Fatal("fresh stamp not free")
+	}
+	tb.TryExclusive(5, 1)
+	s1 := tb.Stamp(5)
+	if s1 == s0 || StampFree(s1) {
+		t.Fatalf("acquire did not move stamp: %x -> %x", s0, s1)
+	}
+	tb.ReleaseExclusive(5, 1)
+	s2 := tb.Stamp(5)
+	if s2 == s1 || s2 == s0 || !StampFree(s2) {
+		t.Fatalf("release stamp wrong: %x %x %x", s0, s1, s2)
+	}
+}
+
+func TestStampUnaffectedByShared(t *testing.T) {
+	tb := NewTable(8)
+	s0 := tb.Stamp(5)
+	tb.TryShared(5)
+	tb.TryShared(5)
+	tb.ReleaseShared(5)
+	if tb.Stamp(5) != s0 {
+		t.Fatal("shared churn moved the stamp (H readers would abort each other)")
+	}
+	tb.ReleaseShared(5)
+}
+
+func TestStampAfterExclusive(t *testing.T) {
+	tb := NewTable(8)
+	pre := tb.Stamp(5)
+	if !tb.TryExclusive(5, 7) {
+		t.Fatal("acquire failed")
+	}
+	if got, want := tb.Stamp(5), StampAfterExclusive(pre, 7); got != want {
+		t.Fatalf("predicted stamp %x, actual %x", want, got)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	tb := NewTable(8)
+	tb.TryShared(3)
+	if !tb.UpgradeToExclusive(3, 2) {
+		t.Fatal("sole-holder upgrade failed")
+	}
+	if owner, held := tb.ExclusiveOwner(3); !held || owner != 2 {
+		t.Fatal("upgrade did not take exclusive")
+	}
+	tb.ReleaseExclusive(3, 2)
+
+	tb.TryShared(3)
+	tb.TryShared(3)
+	if tb.UpgradeToExclusive(3, 2) {
+		t.Fatal("upgrade with two holders must fail")
+	}
+	tb.ReleaseShared(3)
+	tb.ReleaseShared(3)
+}
+
+func TestReleaseSharedUnderflowPanics(t *testing.T) {
+	tb := NewTable(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.ReleaseShared(0)
+}
+
+func TestReleaseExclusiveWrongOwnerPanics(t *testing.T) {
+	tb := NewTable(8)
+	tb.TryExclusive(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.ReleaseExclusive(0, 2)
+}
+
+// TestMutualExclusionStress: an exclusive-protected counter must not
+// lose updates.
+func TestMutualExclusionStress(t *testing.T) {
+	tb := NewTable(4)
+	var counter int
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				for !tb.TryExclusive(0, tid) {
+				}
+				counter++
+				tb.ReleaseExclusive(0, tid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if counter != goroutines*each {
+		t.Fatalf("lost updates: %d want %d", counter, goroutines*each)
+	}
+}
+
+// TestSharedCountNeverNegativeProperty: arbitrary interleavings of
+// acquire/release sequences keep the count consistent.
+func TestSharedCountNeverNegativeProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		tb := NewTable(1)
+		held := 0
+		for _, acquire := range ops {
+			if acquire {
+				if tb.TryShared(0) {
+					held++
+				}
+			} else if held > 0 {
+				tb.ReleaseShared(0)
+				held--
+			}
+			if tb.SharedCount(0) != held {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package worklist provides the parallel iteration drivers shared by all
+// engines: a dynamic range splitter (the paper's parallel_for), a
+// concurrent FIFO and a sharded priority queue (the Bellman-Ford / SPFA
+// pair of Figure 3 differs only in which of the two it polls), and an
+// atomic frontier bitset.
+package worklist
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// Range runs fn(tid, lo, hi) over chunks of [0, n) on `workers`
+// goroutines, handing out chunks of `grain` items dynamically so skewed
+// chunk costs (power-law vertices!) still balance.
+func Range(n, workers, grain int, fn func(tid, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n <= grain {
+		fn(0, 0, n)
+		return
+	}
+	if grain <= 0 {
+		grain = 64
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(tid, lo, hi)
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// Queue is an unbounded MPMC FIFO of vertex ids, chunk-sharded to keep
+// mutex contention low. Pop order is FIFO per shard and round-robin
+// across shards — the "FIFO queue" flavour of Figure 3.
+type Queue struct {
+	shards []queueShard
+	next   atomic.Uint64 // pop rotation
+	size   atomic.Int64
+}
+
+type queueShard struct {
+	mu    sync.Mutex
+	items []uint32
+	head  int
+}
+
+// NewQueue creates a queue with the given shard count (use the worker
+// count).
+func NewQueue(shards int) *Queue {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Queue{shards: make([]queueShard, shards)}
+}
+
+// Push appends v; the shard is chosen by v to keep locality.
+func (q *Queue) Push(v uint32) {
+	s := &q.shards[int(uint64(v)%uint64(len(q.shards)))]
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+	q.size.Add(1)
+}
+
+// Pop removes one id, scanning shards round-robin; ok=false when the
+// queue is observed empty.
+func (q *Queue) Pop() (uint32, bool) {
+	n := len(q.shards)
+	start := int(q.next.Add(1))
+	for i := 0; i < n; i++ {
+		s := &q.shards[(start+i)%n]
+		s.mu.Lock()
+		if s.head < len(s.items) {
+			v := s.items[s.head]
+			s.head++
+			if s.head == len(s.items) {
+				s.items = s.items[:0]
+				s.head = 0
+			}
+			s.mu.Unlock()
+			q.size.Add(-1)
+			return v, true
+		}
+		s.mu.Unlock()
+	}
+	return 0, false
+}
+
+// Len returns the approximate current size.
+func (q *Queue) Len() int { return int(q.size.Load()) }
+
+// PQ is a sharded binary-heap priority queue of (vertex, priority): the
+// "priority queue" flavour of Figure 3 (SPFA / delta-prioritized
+// traversal). Pop returns an item whose priority is minimal within its
+// shard — globally approximate, which preserves SPFA's behaviour (it is
+// itself a heuristic ordering).
+type PQ struct {
+	shards []pqShard
+	next   atomic.Uint64
+	size   atomic.Int64
+}
+
+type pqShard struct {
+	mu sync.Mutex
+	h  pqHeap
+}
+
+type pqItem struct {
+	v    uint32
+	prio uint64
+}
+
+type pqHeap []pqItem
+
+func (h pqHeap) Len() int           { return len(h) }
+func (h pqHeap) Less(i, j int) bool { return h[i].prio < h[j].prio }
+func (h pqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *pqHeap) Push(x any)        { *h = append(*h, x.(pqItem)) }
+func (h *pqHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// NewPQ creates a priority queue with the given shard count.
+func NewPQ(shards int) *PQ {
+	if shards < 1 {
+		shards = 1
+	}
+	return &PQ{shards: make([]pqShard, shards)}
+}
+
+// Push inserts v with the given priority.
+func (q *PQ) Push(v uint32, prio uint64) {
+	s := &q.shards[int(uint64(v)%uint64(len(q.shards)))]
+	s.mu.Lock()
+	heap.Push(&s.h, pqItem{v: v, prio: prio})
+	s.mu.Unlock()
+	q.size.Add(1)
+}
+
+// Pop removes a minimal-priority item from some shard.
+func (q *PQ) Pop() (uint32, uint64, bool) {
+	n := len(q.shards)
+	start := int(q.next.Add(1))
+	for i := 0; i < n; i++ {
+		s := &q.shards[(start+i)%n]
+		s.mu.Lock()
+		if s.h.Len() > 0 {
+			it := heap.Pop(&s.h).(pqItem)
+			s.mu.Unlock()
+			q.size.Add(-1)
+			return it.v, it.prio, true
+		}
+		s.mu.Unlock()
+	}
+	return 0, 0, false
+}
+
+// Len returns the approximate current size.
+func (q *PQ) Len() int { return int(q.size.Load()) }
+
+// Bitset is an atomic bitmap over vertex ids, used for frontiers and
+// "already queued" flags.
+type Bitset struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewBitset creates a bitset over n ids.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]atomic.Uint64, (n+63)/64), n: n}
+}
+
+// Len returns the id capacity.
+func (b *Bitset) Len() int { return b.n }
+
+// TestAndSet sets bit v, reporting whether it was previously clear.
+func (b *Bitset) TestAndSet(v uint32) bool {
+	w, bit := v>>6, uint64(1)<<(v&63)
+	for {
+		old := b.words[w].Load()
+		if old&bit != 0 {
+			return false
+		}
+		if b.words[w].CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// Test reports bit v.
+func (b *Bitset) Test(v uint32) bool {
+	return b.words[v>>6].Load()&(uint64(1)<<(v&63)) != 0
+}
+
+// Clear clears bit v.
+func (b *Bitset) Clear(v uint32) {
+	w, bit := v>>6, uint64(1)<<(v&63)
+	for {
+		old := b.words[w].Load()
+		if old&bit == 0 {
+			return
+		}
+		if b.words[w].CompareAndSwap(old, old&^bit) {
+			return
+		}
+	}
+}
+
+// Reset clears all bits.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for i := range b.words {
+		c += popcount(b.words[i].Load())
+	}
+	return c
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

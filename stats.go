@@ -1,0 +1,79 @@
+package tufast
+
+import (
+	"tufast/internal/core"
+	"tufast/internal/mem"
+)
+
+// Stats is a snapshot of a System's scheduling activity.
+type Stats struct {
+	// Commits counts committed transactions; Aborts counts retried
+	// attempts; UserStops counts user-cancelled transactions.
+	Commits, Aborts, UserStops uint64
+	// Reads and Writes count committed transactional operations.
+	Reads, Writes uint64
+	// Mode breaks committed transactions down by the path they took
+	// through the three-mode router (the paper's Figure 15 classes).
+	Mode map[string]ModeBucket
+	// HTMStarts / HTMCommits / HTMAborts... count emulated hardware
+	// transactions (H-mode bodies and O-mode segments).
+	HTMStarts, HTMCommits     uint64
+	HTMConflicts, HTMCapacity uint64
+	HTMExplicit, HTMLocked    uint64
+	// Deadlocks counts L-mode deadlock victims.
+	Deadlocks uint64
+	// CurrentPeriod is the adaptive O-mode segment length now in force.
+	CurrentPeriod int
+}
+
+// ModeBucket is the per-class share of committed work.
+type ModeBucket struct {
+	Transactions uint64 // committed transactions in this class
+	Operations   uint64 // their total read+write operations
+}
+
+// StatsSnapshot captures the system counters.
+func (s *System) StatsSnapshot() Stats {
+	cs := s.core.Stats().Snapshot()
+	hs := s.core.HTMStats().Snapshot()
+	ms := s.core.ModeStats()
+	mode := make(map[string]ModeBucket, 5)
+	for _, c := range core.Classes() {
+		mode[c.String()] = ModeBucket{
+			Transactions: ms.Count(c),
+			Operations:   ms.Ops(c),
+		}
+	}
+	return Stats{
+		Commits:       cs.Commits,
+		Aborts:        cs.Aborts,
+		UserStops:     cs.UserStops,
+		Reads:         cs.Reads,
+		Writes:        cs.Writes,
+		Mode:          mode,
+		HTMStarts:     hs.Starts,
+		HTMCommits:    hs.Commits,
+		HTMConflicts:  hs.AbortConflicts,
+		HTMCapacity:   hs.AbortCapacity,
+		HTMExplicit:   hs.AbortExplicit,
+		HTMLocked:     hs.AbortLocked,
+		Deadlocks:     s.core.LModeStats().Deadlocks.Load(),
+		CurrentPeriod: s.core.CurrentPeriod(),
+	}
+}
+
+// ResetStats zeroes the scheduling counters (benchmark warmup).
+func (s *System) ResetStats() {
+	s.core.Stats().Reset()
+	s.core.ModeStats().Reset()
+	s.core.LModeStats().Reset()
+}
+
+// Core exposes the internal scheduler to sibling packages in this module
+// (the benchmark harness runs baselines and TuFast through one
+// interface).
+func (s *System) Core() *core.System { return s.core }
+
+// Space exposes the shared memory space to sibling packages in this
+// module (the algorithms package allocates its property arrays there).
+func (s *System) Space() *mem.Space { return s.sp }

@@ -1,0 +1,440 @@
+// Package tufast is a lightweight parallelization library for graph
+// analytics, reproducing "TuFast: A Lightweight Parallelization Library
+// for Graph Analytics" (Shang, Yu, Zhang — ICDE 2019).
+//
+// Users write sequential-looking per-vertex code and mark shared accesses
+// with transactional Read/Write; tufast runs the code concurrently with
+// full serializability, routing every transaction by its size hint
+// through a three-mode hybrid transactional memory:
+//
+//   - small transactions (the power-law majority) run in a single
+//     emulated hardware transaction (H mode);
+//   - medium transactions run optimistically with hardware-monitored
+//     segments (O mode);
+//   - giant transactions take per-vertex locks (L mode).
+//
+// A minimal program (greedy maximal matching, the paper's Figure 1):
+//
+//	g := tufast.GeneratePowerLaw(100_000, 2_000_000, 2.1, 1)
+//	sys := tufast.NewSystem(g, tufast.Options{})
+//	match := sys.NewVertexArray(tufast.None)
+//	sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+//		if tx.Read(v, match.Addr(v)) != tufast.None {
+//			return nil
+//		}
+//		for _, u := range g.Neighbors(v) {
+//			if tx.Read(u, match.Addr(u)) == tufast.None {
+//				tx.Write(v, match.Addr(v), uint64(u))
+//				tx.Write(u, match.Addr(u), uint64(v))
+//				break
+//			}
+//		}
+//		return nil
+//	})
+package tufast
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast/internal/core"
+	"tufast/internal/deadlock"
+	"tufast/internal/graph"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/worklist"
+)
+
+// None is the conventional "no value" word for vertex properties
+// (matching, parents, component ids): the all-ones word, which is never a
+// valid vertex id.
+const None = ^uint64(0)
+
+// Addr is a word address inside a System's shared memory space.
+type Addr = uint64
+
+// DeadlockPolicy selects how L-mode (lock-based) transactions avoid
+// deadlock.
+type DeadlockPolicy int
+
+const (
+	// DeadlockDetect runs waits-for-graph cycle detection (the paper's
+	// default).
+	DeadlockDetect DeadlockPolicy = iota
+	// DeadlockPreventOrdered assumes neighbor iteration in id order and
+	// disables detection (the paper's §IV-E optimization).
+	DeadlockPreventOrdered
+	// DeadlockNoWait aborts and restarts instead of blocking.
+	DeadlockNoWait
+)
+
+// Options tunes a System. The zero value gives the paper's defaults.
+type Options struct {
+	// Threads is the parallelism of ForEachVertex / ForEachQueued
+	// (default: GOMAXPROCS).
+	Threads int
+	// SpaceWords overrides the shared-space size in 8-byte words
+	// (default: 24 words per vertex plus slack).
+	SpaceWords int
+	// HRetries bounds H-mode retries (default 8).
+	HRetries int
+	// PeriodInit is the O-mode segment length before adaptation
+	// (default 1000).
+	PeriodInit int
+	// AdaptivePeriod toggles the §IV-D controller (default on;
+	// StaticPeriod disables it).
+	StaticPeriod bool
+	// Deadlock selects the L-mode policy.
+	Deadlock DeadlockPolicy
+}
+
+// System is a TuFast runtime bound to one graph: a shared memory space
+// for vertex properties and the three-mode hybrid TM scheduling all
+// transactional access to it.
+type System struct {
+	g    *Graph
+	sp   *mem.Space
+	core *core.System
+
+	threads int
+
+	// Worker recycling: thread ids are bound to workers for their
+	// lifetime (vertex lock ownership is per-id), so workers are kept on
+	// an explicit free list rather than a sync.Pool, which could drop
+	// and re-mint them past the id budget.
+	wmu     sync.Mutex
+	free    []*Worker
+	created int
+}
+
+// NewSystem creates a runtime for g.
+func NewSystem(g *Graph, opt Options) *System {
+	n := g.NumVertices()
+	if opt.Threads <= 0 {
+		opt.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opt.SpaceWords <= 0 {
+		opt.SpaceWords = 24*(n+8) + 4096
+	}
+	cfg := core.Config{
+		HRetries:       opt.HRetries,
+		PeriodInit:     opt.PeriodInit,
+		AdaptivePeriod: !opt.StaticPeriod,
+	}
+	switch opt.Deadlock {
+	case DeadlockDetect:
+		cfg.Deadlock = deadlock.Detect
+	case DeadlockPreventOrdered:
+		cfg.Deadlock = deadlock.PreventOrdered
+	case DeadlockNoWait:
+		cfg.Deadlock = deadlock.NoWait
+	}
+	sp := mem.NewSpace(opt.SpaceWords)
+	s := &System{
+		g:       g,
+		sp:      sp,
+		core:    core.New(sp, n, cfg),
+		threads: opt.Threads,
+	}
+	return s
+}
+
+// Graph returns the graph the system was built for.
+func (s *System) Graph() *Graph { return s.g }
+
+// Threads returns the configured parallelism.
+func (s *System) Threads() int { return s.threads }
+
+// NewVertexArray allocates one word of shared property state per vertex,
+// all initialized to init.
+func (s *System) NewVertexArray(init uint64) VertexArray {
+	a := s.NewArray(s.g.NumVertices())
+	if init != 0 {
+		for i := 0; i < a.n; i++ {
+			s.sp.Store(a.base+mem.Addr(i), init)
+		}
+	}
+	return VertexArray{Array: a}
+}
+
+// NewArray allocates n shared words (zeroed), line-aligned.
+func (s *System) NewArray(n int) Array {
+	base := s.sp.AllocLineAligned(n)
+	return Array{base: base, n: n, sp: s.sp}
+}
+
+// Worker returns a per-goroutine execution context. Workers are pooled;
+// Release returns one to the pool.
+func (s *System) Worker() *Worker {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if n := len(s.free); n > 0 {
+		w := s.free[n-1]
+		s.free = s.free[:n-1]
+		return w
+	}
+	id := s.created
+	s.created++
+	return &Worker{sys: s, inner: s.core.Worker(id)}
+}
+
+// Release returns a worker obtained from Worker to the pool.
+func (s *System) Release(w *Worker) {
+	s.wmu.Lock()
+	s.free = append(s.free, w)
+	s.wmu.Unlock()
+}
+
+// Atomic runs fn as one serializable transaction on a pooled worker.
+// sizeHint is the paper's BEGIN(size) hint — approximately how many
+// shared words fn will touch (a vertex's degree, usually); 0 = unknown.
+func (s *System) Atomic(sizeHint int, fn func(tx Tx) error) error {
+	w := s.Worker()
+	defer s.Release(w)
+	return w.Atomic(sizeHint, fn)
+}
+
+// ForEachVertex runs fn once for every vertex as its own transaction,
+// in parallel, using the vertex degree as the size hint (the paper's
+// parallel_for + BEGIN(degree[v]) idiom). The first user error stops
+// the sweep (best effort) and is returned.
+func (s *System) ForEachVertex(fn func(tx Tx, v uint32) error) error {
+	n := s.g.NumVertices()
+	var firstErr atomic.Value
+	worklist.Range(n, s.threads, 256, func(_, lo, hi int) {
+		w := s.Worker()
+		defer s.Release(w)
+		for v := lo; v < hi; v++ {
+			if firstErr.Load() != nil {
+				return
+			}
+			vid := uint32(v)
+			hint := s.g.Degree(vid)*2 + 2
+			if err := w.Atomic(hint, func(tx Tx) error { return fn(tx, vid) }); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	})
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// ForEachQueued drains queue q with the configured parallelism, running
+// fn for each polled vertex as its own transaction (the Figure 3 driver:
+// pass a FIFO Queue for Bellman-Ford or a PQ for SPFA via the Source
+// interface). Workers exit when the queue stays empty and all workers
+// are idle.
+func (s *System) ForEachQueued(q Source, fn func(tx Tx, v uint32) error) error {
+	var firstErr atomic.Value
+	var idle atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < s.threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := s.Worker()
+			defer s.Release(w)
+			idleSpins := 0
+			for {
+				if firstErr.Load() != nil {
+					return
+				}
+				v, ok := q.Pop()
+				if ok {
+					idleSpins = 0
+				}
+				if !ok {
+					// Quiesce: leave only when every worker is idle and
+					// the queue is empty — then nobody can still push.
+					// An exiting worker keeps its idle contribution so
+					// the remaining workers reach the threshold too.
+					n := idle.Add(1)
+					if int(n) == s.threads && q.Len() == 0 {
+						return
+					}
+					idleSpins++
+					if idleSpins > 64 {
+						time.Sleep(50 * time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+					idle.Add(-1)
+					continue
+				}
+				hint := s.g.Degree(v)*2 + 2
+				if err := w.Atomic(hint, func(tx Tx) error { return fn(tx, v) }); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Source is the queue interface ForEachQueued drains; *Queue (FIFO) and
+// *PQ (priority) both satisfy it.
+type Source interface {
+	Pop() (uint32, bool)
+	Len() int
+}
+
+// Worker is a per-goroutine transaction executor.
+type Worker struct {
+	sys   *System
+	inner sched.Worker
+}
+
+// Atomic runs fn as one serializable transaction.
+func (w *Worker) Atomic(sizeHint int, fn func(tx Tx) error) error {
+	return w.inner.Run(sizeHint, func(t sched.Tx) error {
+		return fn(Tx{t: t})
+	})
+}
+
+// Tx is the transactional handle: every shared read/write names the
+// vertex the address belongs to (the lock and conflict granularity).
+type Tx struct {
+	t sched.Tx
+}
+
+// Read returns the shared word at addr, owned by vertex v.
+func (tx Tx) Read(v uint32, addr Addr) uint64 { return tx.t.Read(v, mem.Addr(addr)) }
+
+// Write stores val to the shared word at addr, owned by vertex v.
+func (tx Tx) Write(v uint32, addr Addr, val uint64) { tx.t.Write(v, mem.Addr(addr), val) }
+
+// ReadFloat reads a float64 property.
+func (tx Tx) ReadFloat(v uint32, addr Addr) float64 { return mem.Float(tx.Read(v, addr)) }
+
+// WriteFloat writes a float64 property.
+func (tx Tx) WriteFloat(v uint32, addr Addr, val float64) { tx.Write(v, addr, mem.Word(val)) }
+
+// Array is a block of shared words.
+type Array struct {
+	base mem.Addr
+	n    int
+	sp   *mem.Space
+}
+
+// Addr returns the address of element i.
+func (a Array) Addr(i int) Addr {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("tufast: array index %d out of range [0,%d)", i, a.n))
+	}
+	return Addr(a.base) + Addr(i)
+}
+
+// Len returns the element count.
+func (a Array) Len() int { return a.n }
+
+// Get reads element i non-transactionally (for initialization and for
+// reading results after all workers finished).
+func (a Array) Get(i int) uint64 { return a.sp.Load(mem.Addr(a.Addr(i))) }
+
+// Set writes element i non-transactionally (initialization only: the
+// write does not interact with concurrent transactions).
+func (a Array) Set(i int, val uint64) { a.sp.Store(mem.Addr(a.Addr(i)), val) }
+
+// GetFloat reads element i as float64.
+func (a Array) GetFloat(i int) float64 { return mem.Float(a.Get(i)) }
+
+// SetFloat writes element i as float64.
+func (a Array) SetFloat(i int, val float64) { a.Set(i, mem.Word(val)) }
+
+// VertexArray is an Array with exactly one word per vertex.
+type VertexArray struct {
+	Array
+}
+
+// Addr returns the address of vertex v's word.
+func (a VertexArray) Addr(v uint32) Addr { return a.Array.Addr(int(v)) }
+
+// Get reads vertex v's word non-transactionally.
+func (a VertexArray) Get(v uint32) uint64 { return a.Array.Get(int(v)) }
+
+// Set writes vertex v's word non-transactionally.
+func (a VertexArray) Set(v uint32, val uint64) { a.Array.Set(int(v), val) }
+
+// GetFloat reads vertex v's word as float64.
+func (a VertexArray) GetFloat(v uint32) float64 { return a.Array.GetFloat(int(v)) }
+
+// SetFloat writes vertex v's word as float64.
+func (a VertexArray) SetFloat(v uint32, val float64) { a.Array.SetFloat(int(v), val) }
+
+// NewQueue creates a FIFO vertex queue sized for the system's threads.
+func (s *System) NewQueue() *Queue { return (*Queue)(worklist.NewQueue(s.threads)) }
+
+// NewPQ creates a priority vertex queue sized for the system's threads.
+func (s *System) NewPQ() *PQ { return (*PQ)(worklist.NewPQ(s.threads)) }
+
+// Queue is a concurrent FIFO of vertex ids.
+type Queue worklist.Queue
+
+// Push appends v.
+func (q *Queue) Push(v uint32) { (*worklist.Queue)(q).Push(v) }
+
+// Pop removes one id (ok=false if empty).
+func (q *Queue) Pop() (uint32, bool) { return (*worklist.Queue)(q).Pop() }
+
+// Len returns the approximate size.
+func (q *Queue) Len() int { return (*worklist.Queue)(q).Len() }
+
+// PQ is a concurrent priority queue of vertex ids.
+type PQ worklist.PQ
+
+// Push inserts v with a priority (lower pops first).
+func (q *PQ) Push(v uint32, prio uint64) { (*worklist.PQ)(q).Push(v, prio) }
+
+// Pop removes a minimal-priority vertex.
+func (q *PQ) Pop() (uint32, bool) {
+	v, _, ok := (*worklist.PQ)(q).Pop()
+	return v, ok
+}
+
+// Len returns the approximate size.
+func (q *PQ) Len() int { return (*worklist.PQ)(q).Len() }
+
+// Graph is a read-only compressed-sparse-row graph.
+type Graph struct {
+	csr *graph.CSR
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.csr.NumVertices() }
+
+// NumEdges returns the number of stored arcs.
+func (g *Graph) NumEdges() int { return g.csr.NumEdges() }
+
+// Degree returns v's out-degree.
+func (g *Graph) Degree(v uint32) int { return g.csr.Degree(v) }
+
+// Neighbors returns v's sorted out-neighbors (do not modify).
+func (g *Graph) Neighbors(v uint32) []uint32 { return g.csr.Neighbors(v) }
+
+// MaxDegree returns the largest degree.
+func (g *Graph) MaxDegree() int { return g.csr.MaxDegree() }
+
+// Undirected reports whether the edge set was symmetrized.
+func (g *Graph) Undirected() bool { return g.csr.Undirected() }
+
+// EdgeWeight derives the deterministic weight of edge (u, v) in
+// [1, maxW] used by the weighted algorithms.
+func EdgeWeight(u, v uint32, maxW uint32) uint32 { return graph.WeightOf(u, v, maxW) }
+
+// CSR exposes the internal graph to sibling packages inside this module.
+func (g *Graph) CSR() *graph.CSR { return g.csr }
+
+// WrapCSR wraps an internal CSR as a public Graph (used by cmd/ and
+// bench code inside this module).
+func WrapCSR(c *graph.CSR) *Graph { return &Graph{csr: c} }

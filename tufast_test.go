@@ -1,0 +1,176 @@
+package tufast_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tufast"
+)
+
+// TestMatchingSerializable runs the paper's Figure 1 maximal matching on
+// a power-law graph and checks the matching invariants that only hold
+// under serializable execution: match is symmetric (match[match[v]] == v)
+// and every matched pair is an edge.
+func TestMatchingSerializable(t *testing.T) {
+	g := tufast.GeneratePowerLaw(20_000, 200_000, 2.1, 42).Undirect()
+	sys := tufast.NewSystem(g, tufast.Options{Threads: 8})
+	match := sys.NewVertexArray(tufast.None)
+
+	err := sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		if tx.Read(v, match.Addr(v)) != tufast.None {
+			return nil
+		}
+		for _, u := range g.Neighbors(v) {
+			if tx.Read(u, match.Addr(u)) == tufast.None {
+				tx.Write(v, match.Addr(v), uint64(u))
+				tx.Write(u, match.Addr(u), uint64(v))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEachVertex: %v", err)
+	}
+
+	matched := 0
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		m := match.Get(v)
+		if m == tufast.None {
+			continue
+		}
+		matched++
+		u := uint32(m)
+		if back := match.Get(u); back != uint64(v) {
+			t.Fatalf("asymmetric match: match[%d]=%d but match[%d]=%d", v, u, u, back)
+		}
+		found := false
+		for _, nb := range g.Neighbors(v) {
+			if nb == u {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("matched non-edge (%d,%d)", v, u)
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no vertex matched at all")
+	}
+	st := sys.StatsSnapshot()
+	if st.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	t.Logf("matched=%d commits=%d aborts=%d mode=%v", matched, st.Commits, st.Aborts, st.Mode)
+}
+
+// TestCounterAtomicity hammers one shared counter from many goroutines;
+// any lost update means broken isolation.
+func TestCounterAtomicity(t *testing.T) {
+	g := tufast.GenerateUniform(64, 4, 7)
+	sys := tufast.NewSystem(g, tufast.Options{Threads: 8})
+	ctr := sys.NewArray(1)
+
+	const goroutines, perG = 8, 2_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := sys.Worker()
+			defer sys.Release(w)
+			for j := 0; j < perG; j++ {
+				err := w.Atomic(2, func(tx tufast.Tx) error {
+					cur := tx.Read(0, ctr.Addr(0))
+					tx.Write(0, ctr.Addr(0), cur+1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Get(0); got != goroutines*perG {
+		t.Fatalf("lost updates: counter=%d want %d", got, goroutines*perG)
+	}
+}
+
+// TestUserAbortDiscardsEffects verifies a user error rolls back every
+// write of the transaction.
+func TestUserAbortDiscardsEffects(t *testing.T) {
+	g := tufast.GenerateUniform(64, 4, 7)
+	sys := tufast.NewSystem(g, tufast.Options{Threads: 2})
+	arr := sys.NewVertexArray(0)
+	boom := errors.New("boom")
+
+	err := sys.Atomic(4, func(tx tufast.Tx) error {
+		tx.Write(1, arr.Addr(1), 111)
+		tx.Write(2, arr.Addr(2), 222)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v want boom", err)
+	}
+	if arr.Get(1) != 0 || arr.Get(2) != 0 {
+		t.Fatalf("aborted writes visible: %d %d", arr.Get(1), arr.Get(2))
+	}
+}
+
+// TestLargeTransactionRoutesToL checks a transaction touching far more
+// than the HTM capacity still commits (via O escalation or direct L).
+func TestLargeTransactionRoutesToL(t *testing.T) {
+	g := tufast.GenerateUniform(40_000, 2, 3)
+	sys := tufast.NewSystem(g, tufast.Options{Threads: 4})
+	arr := sys.NewVertexArray(0)
+
+	n := g.NumVertices()
+	sweep := func(tx tufast.Tx) error {
+		for v := 0; v < n; v++ {
+			cur := tx.Read(uint32(v), arr.Addr(uint32(v)))
+			tx.Write(uint32(v), arr.Addr(uint32(v)), cur+1)
+		}
+		return nil
+	}
+
+	// A medium body (above HTM capacity, hinted below the O ceiling) must
+	// escape H mode yet still commit — O mode chops it into segments.
+	medium := func(tx tufast.Tx) error {
+		for v := 0; v < 8000; v++ {
+			cur := tx.Read(uint32(v), arr.Addr(uint32(v)))
+			tx.Write(uint32(v), arr.Addr(uint32(v)), cur+1)
+		}
+		return nil
+	}
+	if err := sys.Atomic(16000, medium); err != nil {
+		t.Fatalf("medium transaction: %v", err)
+	}
+	// A hint beyond the O ceiling must be routed straight to locking.
+	if err := sys.Atomic(1<<21, sweep); err != nil {
+		t.Fatalf("huge transaction: %v", err)
+	}
+
+	for v := 0; v < n; v++ {
+		want := uint64(1)
+		if v < 8000 {
+			want = 2
+		}
+		if arr.Get(uint32(v)) != want {
+			t.Fatalf("vertex %d = %d, want %d", v, arr.Get(uint32(v)), want)
+		}
+	}
+	st := sys.StatsSnapshot()
+	if st.Mode["H"].Transactions != 0 {
+		t.Fatalf("oversized transactions must not commit in H: %+v", st.Mode)
+	}
+	if got := st.Mode["O"].Transactions + st.Mode["O+"].Transactions + st.Mode["O2L"].Transactions; got != 1 {
+		t.Fatalf("expected exactly one O-family commit, got %+v", st.Mode)
+	}
+	if st.Mode["L"].Transactions != 1 {
+		t.Fatalf("expected the giant transaction in class L, got %+v", st.Mode)
+	}
+}
