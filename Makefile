@@ -1,0 +1,15 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench=. -benchtime=1x ./internal/bench/

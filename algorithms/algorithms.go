@@ -15,12 +15,18 @@
 //	sys := tufast.NewSystem(g, tufast.Options{})
 //	ranks, err := algorithms.PageRank(sys, 0.85, 1e-6)
 //
+// Every algorithm also has a Ctx variant (PageRankCtx, BFSCtx, ...)
+// that stops promptly — mid-sweep, between retries, and inside lock
+// waits — and returns ctx.Err() once the context is cancelled. Partial
+// results are discarded; the System itself stays healthy and reusable.
+//
 // Algorithms marked "undirected" require a symmetrized graph
 // (Graph.Undirect or BuildGraph with undirected=true); they return
 // ErrNeedUndirected otherwise.
 package algorithms
 
 import (
+	"context"
 	"errors"
 
 	"tufast"
@@ -36,6 +42,16 @@ func runtime(s *tufast.System) *algo.Runtime {
 	return algo.NewRuntime(s.Graph().CSR(), s.Space(), s.Core(), s.Threads())
 }
 
+// runtimeCtx is runtime with the sweeps bound to ctx; a context that can
+// never be cancelled keeps the uninstrumented fast path.
+func runtimeCtx(ctx context.Context, s *tufast.System) *algo.Runtime {
+	r := runtime(s)
+	if ctx != nil && ctx.Done() != nil {
+		r.Ctx = ctx
+	}
+	return r
+}
+
 func needUndirected(s *tufast.System) error {
 	if !s.Graph().Undirected() {
 		return ErrNeedUndirected
@@ -47,7 +63,12 @@ func needUndirected(s *tufast.System) error {
 // using asynchronous residual pushing (in-place updates — the workload
 // the paper's §VI-A highlights).
 func PageRank(s *tufast.System, d, eps float64) ([]float64, error) {
-	res, err := algo.PageRank(runtime(s), d, eps)
+	return PageRankCtx(context.Background(), s, d, eps)
+}
+
+// PageRankCtx is PageRank with cancellation.
+func PageRankCtx(ctx context.Context, s *tufast.System, d, eps float64) ([]float64, error) {
+	res, err := algo.PageRank(runtimeCtx(ctx, s), d, eps)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +77,12 @@ func PageRank(s *tufast.System, d, eps float64) ([]float64, error) {
 
 // BFS returns hop distances from source (tufast.None = unreachable).
 func BFS(s *tufast.System, source uint32) ([]uint64, error) {
-	res, err := algo.BFS(runtime(s), source)
+	return BFSCtx(context.Background(), s, source)
+}
+
+// BFSCtx is BFS with cancellation.
+func BFSCtx(ctx context.Context, s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.BFS(runtimeCtx(ctx, s), source)
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +92,15 @@ func BFS(s *tufast.System, source uint32) ([]uint64, error) {
 // ConnectedComponents labels every vertex with the smallest vertex id in
 // its component. Undirected.
 func ConnectedComponents(s *tufast.System) ([]uint64, error) {
+	return ConnectedComponentsCtx(context.Background(), s)
+}
+
+// ConnectedComponentsCtx is ConnectedComponents with cancellation.
+func ConnectedComponentsCtx(ctx context.Context, s *tufast.System) ([]uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.WCC(runtime(s))
+	res, err := algo.WCC(runtimeCtx(ctx, s))
 	if err != nil {
 		return nil, err
 	}
@@ -78,10 +109,15 @@ func ConnectedComponents(s *tufast.System) ([]uint64, error) {
 
 // Triangles counts triangles. Undirected.
 func Triangles(s *tufast.System) (uint64, error) {
+	return TrianglesCtx(context.Background(), s)
+}
+
+// TrianglesCtx is Triangles with cancellation.
+func TrianglesCtx(ctx context.Context, s *tufast.System) (uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return 0, err
 	}
-	res, err := algo.Triangles(runtime(s))
+	res, err := algo.Triangles(runtimeCtx(ctx, s))
 	if err != nil {
 		return 0, err
 	}
@@ -92,7 +128,13 @@ func Triangles(s *tufast.System) (uint64, error) {
 // the module's deterministic edge weights with a FIFO work list
 // (the paper's Figure 3, Bellman-Ford flavour).
 func ShortestPathsBellmanFord(s *tufast.System, source uint32) ([]uint64, error) {
-	res, err := algo.BellmanFord(runtime(s), source)
+	return ShortestPathsBellmanFordCtx(context.Background(), s, source)
+}
+
+// ShortestPathsBellmanFordCtx is ShortestPathsBellmanFord with
+// cancellation.
+func ShortestPathsBellmanFordCtx(ctx context.Context, s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.BellmanFord(runtimeCtx(ctx, s), source)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +145,12 @@ func ShortestPathsBellmanFord(s *tufast.System, source uint32) ([]uint64, error)
 // (the paper's Figure 3, SPFA flavour: switching algorithms is switching
 // the queue).
 func ShortestPathsSPFA(s *tufast.System, source uint32) ([]uint64, error) {
-	res, err := algo.SPFA(runtime(s), source)
+	return ShortestPathsSPFACtx(context.Background(), s, source)
+}
+
+// ShortestPathsSPFACtx is ShortestPathsSPFA with cancellation.
+func ShortestPathsSPFACtx(ctx context.Context, s *tufast.System, source uint32) ([]uint64, error) {
+	res, err := algo.SPFA(runtimeCtx(ctx, s), source)
 	if err != nil {
 		return nil, err
 	}
@@ -113,10 +160,15 @@ func ShortestPathsSPFA(s *tufast.System, source uint32) ([]uint64, error) {
 // MaximalIndependentSet returns the in-set flags of a maximal
 // independent set. Undirected.
 func MaximalIndependentSet(s *tufast.System) ([]bool, error) {
+	return MaximalIndependentSetCtx(context.Background(), s)
+}
+
+// MaximalIndependentSetCtx is MaximalIndependentSet with cancellation.
+func MaximalIndependentSetCtx(ctx context.Context, s *tufast.System) ([]bool, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.MIS(runtime(s))
+	res, err := algo.MIS(runtimeCtx(ctx, s))
 	if err != nil {
 		return nil, err
 	}
@@ -127,10 +179,15 @@ func MaximalIndependentSet(s *tufast.System) ([]bool, error) {
 // (tufast.None = unmatched) — the paper's running example (Figure 1).
 // Undirected.
 func MaximalMatching(s *tufast.System) ([]uint64, error) {
+	return MaximalMatchingCtx(context.Background(), s)
+}
+
+// MaximalMatchingCtx is MaximalMatching with cancellation.
+func MaximalMatchingCtx(ctx context.Context, s *tufast.System) ([]uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.MaximalMatching(runtime(s))
+	res, err := algo.MaximalMatching(runtimeCtx(ctx, s))
 	if err != nil {
 		return nil, err
 	}
@@ -139,10 +196,15 @@ func MaximalMatching(s *tufast.System) ([]uint64, error) {
 
 // KCore returns every vertex's core number. Undirected.
 func KCore(s *tufast.System) ([]uint64, error) {
+	return KCoreCtx(context.Background(), s)
+}
+
+// KCoreCtx is KCore with cancellation.
+func KCoreCtx(ctx context.Context, s *tufast.System) ([]uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.KCore(runtime(s))
+	res, err := algo.KCore(runtimeCtx(ctx, s))
 	if err != nil {
 		return nil, err
 	}
@@ -152,10 +214,15 @@ func KCore(s *tufast.System) ([]uint64, error) {
 // GreedyColoring returns a proper vertex coloring using at most
 // maxDegree+1 colors. Undirected.
 func GreedyColoring(s *tufast.System) ([]uint64, error) {
+	return GreedyColoringCtx(context.Background(), s)
+}
+
+// GreedyColoringCtx is GreedyColoring with cancellation.
+func GreedyColoringCtx(ctx context.Context, s *tufast.System) ([]uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.GreedyColoring(runtime(s))
+	res, err := algo.GreedyColoring(runtimeCtx(ctx, s))
 	if err != nil {
 		return nil, err
 	}
@@ -165,10 +232,15 @@ func GreedyColoring(s *tufast.System) ([]uint64, error) {
 // LabelPropagation runs community detection by iterative majority
 // labeling for at most maxRounds rounds (0 = default). Undirected.
 func LabelPropagation(s *tufast.System, maxRounds int) ([]uint64, error) {
+	return LabelPropagationCtx(context.Background(), s, maxRounds)
+}
+
+// LabelPropagationCtx is LabelPropagation with cancellation.
+func LabelPropagationCtx(ctx context.Context, s *tufast.System, maxRounds int) ([]uint64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	res, err := algo.LabelPropagation(runtime(s), maxRounds)
+	res, err := algo.LabelPropagation(runtimeCtx(ctx, s), maxRounds)
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +250,13 @@ func LabelPropagation(s *tufast.System, maxRounds int) ([]uint64, error) {
 // ClusteringCoefficients returns every vertex's local clustering
 // coefficient. Undirected.
 func ClusteringCoefficients(s *tufast.System) ([]float64, error) {
+	return ClusteringCoefficientsCtx(context.Background(), s)
+}
+
+// ClusteringCoefficientsCtx is ClusteringCoefficients with cancellation.
+func ClusteringCoefficientsCtx(ctx context.Context, s *tufast.System) ([]float64, error) {
 	if err := needUndirected(s); err != nil {
 		return nil, err
 	}
-	return algo.ClusteringCoefficients(runtime(s))
+	return algo.ClusteringCoefficients(runtimeCtx(ctx, s))
 }

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +43,7 @@ func main() {
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 		source   = flag.Uint("source", 0, "source vertex for traversals")
 		stats    = flag.Bool("stats", false, "print scheduler statistics")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (TM systems only; 0 = no limit)")
 	)
 	flag.Parse()
 
@@ -55,9 +58,20 @@ func main() {
 	}
 	fmt.Printf("graph: |V|=%d |E|=%d maxdeg=%d\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
-	summary, schedStats, err := run(g, *algoName, *system, *threads, uint32(*source))
+	summary, schedStats, err := run(ctx, g, *algoName, *system, *threads, uint32(*source))
 	elapsed := time.Since(start)
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "tufast: run cancelled after %v (-timeout %v)\n", elapsed, *timeout)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tufast:", err)
 		os.Exit(1)
@@ -100,7 +114,7 @@ func symmetrize(g *graph.CSR) *graph.CSR {
 	return graph.MustBuild(g.NumVertices(), edges, graph.BuildOptions{Symmetrize: true})
 }
 
-func run(g *graph.CSR, algoName, system string, threads int, source uint32) (string, *sched.Stats, error) {
+func run(ctx context.Context, g *graph.CSR, algoName, system string, threads int, source uint32) (string, *sched.Stats, error) {
 	n := g.NumVertices()
 	switch system {
 	case "tufast", "stm", "2pl", "occ", "to", "htm-only", "hsync", "hto":
@@ -125,6 +139,9 @@ func run(g *graph.CSR, algoName, system string, threads int, source uint32) (str
 			s = sched.NewHTO(sp, vlock.NewTable(n), n, 1000)
 		}
 		r := algo.NewRuntime(g, sp, s, threads)
+		if ctx.Done() != nil {
+			r.Ctx = ctx
+		}
 		sum, err := runTM(r, algoName, source)
 		return sum, s.Stats(), err
 	case "ligra":

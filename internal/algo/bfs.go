@@ -24,7 +24,7 @@ func BFS(r *Runtime, source uint32) (*BFSResult, error) {
 	q := worklist.NewQueue(r.Threads)
 	q.Push(source)
 
-	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32) error {
+	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32, emit func(uint32, uint64)) error {
 		lv := tx.Read(v, level+mem.Addr(v))
 		if lv == None {
 			return nil // stale wakeup
@@ -33,7 +33,7 @@ func BFS(r *Runtime, source uint32) (*BFSResult, error) {
 			lu := tx.Read(u, level+mem.Addr(u))
 			if lu > lv+1 {
 				tx.Write(u, level+mem.Addr(u), lv+1)
-				q.Push(u)
+				emit(u, 0)
 			}
 		}
 		return nil

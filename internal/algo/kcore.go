@@ -36,7 +36,7 @@ func KCore(r *Runtime) (*KCoreResult, error) {
 		q.Push(v)
 	}
 
-	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32) error {
+	err := r.ForEachQueued(DedupFIFO{Q: q, Queued: queued}, func(tx sched.Tx, v uint32, emit func(uint32, uint64)) error {
 		queued.Clear(v)
 		cur := tx.Read(v, bound+mem.Addr(v))
 		if cur == 0 {
@@ -62,11 +62,12 @@ func KCore(r *Runtime) (*KCoreResult, error) {
 		if h < cur {
 			tx.Write(v, bound+mem.Addr(v), h)
 			for _, u := range g.Neighbors(v) {
-				// A neighbor whose bound exceeds ours may now shrink;
-				// the bitset dedupes re-activations (a hub would
-				// otherwise be enqueued once per shrinking neighbor).
-				if tx.Read(u, bound+mem.Addr(u)) > h && queued.TestAndSet(u) {
-					q.Push(u)
+				// A neighbor whose bound exceeds ours may now shrink; the
+				// DedupFIFO's flush-time bitset dedupes re-activations (a
+				// hub would otherwise be enqueued once per shrinking
+				// neighbor).
+				if tx.Read(u, bound+mem.Addr(u)) > h {
+					emit(u, 0)
 				}
 			}
 		}

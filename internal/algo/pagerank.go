@@ -56,7 +56,7 @@ func PageRank(r *Runtime, d, eps float64) (*PageRankResult, error) {
 
 	res := &PageRankResult{}
 	var processed atomicCounter
-	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32) error {
+	err := r.ForEachQueued(DedupFIFO{Q: q, Queued: queued}, func(tx sched.Tx, v uint32, emit func(uint32, uint64)) error {
 		processed.inc()
 		queued.Clear(v)
 		rv := mem.Float(tx.Read(v, resid+mem.Addr(v)))
@@ -76,13 +76,13 @@ func PageRank(r *Runtime, d, eps float64) (*PageRankResult, error) {
 			nu := ru + share
 			tx.Write(u, resid+mem.Addr(u), mem.Word(nu))
 			if nu > eps && ru <= eps {
-				// Activation is transactional state outside the TM: a
-				// spurious double-enqueue is harmless (the residual
-				// check re-filters), a missed one is prevented by the
+				// Activation is driver state outside the TM: the emit is
+				// delivered only if this transaction commits (so the
+				// popped vertex always sees the committed residual), a
+				// spurious double-enqueue is deduped by the DedupFIFO's
+				// flush-time bitset, and a missed one is prevented by the
 				// bitset clear-before-read ordering.
-				if queued.TestAndSet(u) {
-					q.Push(u)
-				}
+				emit(u, 0)
 			}
 		}
 		return nil

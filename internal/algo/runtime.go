@@ -6,6 +6,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,9 +27,37 @@ type Runtime struct {
 	S       sched.Scheduler
 	Threads int
 
+	// Ctx, when non-nil, cancels every sweep this runtime drives: the
+	// drivers check it at chunk boundaries and in their quiesce loops and
+	// return its error, so whole algorithms become cancellable without
+	// threading a context through each one.
+	Ctx context.Context
+
 	wmu     sync.Mutex
 	free    []sched.Worker
 	created int
+}
+
+// ctx returns the runtime's context, defaulting to Background.
+func (r *Runtime) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
+}
+
+// run executes one transaction on w, routing through RunCtx when both a
+// context and a cancellable worker are available.
+func (r *Runtime) run(w sched.Worker, hint int, fn sched.TxFunc) error {
+	if r.Ctx != nil {
+		if cw, ok := w.(sched.CtxWorker); ok {
+			return cw.RunCtx(r.Ctx, hint, fn)
+		}
+		if err := r.Ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return w.Run(hint, fn)
 }
 
 // NewRuntime creates a Runtime; threads <= 0 means GOMAXPROCS. The space
@@ -80,11 +109,14 @@ func (r *Runtime) release(w sched.Worker) {
 }
 
 // ForEachVertex runs fn for every vertex as its own transaction with the
-// degree as the size hint (parallel_for + BEGIN(degree[v])).
+// degree as the size hint (parallel_for + BEGIN(degree[v])). When the
+// runtime carries a context, cancellation stops the sweep at the next
+// chunk or vertex boundary and the context's error is returned.
 func (r *Runtime) ForEachVertex(fn func(tx sched.Tx, v uint32) error) error {
 	n := r.G.NumVertices()
+	ctx := r.ctx()
 	var firstErr atomic.Value
-	worklist.Range(n, r.Threads, 256, func(_, lo, hi int) {
+	worklist.RangeCtx(ctx, n, r.Threads, 256, func(_, lo, hi int) {
 		w := r.worker()
 		defer r.release(w)
 		for v := lo; v < hi; v++ {
@@ -93,22 +125,27 @@ func (r *Runtime) ForEachVertex(fn func(tx sched.Tx, v uint32) error) error {
 			}
 			vid := uint32(v)
 			hint := r.G.Degree(vid)*2 + 2
-			if err := w.Run(hint, func(tx sched.Tx) error { return fn(tx, vid) }); err != nil {
+			if err := r.run(w, hint, func(tx sched.Tx) error { return fn(tx, vid) }); err != nil {
 				firstErr.CompareAndSwap(nil, err)
 				return
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if e := firstErr.Load(); e != nil {
 		return e.(error)
 	}
 	return nil
 }
 
-// Source is a work queue the queued driver drains (worklist.Queue or
-// worklist.PQ adapters satisfy it).
+// Source is a work queue the queued driver drains and refills
+// (worklist.Queue or worklist.PQ adapters satisfy it). Push receives the
+// emits of a committed transaction; FIFO adapters ignore prio.
 type Source interface {
 	Pop() (uint32, bool)
+	Push(v uint32, prio uint64)
 	Len() int
 }
 
@@ -117,6 +154,9 @@ type FIFOSource struct{ *worklist.Queue }
 
 // Pop implements Source.
 func (s FIFOSource) Pop() (uint32, bool) { return s.Queue.Pop() }
+
+// Push implements Source (prio ignored).
+func (s FIFOSource) Push(v uint32, _ uint64) { s.Queue.Push(v) }
 
 // PQSource adapts worklist.PQ.
 type PQSource struct{ *worklist.PQ }
@@ -127,9 +167,56 @@ func (s PQSource) Pop() (uint32, bool) {
 	return v, ok
 }
 
+// Push implements Source.
+func (s PQSource) Push(v uint32, prio uint64) { s.PQ.Push(v, prio) }
+
+// DedupFIFO is a FIFOSource with a flush-time bitset guard: a vertex
+// already marked queued is not re-enqueued. Algorithms that clear the bit
+// at the start of processing (kcore, pagerank) use it to keep hubs from
+// being enqueued once per activating neighbor. The dedup must live here —
+// at the post-commit flush — not inside the transaction: an aborted
+// attempt's test-and-set would otherwise leave the bit set with no push
+// behind it, permanently suppressing the wakeup.
+type DedupFIFO struct {
+	Q      *worklist.Queue
+	Queued *worklist.Bitset
+}
+
+// Pop implements Source.
+func (s DedupFIFO) Pop() (uint32, bool) { return s.Q.Pop() }
+
+// Push implements Source (prio ignored).
+func (s DedupFIFO) Push(v uint32, _ uint64) {
+	if s.Queued.TestAndSet(v) {
+		s.Q.Push(v)
+	}
+}
+
+// Len implements Source.
+func (s DedupFIFO) Len() int { return s.Q.Len() }
+
+// pushReq is one buffered emit awaiting its transaction's commit.
+type pushReq struct {
+	v    uint32
+	prio uint64
+}
+
 // ForEachQueued drains q with r.Threads workers, one transaction per
-// polled vertex. Workers quiesce when the queue stays empty.
-func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32) error) error {
+// polled vertex. fn re-activates vertices through emit, NOT by pushing
+// into q directly: emits are buffered and flushed to q.Push only after
+// the transaction commits (aborted and retried attempts discard theirs).
+// This closes the lost-wakeup window of eager pushes under commit-time
+// visibility — a vertex pushed before its activating write was visible
+// could be popped, observed unimproved, and dropped, with nobody left to
+// re-deliver the improvement once it landed.
+//
+// Workers quiesce when the queue stays empty. Every exit path leaves the
+// worker's idle contribution permanently counted (see
+// tufast.System.ForEachQueuedCtx), so peers terminate no matter why a
+// worker left. When the runtime carries a context, cancellation stops
+// the drain promptly and the context's error is returned.
+func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32, emit func(u uint32, prio uint64)) error) error {
+	ctx := r.Ctx
 	var firstErr atomic.Value
 	var idle atomic.Int64
 	var wg sync.WaitGroup
@@ -140,10 +227,22 @@ func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32) error) 
 			defer wg.Done()
 			w := r.worker()
 			defer r.release(w)
+			var pending []pushReq
+			emit := func(u uint32, prio uint64) {
+				pending = append(pending, pushReq{v: u, prio: prio})
+			}
 			idleSpins := 0
 			for {
 				if firstErr.Load() != nil {
+					idle.Add(1)
 					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						idle.Add(1)
+						return
+					}
 				}
 				v, ok := q.Pop()
 				if ok {
@@ -151,7 +250,7 @@ func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32) error) 
 				}
 				if !ok {
 					n := idle.Add(1)
-					if int(n) == threads && q.Len() == 0 {
+					if int(n) >= threads && q.Len() == 0 {
 						return
 					}
 					idleSpins++
@@ -164,14 +263,29 @@ func (r *Runtime) ForEachQueued(q Source, fn func(tx sched.Tx, v uint32) error) 
 					continue
 				}
 				hint := r.G.Degree(v)*2 + 2
-				if err := w.Run(hint, func(tx sched.Tx) error { return fn(tx, v) }); err != nil {
+				err := r.run(w, hint, func(tx sched.Tx) error {
+					pending = pending[:0] // a retried attempt re-emits from scratch
+					return fn(tx, v, emit)
+				})
+				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
+					idle.Add(1)
 					return
 				}
+				// Committed: the writes are visible, deliver the wakeups.
+				for _, p := range pending {
+					q.Push(p.v, p.prio)
+				}
+				pending = pending[:0]
 			}
 		}()
 	}
 	wg.Wait()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if e := firstErr.Load(); e != nil {
 		return e.(error)
 	}

@@ -24,7 +24,7 @@ type SSSPResult struct {
 func BellmanFord(r *Runtime, source uint32) (*SSSPResult, error) {
 	q := worklist.NewQueue(r.Threads)
 	q.Push(source)
-	return sssp(r, source, FIFOSource{q}, func(v uint32, _ uint64) { q.Push(v) })
+	return sssp(r, source, FIFOSource{q})
 }
 
 // SPFA computes single-source shortest paths with the same relaxation
@@ -35,16 +35,16 @@ func BellmanFord(r *Runtime, source uint32) (*SSSPResult, error) {
 func SPFA(r *Runtime, source uint32) (*SSSPResult, error) {
 	pq := worklist.NewPQ(r.Threads)
 	pq.Push(source, 0)
-	return sssp(r, source, PQSource{pq}, func(v uint32, d uint64) { pq.Push(v, d) })
+	return sssp(r, source, PQSource{pq})
 }
 
-func sssp(r *Runtime, source uint32, src Source, push func(v uint32, d uint64)) (*SSSPResult, error) {
+func sssp(r *Runtime, source uint32, src Source) (*SSSPResult, error) {
 	r.checkVertex(source)
 	dist := r.NewVertexArray(None)
 	r.Sp.Store(dist+mem.Addr(source), 0)
 
 	var relaxed atomicCounter
-	err := r.ForEachQueued(src, func(tx sched.Tx, v uint32) error {
+	err := r.ForEachQueued(src, func(tx sched.Tx, v uint32, emit func(uint32, uint64)) error {
 		relaxed.inc()
 		dv := tx.Read(v, dist+mem.Addr(v))
 		if dv == None {
@@ -55,7 +55,7 @@ func sssp(r *Runtime, source uint32, src Source, push func(v uint32, d uint64)) 
 			du := tx.Read(u, dist+mem.Addr(u))
 			if dv+w < du {
 				tx.Write(u, dist+mem.Addr(u), dv+w)
-				push(u, dv+w)
+				emit(u, dv+w)
 			}
 		}
 		return nil

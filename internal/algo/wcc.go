@@ -33,7 +33,7 @@ func WCC(r *Runtime) (*WCCResult, error) {
 		q.Push(v)
 	}
 
-	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32) error {
+	err := r.ForEachQueued(FIFOSource{q}, func(tx sched.Tx, v uint32, emit func(uint32, uint64)) error {
 		cv := tx.Read(v, comp+mem.Addr(v))
 		min := cv
 		for _, u := range g.Neighbors(v) {
@@ -45,12 +45,12 @@ func WCC(r *Runtime) (*WCCResult, error) {
 			tx.Write(v, comp+mem.Addr(v), min)
 			// Our own label improved: neighbors with larger labels may
 			// now improve too.
-			q.Push(v)
+			emit(v, 0)
 		}
 		for _, u := range g.Neighbors(v) {
 			if cu := tx.Read(u, comp+mem.Addr(u)); cu > min {
 				tx.Write(u, comp+mem.Addr(u), min)
-				q.Push(u)
+				emit(u, 0)
 			}
 		}
 		return nil

@@ -58,8 +58,20 @@ func (pc *periodController) Observe(ops uint64, aborted bool) {
 	pc.cur.Store(period)
 	if o >= pc.window {
 		// Exponential decay: halve both counters so the estimate tracks
-		// the recent workload (§IV-D "base on the recent workload").
-		pc.ops.Store(o / 2)
-		pc.aborts.Store(a / 2)
+		// the recent workload (§IV-D "base on the recent workload"). The
+		// ops CAS makes the decay single-winner: two Observe calls that
+		// both crossed the window cannot halve twice (which would quarter
+		// the window), and ops recorded by concurrent Observes between our
+		// Add and the decay are preserved rather than overwritten. The
+		// winner halves aborts with its own CAS loop so concurrent
+		// increments are folded in, not dropped.
+		if pc.ops.CompareAndSwap(o, o/2) {
+			for {
+				cur := pc.aborts.Load()
+				if pc.aborts.CompareAndSwap(cur, cur/2) {
+					break
+				}
+			}
+		}
 	}
 }

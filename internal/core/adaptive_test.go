@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPeriodDecaySingleWinner drives Observe concurrently across the decay
+// threshold and checks that the window counters were halved once, not once
+// per racing caller (the old read-modify-write decay could quarter or
+// eighth the window, whipsawing the published period).
+func TestPeriodDecaySingleWinner(t *testing.T) {
+	pc := newPeriodController(64, 1, 4096)
+
+	// Park the counters just under the decay threshold with a known
+	// abort count.
+	pc.ops.Store(pc.window - 1)
+	pc.aborts.Store(1 << 10)
+
+	// Fire many concurrent Observes that all cross the threshold together.
+	const (
+		callers = 16
+		perCall = uint64(8)
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pc.Observe(perCall, true)
+		}()
+	}
+	wg.Wait()
+
+	// Total ops fed in: window-1 + 16*8. Exactly one decay halves the
+	// counter; losers keep their contributions. The minimum possible value
+	// is the immediate-halving case (window-1+8)/2, the maximum is all
+	// contributions landing before a single halving.
+	total := pc.window - 1 + callers*perCall
+	lo := (pc.window - 1 + perCall) / 2
+	o := pc.ops.Load()
+	if o < lo/2 || o > total {
+		t.Fatalf("ops after decay = %d, want within [%d, %d] (single halving)", o, lo/2, total)
+	}
+	// A double (racing) decay would push ops below half the low bound.
+	if o < lo-callers*perCall {
+		t.Fatalf("ops after decay = %d: looks like more than one halving (lo=%d)", o, lo)
+	}
+	// Aborts: started at 1024, +16, halved at most once by the single
+	// winner — must stay >= (1024)/2 and <= 1024+16.
+	a := pc.aborts.Load()
+	if a < (1<<10)/2 || a > (1<<10)+callers {
+		t.Fatalf("aborts after decay = %d, want roughly one halving of %d", a, 1<<10)
+	}
+}
+
+// TestPeriodDecaySequential pins the exact sequential behavior: one call
+// crossing the window halves both counters exactly once.
+func TestPeriodDecaySequential(t *testing.T) {
+	pc := newPeriodController(64, 1, 4096)
+	pc.ops.Store(pc.window - 4)
+	pc.aborts.Store(100)
+	pc.Observe(8, true)
+	if o := pc.ops.Load(); o != (pc.window+4)/2 {
+		t.Fatalf("ops = %d, want %d", o, (pc.window+4)/2)
+	}
+	if a := pc.aborts.Load(); a != (100+1)/2 {
+		t.Fatalf("aborts = %d, want %d", a, (100+1)/2)
+	}
+}
+
+// TestPeriodPublishesInverseAbortRate sanity-checks the published period
+// tracks o/a clamped to [floor, cap].
+func TestPeriodPublishesInverseAbortRate(t *testing.T) {
+	pc := newPeriodController(64, 8, 512)
+	// 4096 ops, 16 aborts -> period 256.
+	for i := 0; i < 16; i++ {
+		pc.Observe(256, true)
+	}
+	if p := pc.Current(); p != 256 {
+		t.Fatalf("period = %d, want 256", p)
+	}
+	// No aborts at all -> cap.
+	pc2 := newPeriodController(64, 8, 512)
+	pc2.Observe(300, false)
+	if p := pc2.Current(); p != 512 {
+		t.Fatalf("period = %d, want cap 512", p)
+	}
+}

@@ -63,7 +63,7 @@ func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
 		h.begin()
 		uerr, ok := sched.RunAttempt(h, fn)
 		if ok && uerr != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(uerr)
 			return true, uerr
 		}
 		if ok && h.commit() {
@@ -80,6 +80,9 @@ func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
 		}
 		if attempt >= w.s.cfg.HRetries {
 			return false, nil
+		}
+		if err := w.ctxErr(); err != nil {
+			return true, err
 		}
 		w.bo.Wait()
 	}
@@ -142,6 +145,9 @@ func (h *hCtx) subscribe(v uint32) int32 {
 // are skipped — the software analogue of TSX buffering the lock-word
 // stores (they would never become globally visible on the fast path).
 func (h *hCtx) commit() bool {
+	if h.w.s.faults.Load().AtCommit("H") {
+		return false
+	}
 	h.w.s.lGate.RLock()
 	defer h.w.s.lGate.RUnlock()
 	if h.w.s.lActive.Load() == 0 || len(h.wvs) == 0 {
@@ -198,6 +204,7 @@ func (h *hCtx) releaseHeld() {
 
 // Read implements sched.Tx (Algorithm 1 lines 5-9).
 func (h *hCtx) Read(v uint32, addr mem.Addr) uint64 {
+	h.w.s.faults.Load().At("H", "read")
 	h.subscribe(v)
 	val, code := h.tx.Read(addr)
 	if code != htm.AbortNone {
@@ -210,6 +217,7 @@ func (h *hCtx) Read(v uint32, addr mem.Addr) uint64 {
 // Write implements sched.Tx (Algorithm 1 lines 10-14): subscribe, record
 // the exclusive intent, buffer the store.
 func (h *hCtx) Write(v uint32, addr mem.Addr, val uint64) {
+	h.w.s.faults.Load().At("H", "write")
 	idx := h.subscribe(v)
 	if idx&writeIntent == 0 {
 		h.vstate.Put(uint64(v), idx|writeIntent)

@@ -40,6 +40,10 @@ type oCtx struct {
 	wvs   []uint32
 	wpre  []uint64
 	wvIdx *gentab.Table
+	// held tracks the exclusive locks actually acquired by the in-flight
+	// commit, so a panic escaping the commit window can be unwound by
+	// abandon() without leaking locks.
+	held []uint32
 
 	// Telemetry for the adaptive controller and Fig. 15/17.
 	opsInSegments uint64
@@ -100,7 +104,7 @@ func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
 		uerr, ok := sched.RunAttempt(o, fn)
 		o.settleTelemetry()
 		if ok && uerr != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(uerr)
 			return true, uerr
 		}
 		if ok && o.commit() {
@@ -124,6 +128,9 @@ func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
 			if conflictBudget < 0 {
 				break
 			}
+		}
+		if err := w.ctxErr(); err != nil {
+			return true, err
 		}
 		w.bo.Wait()
 	}
@@ -212,6 +219,7 @@ func (o *oCtx) touchSeg(l mem.Line) {
 
 // Read implements sched.Tx (Algorithm 2 lines 26-35).
 func (o *oCtx) Read(v uint32, addr mem.Addr) uint64 {
+	o.w.s.faults.Load().At("O", "read")
 	if len(o.writes) != 0 {
 		if i, ok := o.writeIdx.Get(uint64(addr)); ok {
 			return o.writes[i].val // read own buffered write
@@ -245,6 +253,7 @@ func (o *oCtx) Read(v uint32, addr mem.Addr) uint64 {
 // Write implements sched.Tx (Algorithm 2 lines 36-37): buffered privately,
 // no shared access, hence no segment tick.
 func (o *oCtx) Write(v uint32, addr mem.Addr, val uint64) {
+	o.w.s.faults.Load().At("O", "write")
 	if i, ok := o.writeIdx.Get(uint64(addr)); ok {
 		o.writes[i].val = val
 		o.nwrites++
@@ -258,6 +267,9 @@ func (o *oCtx) Write(v uint32, addr mem.Addr, val uint64) {
 // commit implements Algorithm 2 lines 38-49: XEND the live segment, lock
 // the write vertices, verify every read, install the writes.
 func (o *oCtx) commit() bool {
+	if o.w.s.faults.Load().AtCommit("O") {
+		return false
+	}
 	o.w.s.htmStats.Commits.Add(1) // final segment XEND
 
 	locks := o.w.s.locks
@@ -281,6 +293,7 @@ func (o *oCtx) commit() bool {
 		o.wvIdx.Put(uint64(v), int32(i))
 	}
 	o.wpre = append(o.wpre, make([]uint64, len(o.wvs))...)
+	o.held = o.held[:0]
 	for i, v := range o.wvs {
 		// Bounded spin before giving up (Silo commits do the same): an
 		// instant abort on a momentarily-held lock causes escalation
@@ -290,6 +303,7 @@ func (o *oCtx) commit() bool {
 			p := locks.Stamp(v)
 			if vlock.StampFree(p) && locks.TryExclusive(v, tid) {
 				o.wpre[i] = p
+				o.held = append(o.held, v)
 				acquired = true
 				break
 			}
@@ -298,7 +312,7 @@ func (o *oCtx) commit() bool {
 			}
 		}
 		if !acquired {
-			o.release(o.wvs[:i])
+			o.releaseHeld()
 			return false
 		}
 	}
@@ -312,17 +326,17 @@ func (o *oCtx) commit() bool {
 	for i := range o.reads {
 		r := &o.reads[i]
 		if sp.Meta(r.line) != r.ver {
-			o.release(o.wvs)
+			o.releaseHeld()
 			return false
 		}
 		if _, own := o.wvIdx.Get(uint64(r.v)); !own {
 			if !vlock.StampFree(locks.Stamp(r.v)) {
-				o.release(o.wvs)
+				o.releaseHeld()
 				return false
 			}
 		}
 		if sp.Load(r.addr) != r.val {
-			o.release(o.wvs)
+			o.releaseHeld()
 			return false
 		}
 	}
@@ -330,12 +344,17 @@ func (o *oCtx) commit() bool {
 	for i := range o.writes {
 		o.w.s.sp.StoreVersioned(o.writes[i].addr, o.writes[i].val)
 	}
-	o.release(o.wvs)
+	o.releaseHeld()
 	return true
 }
 
-func (o *oCtx) release(vs []uint32) {
-	for _, v := range vs {
+func (o *oCtx) releaseHeld() {
+	for _, v := range o.held {
 		o.w.s.locks.ReleaseExclusive(v, o.w.tid)
 	}
+	o.held = o.held[:0]
 }
+
+// abandon releases anything an interrupted commit still holds; O-mode
+// writes are buffered, so dropping the locks is the whole rollback.
+func (o *oCtx) abandon() { o.releaseHeld() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,10 @@ type System struct {
 	// written transactionally and cost nothing.
 	lGate   sync.RWMutex
 	lActive atomic.Int32
+
+	// faults deterministically injects aborts or panics at chosen H/O/L
+	// operations (tests only); nil when inactive.
+	faults atomic.Pointer[sched.FaultInjector]
 }
 
 // maxThreads bounds worker ids for the deadlock detector's per-thread
@@ -58,6 +63,15 @@ func New(sp *mem.Space, nVertices int, cfg Config) *System {
 	}
 	s.lmode = sched.NewTPL(sp, s.locks, det, cfg.Deadlock)
 	return s
+}
+
+// SetFaultInjector installs (or, with nil, removes) a deterministic fault
+// injector covering all three modes: H and O operations are matched here,
+// L operations inside the TPL sub-scheduler. Install it before running
+// the workload under test.
+func (s *System) SetFaultInjector(fi *sched.FaultInjector) {
+	s.faults.Store(fi)
+	s.lmode.SetFaultInjector(fi)
 }
 
 // Name implements sched.Scheduler.
@@ -110,6 +124,10 @@ type worker struct {
 	o   *oCtx
 	l   *sched.TPLWorker
 	bo  sched.Backoff
+
+	// ctx is the cancellation context of the in-flight RunCtx call (nil
+	// when the transaction is not cancellable); retry loops poll it.
+	ctx context.Context
 }
 
 // Run implements sched.Worker: the Fig. 10 routing state machine.
@@ -124,10 +142,51 @@ func (w *worker) Run(sizeHint int, fn sched.TxFunc) error {
 			return err
 		}
 	}
+	if err := w.ctxErr(); err != nil {
+		return err
+	}
 	if done, err := w.runO(fn); done {
 		return err
 	}
+	if err := w.ctxErr(); err != nil {
+		return err
+	}
 	return w.runL(fn, ClassO2L)
+}
+
+// RunCtx implements sched.CtxWorker: Run, but returning ctx.Err()
+// promptly once ctx is cancelled — between retries in H and O mode and
+// from inside L-mode lock-wait loops.
+func (w *worker) RunCtx(ctx context.Context, sizeHint int, fn sched.TxFunc) error {
+	if ctx == nil || ctx.Done() == nil {
+		return w.Run(sizeHint, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.ctx = ctx
+	defer func() { w.ctx = nil }()
+	return w.Run(sizeHint, fn)
+}
+
+func (w *worker) ctxErr() error {
+	if w.ctx == nil {
+		return nil
+	}
+	return w.ctx.Err()
+}
+
+// AbandonInFlight implements sched.Abandoner: after a panic escaped an
+// attempt (e.g. from inside a commit window), release every lock the
+// worker may still hold across all three mode contexts, roll back L-mode
+// in-place writes, and reset the backoff. The worker is then safe to
+// pool again.
+func (w *worker) AbandonInFlight() bool {
+	w.h.releaseHeld()
+	w.o.abandon()
+	w.l.AbandonInFlight()
+	w.bo.Reset()
+	return true
 }
 
 // runL executes fn under blocking 2PL, which always commits (deadlock
@@ -141,9 +200,9 @@ func (w *worker) runL(fn sched.TxFunc, class ModeClass) error {
 	w.s.lGate.Unlock()
 	defer w.s.lActive.Add(-1)
 
-	err := w.l.Run(0, fn)
+	err := w.l.RunCtx(w.ctx, 0, fn)
 	if err != nil {
-		w.s.stats.UserStops.Add(1)
+		w.s.stats.NoteUserStop(err)
 		return err
 	}
 	r, wr := w.l.LastOpCounts()

@@ -47,8 +47,15 @@ func (b *Backoff) Wait() {
 	}
 }
 
-// reset returns the backoff to its minimum level after a success.
+// Reset returns the backoff to its minimum level. It runs after a commit
+// and whenever an attempt ends terminally (user error, panic, cancel, or
+// AbandonInFlight), so a pooled worker's next transaction never inherits
+// the previous transaction's contention history.
 func (b *Backoff) Reset() { b.level = 0 }
+
+// Level exposes the current escalation level (tests assert the panic and
+// abandonment paths restore it to zero).
+func (b *Backoff) Level() uint { return b.level }
 
 //go:noinline
 func cpuRelax() {}

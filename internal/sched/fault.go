@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultKind selects what an injected fault does when it fires.
+type FaultKind int
+
+const (
+	// FaultAbort aborts the attempt (internal abort: the scheduler rolls
+	// back and retries) or forces a commit failure at a commit point.
+	FaultAbort FaultKind = iota
+	// FaultPanic panics with an InjectedPanic payload, exercising the
+	// panic-unwinding and worker-recovery paths.
+	FaultPanic
+)
+
+// FaultSpec selects the operation an injected fault fires at: the Nth
+// operation (1-based, counted across all workers) matching Mode and Op.
+// Empty Mode or Op matches everything.
+type FaultSpec struct {
+	Mode string    // "H", "O", "L" (TuFast modes) or a baseline's label; "" = any
+	Op   string    // "read", "write", "commit"; "" = any
+	N    uint64    // fire on the Nth matching operation (0 means 1st)
+	Kind FaultKind // what to do when firing
+}
+
+// InjectedPanic is the panic payload of a FaultPanic fault; it surfaces to
+// callers wrapped in a TxPanicError.
+type InjectedPanic struct {
+	Mode string
+	Op   string
+	N    uint64
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("injected panic at %s %s #%d", p.Mode, p.Op, p.N)
+}
+
+// FaultInjector deterministically injects one fault into an instrumented
+// scheduler: the Nth operation matching the spec aborts or panics, every
+// other operation proceeds untouched. The match counter is shared across
+// workers, so under a single-threaded workload the firing point is exactly
+// reproducible; under concurrency it still fires exactly once. A nil
+// injector is valid and inert, so hook sites need no guard.
+type FaultInjector struct {
+	spec  FaultSpec
+	seen  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// NewFaultInjector creates an injector for spec.
+func NewFaultInjector(spec FaultSpec) *FaultInjector {
+	if spec.N == 0 {
+		spec.N = 1
+	}
+	return &FaultInjector{spec: spec}
+}
+
+// Fired returns how many times the injector has fired (0 or 1).
+func (fi *FaultInjector) Fired() uint64 {
+	if fi == nil {
+		return 0
+	}
+	return fi.fired.Load()
+}
+
+func (fi *FaultInjector) match(mode, op string) bool {
+	return (fi.spec.Mode == "" || fi.spec.Mode == mode) &&
+		(fi.spec.Op == "" || fi.spec.Op == op)
+}
+
+// At is the read/write hook, called from inside a transaction attempt
+// (where ThrowAbort is legal). It either returns without effect, aborts
+// the attempt, or panics.
+func (fi *FaultInjector) At(mode, op string) {
+	if fi == nil || !fi.match(mode, op) {
+		return
+	}
+	if fi.seen.Add(1) != fi.spec.N {
+		return
+	}
+	fi.fired.Add(1)
+	if fi.spec.Kind == FaultPanic {
+		panic(InjectedPanic{Mode: mode, Op: op, N: fi.spec.N})
+	}
+	ThrowAbort("injected abort")
+}
+
+// AtCommit is the commit-point hook, called where an abort must be
+// reported as a commit failure rather than thrown (commit code runs
+// outside RunAttempt). It returns true when the commit must fail; a
+// FaultPanic fault panics instead, deliberately modelling a crash inside
+// the commit window.
+func (fi *FaultInjector) AtCommit(mode string) bool {
+	if fi == nil || !fi.match(mode, "commit") {
+		return false
+	}
+	if fi.seen.Add(1) != fi.spec.N {
+		return false
+	}
+	fi.fired.Add(1)
+	if fi.spec.Kind == FaultPanic {
+		panic(InjectedPanic{Mode: mode, Op: "commit", N: fi.spec.N})
+	}
+	return true
+}

@@ -91,7 +91,7 @@ func (w *hsyncWorker) Run(_ int, fn TxFunc) error {
 		w.tx.AddCheck(func() bool { return w.s.seq.Load() == seq })
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			return err
 		}
 		if ok && w.tx.Commit() == htm.AbortNone {
@@ -123,7 +123,7 @@ func (w *hsyncWorker) runSoft(fn TxFunc) error {
 		w.nreads, w.nwrites = 0, 0
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			return err
 		}
 		if ok && w.softCommit() {

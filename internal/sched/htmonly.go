@@ -80,7 +80,7 @@ func (w *htmOnlyWorker) Run(_ int, fn TxFunc) error {
 		w.tx.AddCheck(func() bool { return w.s.fallback.Load() == fb })
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			return err
 		}
 		if ok && w.tx.Commit() == htm.AbortNone {
@@ -127,7 +127,7 @@ func (w *htmOnlyWorker) runFallback(fn TxFunc) error {
 		return w.Run(0, fn)
 	}
 	if err != nil {
-		w.s.stats.UserStops.Add(1)
+		w.s.stats.NoteUserStop(err)
 		return err
 	}
 	w.commitStats()

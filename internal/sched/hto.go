@@ -117,7 +117,7 @@ func (w *htoWorker) Run(_ int, fn TxFunc) error {
 		w.finish(false)
 		unlock()
 		if ok {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			w.nreads, w.nwrites = 0, 0
 			return err
 		}

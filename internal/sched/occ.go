@@ -72,7 +72,7 @@ func (w *occWorker) Run(_ int, fn TxFunc) error {
 		w.reset()
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			return err
 		}
 		if ok && w.commit() {

@@ -16,7 +16,10 @@
 package sched
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 
 	"tufast/internal/mem"
 )
@@ -40,6 +43,31 @@ type TxFunc func(tx Tx) error
 // ErrAborted is the conventional error for a user-requested abort.
 var ErrAborted = errors.New("sched: transaction aborted by user")
 
+// TxPanicError reports a panic that escaped a user TxFunc. The attempt is
+// unwound exactly like a user abort — buffered writes are discarded, held
+// locks are released, undo logs are rolled back — and the panic surfaces
+// as this error from Run instead of crashing the worker goroutine.
+type TxPanicError struct {
+	// Value is the original panic payload.
+	Value any
+	// Stack is the stack trace captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *TxPanicError) Error() string {
+	return fmt.Sprintf("sched: panic in transaction: %v", e.Value)
+}
+
+// AsPanicError unwraps err to a *TxPanicError if one is in its chain.
+func AsPanicError(err error) (*TxPanicError, bool) {
+	var pe *TxPanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
 // Worker executes transactions on behalf of one goroutine. Workers are not
 // safe for concurrent use; create one per goroutine via Scheduler.Worker.
 type Worker interface {
@@ -48,6 +76,23 @@ type Worker interface {
 	// hint: the approximate number of shared words the transaction will
 	// touch (0 = unknown).
 	Run(sizeHint int, fn TxFunc) error
+}
+
+// CtxWorker is implemented by workers whose Run can be cancelled: RunCtx
+// behaves like Run but returns ctx.Err() (without committing) once ctx is
+// cancelled — including from inside lock-wait and retry loops. A nil ctx
+// or one that can never be cancelled costs nothing over Run.
+type CtxWorker interface {
+	Worker
+	RunCtx(ctx context.Context, sizeHint int, fn TxFunc) error
+}
+
+// Abandoner is implemented by workers that can verifiably reset in-flight
+// attempt state (held locks, undo logs, open segments) after a panic
+// escaped mid-attempt. AbandonInFlight returns true when the worker is
+// safe to reuse.
+type Abandoner interface {
+	AbandonInFlight() bool
 }
 
 // Scheduler is a transaction scheduling discipline over one mem.Space.
@@ -82,16 +127,45 @@ func ThrowAbort(reason string) {
 	panic(abortSig{reason: reason})
 }
 
-// RunAttempt invokes fn(tx), converting an internal abort panic into
-// ok=false. A user error is returned as err with ok=true.
+// cancelSig is the panic payload used to unwind an attempt blocked in a
+// lock-wait (or any other internal loop) when its context is cancelled.
+// RunAttempt converts it into a terminal error: the scheduler cleans up
+// exactly as for a user abort and Run returns err without retrying.
+type cancelSig struct {
+	err error
+}
+
+// ThrowCancel unwinds the current transaction attempt with a terminal
+// cancellation error (conventionally ctx.Err()).
+func ThrowCancel(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	panic(cancelSig{err: err})
+}
+
+// RunAttempt invokes fn(tx) and classifies how the attempt ended:
+//
+//   - normal return: (fn's error, ok=true) — nil commits, non-nil is a
+//     user abort the scheduler must not retry;
+//   - internal abort (ThrowAbort): (nil, ok=false) — the scheduler
+//     rolls back and retries;
+//   - cancellation (ThrowCancel): (ctx error, ok=true) — terminal, the
+//     scheduler rolls back and surfaces the error;
+//   - any other panic escaping fn: (*TxPanicError, ok=true) — terminal.
+//     The attempt is unwound like a user abort, so a panicking TxFunc
+//     never leaks locks, undo state, or a poisoned worker.
 func RunAttempt(tx Tx, fn TxFunc) (err error, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, is := r.(abortSig); is {
+			switch sig := r.(type) {
+			case abortSig:
 				err, ok = nil, false
-				return
+			case cancelSig:
+				err, ok = sig.err, true
+			default:
+				err, ok = &TxPanicError{Value: r, Stack: debug.Stack()}, true
 			}
-			panic(r)
 		}
 	}()
 	return fn(tx), true

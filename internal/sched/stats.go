@@ -6,15 +6,25 @@ import "sync/atomic"
 type Stats struct {
 	Commits   atomic.Uint64 // transactions committed
 	Aborts    atomic.Uint64 // attempts aborted and retried
-	UserStops atomic.Uint64 // transactions cancelled by user error
+	UserStops atomic.Uint64 // transactions stopped by user error, panic, or cancellation
+	Panics    atomic.Uint64 // user stops caused by a TxFunc panic (subset of UserStops)
 	Reads     atomic.Uint64 // committed read operations
 	Writes    atomic.Uint64 // committed write operations
 	Deadlocks atomic.Uint64 // deadlock victims (lock-based schedulers)
 }
 
+// NoteUserStop counts a terminal non-commit outcome, classifying panics
+// separately from plain user errors and cancellations.
+func (s *Stats) NoteUserStop(err error) {
+	s.UserStops.Add(1)
+	if _, isPanic := AsPanicError(err); isPanic {
+		s.Panics.Add(1)
+	}
+}
+
 // Snapshot is a plain-value copy of Stats.
 type Snapshot struct {
-	Commits, Aborts, UserStops, Reads, Writes, Deadlocks uint64
+	Commits, Aborts, UserStops, Panics, Reads, Writes, Deadlocks uint64
 }
 
 // Snapshot copies the current counters.
@@ -23,6 +33,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Commits:   s.Commits.Load(),
 		Aborts:    s.Aborts.Load(),
 		UserStops: s.UserStops.Load(),
+		Panics:    s.Panics.Load(),
 		Reads:     s.Reads.Load(),
 		Writes:    s.Writes.Load(),
 		Deadlocks: s.Deadlocks.Load(),
@@ -43,6 +54,7 @@ func (s *Stats) Reset() {
 	s.Commits.Store(0)
 	s.Aborts.Store(0)
 	s.UserStops.Store(0)
+	s.Panics.Store(0)
 	s.Reads.Store(0)
 	s.Writes.Store(0)
 	s.Deadlocks.Store(0)

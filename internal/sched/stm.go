@@ -55,7 +55,7 @@ func (w *stmWorker) Run(_ int, fn TxFunc) error {
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.tx.abort()
-			w.s.stats.UserStops.Add(1)
+			w.s.stats.NoteUserStop(err)
 			return err
 		}
 		if ok && w.tx.commit() {

@@ -1,8 +1,10 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tufast/internal/deadlock"
 	"tufast/internal/gentab"
@@ -37,10 +39,18 @@ type TPL struct {
 	// high contention" in the paper's Figure 7: blocking on an exclusive
 	// lock is cheap, repeated upgrade deadlocks are not.
 	exclusiveOnly bool
+
+	// faults is the deterministic fault-injection hook (tests only);
+	// TPL's operations carry the "L" mode label, matching its role as
+	// TuFast's L mode.
+	faults atomic.Pointer[FaultInjector]
 }
 
 // SetExclusiveOnly switches every acquisition to exclusive mode.
 func (s *TPL) SetExclusiveOnly(on bool) { s.exclusiveOnly = on }
+
+// SetFaultInjector installs (or, with nil, removes) a fault injector.
+func (s *TPL) SetFaultInjector(fi *FaultInjector) { s.faults.Store(fi) }
 
 // NewTPL creates a 2PL scheduler. det may be nil unless mode is Detect.
 func NewTPL(sp *mem.Space, locks *vlock.Table, det *deadlock.Detector, mode deadlock.Mode) *TPL {
@@ -89,6 +99,10 @@ type TPLWorker struct {
 	undo  []undoRec
 	bo    Backoff
 
+	// ctx is the cancellation context of the in-flight RunCtx call (nil
+	// when the transaction is not cancellable); lock-wait loops poll it.
+	ctx context.Context
+
 	nreads, nwrites       uint64
 	lastReads, lastWrites uint64
 }
@@ -108,23 +122,8 @@ const upgradeSpinLimit = 1 << 14
 func (w *TPLWorker) Run(_ int, fn TxFunc) error {
 	consecutive := 0
 	for {
-		exclusive := consecutive >= starveLimit
-		if exclusive {
-			w.s.drain.Lock()
-		} else {
-			w.s.drain.RLock()
-		}
-		err, ok := RunAttempt(w, fn)
-		unlock := func() {
-			if exclusive {
-				w.s.drain.Unlock()
-			} else {
-				w.s.drain.RUnlock()
-			}
-		}
-		if ok && err == nil {
-			w.finish(true)
-			unlock()
+		err, ok, committed := w.attempt(fn, consecutive >= starveLimit)
+		if committed {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
@@ -132,18 +131,79 @@ func (w *TPLWorker) Run(_ int, fn TxFunc) error {
 			w.bo.Reset()
 			return nil
 		}
-		w.finish(false)
-		unlock()
-		if ok { // user abort: do not retry
-			w.s.stats.UserStops.Add(1)
+		if ok { // user abort, panic, or cancellation: do not retry
+			w.s.stats.NoteUserStop(err)
 			w.resetCounters()
+			w.bo.Reset()
 			return err
 		}
 		w.s.stats.Aborts.Add(1)
 		w.resetCounters()
 		consecutive++
+		if err := w.ctxErr(); err != nil {
+			w.bo.Reset()
+			return err
+		}
 		w.bo.Wait()
 	}
+}
+
+// RunCtx implements CtxWorker: Run, but returning ctx.Err() promptly
+// (with all locks released and writes rolled back) once ctx is cancelled,
+// even from inside a lock-wait loop.
+func (w *TPLWorker) RunCtx(ctx context.Context, sizeHint int, fn TxFunc) error {
+	if ctx == nil || ctx.Done() == nil {
+		return w.Run(sizeHint, fn)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.ctx = ctx
+	defer func() { w.ctx = nil }()
+	return w.Run(sizeHint, fn)
+}
+
+func (w *TPLWorker) ctxErr() error {
+	if w.ctx == nil {
+		return nil
+	}
+	return w.ctx.Err()
+}
+
+// attempt runs one attempt under the starvation drain. The drain is
+// released by defer so that a panic escaping the commit window (fault
+// injection, internal bugs) cannot wedge every other worker; the vertex
+// locks such a panic leaves behind are reclaimed by AbandonInFlight.
+func (w *TPLWorker) attempt(fn TxFunc, exclusive bool) (err error, ok, committed bool) {
+	if exclusive {
+		w.s.drain.Lock()
+		defer w.s.drain.Unlock()
+	} else {
+		w.s.drain.RLock()
+		defer w.s.drain.RUnlock()
+	}
+	err, ok = RunAttempt(w, fn)
+	if ok && err == nil {
+		if w.s.faults.Load().AtCommit("L") {
+			w.finish(false)
+			return nil, false, false
+		}
+		w.finish(true)
+		return nil, true, true
+	}
+	w.finish(false)
+	return err, ok, false
+}
+
+// AbandonInFlight implements Abandoner: it rolls back and releases
+// whatever a panic-interrupted attempt still holds (undo log first, then
+// locks), clears the deadlock-detector state, and resets the backoff so a
+// pooled reuse starts fresh. Idempotent; a clean worker is a no-op.
+func (w *TPLWorker) AbandonInFlight() bool {
+	w.finish(false)
+	w.resetCounters()
+	w.bo.Reset()
+	return true
 }
 
 func (w *TPLWorker) resetCounters() {
@@ -179,6 +239,7 @@ func (w *TPLWorker) finish(commit bool) {
 // Read implements Tx.
 func (w *TPLWorker) Read(v uint32, addr mem.Addr) uint64 {
 	simcost.Tax()
+	w.s.faults.Load().At("L", "read")
 	if _, ok := w.held.Get(uint64(v)); !ok {
 		if w.s.exclusiveOnly {
 			w.lockExclusive(v)
@@ -193,6 +254,7 @@ func (w *TPLWorker) Read(v uint32, addr mem.Addr) uint64 {
 // Write implements Tx.
 func (w *TPLWorker) Write(v uint32, addr mem.Addr, val uint64) {
 	simcost.Tax()
+	w.s.faults.Load().At("L", "write")
 	if m, ok := w.held.Get(uint64(v)); !ok || uint8(m) != holdExcl {
 		w.lockExclusive(v)
 	}
@@ -229,7 +291,9 @@ func (w *TPLWorker) lockExclusive(v uint32) {
 }
 
 // block acquires a lock via try, spinning according to the deadlock mode.
-// On deadlock (or no-wait failure) it unwinds the attempt.
+// On deadlock (or no-wait failure) it unwinds the attempt; on context
+// cancellation it unwinds terminally via ThrowCancel, so a cancelled
+// transaction stuck behind a lock returns instead of spinning forever.
 func (w *TPLWorker) block(v uint32, exclusive bool, try func() bool) {
 	if try() {
 		return
@@ -248,6 +312,9 @@ func (w *TPLWorker) block(v uint32, exclusive bool, try func() bool) {
 				ThrowAbort("upgrade stall")
 			}
 			if i&15 == 15 {
+				if err := w.ctxErr(); err != nil {
+					ThrowCancel(err)
+				}
 				runtime.Gosched()
 			}
 		}
@@ -262,6 +329,10 @@ func (w *TPLWorker) block(v uint32, exclusive bool, try func() bool) {
 				return
 			}
 			if i&15 == 15 {
+				if err := w.ctxErr(); err != nil {
+					w.s.det.EndWait(w.tid)
+					ThrowCancel(err)
+				}
 				runtime.Gosched()
 			}
 		}

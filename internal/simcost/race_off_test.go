@@ -1,0 +1,5 @@
+//go:build !race
+
+package simcost
+
+const raceEnabled = false

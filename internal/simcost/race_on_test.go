@@ -1,0 +1,8 @@
+//go:build race
+
+package simcost
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// ratio assertions are skipped under it (instrumentation overhead on the
+// cheap path compresses the enabled/disabled gap below any useful bound).
+const raceEnabled = true

@@ -7,6 +7,7 @@ package worklist
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -15,15 +16,39 @@ import (
 // goroutines, handing out chunks of `grain` items dynamically so skewed
 // chunk costs (power-law vertices!) still balance.
 func Range(n, workers, grain int, fn func(tid, lo, hi int)) {
+	RangeCtx(context.Background(), n, workers, grain, fn)
+}
+
+// RangeCtx is Range with cancellation: ctx is checked at every chunk
+// boundary, and once it is cancelled no further chunk is claimed (chunks
+// already running finish — fn is never interrupted mid-call). Returns
+// ctx.Err() when the sweep was cut short, nil when it covered all of
+// [0, n).
+func RangeCtx(ctx context.Context, n, workers, grain int, fn func(tid, lo, hi int)) error {
 	if n <= 0 {
-		return
-	}
-	if workers <= 1 || n <= grain {
-		fn(0, 0, n)
-		return
+		return ctx.Err()
 	}
 	if grain <= 0 {
 		grain = 64
+	}
+	cancellable := ctx.Done() != nil
+	if workers <= 1 || n <= grain {
+		if !cancellable {
+			fn(0, 0, n)
+			return nil
+		}
+		// Single-worker path still honours chunk-boundary cancellation.
+		for lo := 0; lo < n; lo += grain {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(0, lo, hi)
+		}
+		return nil
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -32,6 +57,9 @@ func Range(n, workers, grain int, fn func(tid, lo, hi int)) {
 		go func(tid int) {
 			defer wg.Done()
 			for {
+				if cancellable && ctx.Err() != nil {
+					return
+				}
 				lo := int(cursor.Add(int64(grain))) - grain
 				if lo >= n {
 					return
@@ -45,6 +73,7 @@ func Range(n, workers, grain int, fn func(tid, lo, hi int)) {
 		}(tid)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Queue is an unbounded MPMC FIFO of vertex ids, chunk-sharded to keep
@@ -84,7 +113,10 @@ func (q *Queue) Push(v uint32) {
 // queue is observed empty.
 func (q *Queue) Pop() (uint32, bool) {
 	n := len(q.shards)
-	start := int(q.next.Add(1))
+	// Reduce the rotation counter in uint64 space BEFORE converting: a
+	// plain int(q.next.Add(1)) goes negative once the counter passes
+	// MaxInt64, and a negative start makes (start+i)%n a negative index.
+	start := int(q.next.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		s := &q.shards[(start+i)%n]
 		s.mu.Lock()
@@ -156,7 +188,9 @@ func (q *PQ) Push(v uint32, prio uint64) {
 // Pop removes a minimal-priority item from some shard.
 func (q *PQ) Pop() (uint32, uint64, bool) {
 	n := len(q.shards)
-	start := int(q.next.Add(1))
+	// See Queue.Pop: reduce modulo n in uint64 space to survive counter
+	// wrap past MaxInt64.
+	start := int(q.next.Add(1) % uint64(n))
 	for i := 0; i < n; i++ {
 		s := &q.shards[(start+i)%n]
 		s.mu.Lock()

@@ -1,0 +1,113 @@
+package worklist
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueuePopCounterWrap pre-seeds the pop-rotation counter past
+// MaxInt64: a plain int conversion would go negative and make the shard
+// index (start+i)%n negative, panicking on the slice access.
+func TestQueuePopCounterWrap(t *testing.T) {
+	q := NewQueue(3)
+	q.next.Store(math.MaxInt64 - 1) // the next few Adds cross the sign boundary
+	for i := uint32(0); i < 16; i++ {
+		q.Push(i)
+	}
+	got := 0
+	for i := 0; i < 16; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d: queue empty early", i)
+		}
+		got++
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue should be empty")
+	}
+	if got != 16 {
+		t.Fatalf("popped %d of 16", got)
+	}
+	// And across the full uint64 wrap as well.
+	q.next.Store(math.MaxUint64 - 1)
+	q.Push(7)
+	q.Push(8)
+	q.Push(9)
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d after uint64 wrap failed", i)
+		}
+	}
+}
+
+// TestPQPopCounterWrap is the same regression for the priority queue.
+func TestPQPopCounterWrap(t *testing.T) {
+	q := NewPQ(3)
+	q.next.Store(math.MaxInt64 - 1)
+	for i := uint32(0); i < 16; i++ {
+		q.Push(i, uint64(i))
+	}
+	for i := 0; i < 16; i++ {
+		if _, _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d: pq empty early", i)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pq should be empty")
+	}
+}
+
+// TestRangeCtxCancel checks that a cancelled context stops the sweep at a
+// chunk boundary: chunks claimed after the cancel must be zero.
+func TestRangeCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int64
+	err := RangeCtx(ctx, 1_000_000, 4, 64, func(_, lo, hi int) {
+		if chunks.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After cancel, each of the 4 workers may finish at most the chunk it
+	// was already running; no new chunks are claimed.
+	if n := chunks.Load(); n > 8+4 {
+		t.Fatalf("claimed %d chunks after cancellation", n)
+	}
+}
+
+// TestRangeCtxSingleWorkerCancel covers the workers<=1 path, which chunks
+// the loop so cancellation still takes effect.
+func TestRangeCtxSingleWorkerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var items atomic.Int64
+	err := RangeCtx(ctx, 1_000_000, 1, 64, func(_, lo, hi int) {
+		items.Add(int64(hi - lo))
+		if items.Load() >= 128 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := items.Load(); n >= 1_000_000 {
+		t.Fatal("sweep ran to completion despite cancellation")
+	}
+}
+
+// TestRangeCtxComplete checks the nil-error complete-sweep contract.
+func TestRangeCtxComplete(t *testing.T) {
+	var items atomic.Int64
+	if err := RangeCtx(context.Background(), 10_000, 4, 64, func(_, lo, hi int) {
+		items.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if items.Load() != 10_000 {
+		t.Fatalf("covered %d of 10000", items.Load())
+	}
+}

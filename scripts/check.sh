@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's pre-merge gate: formatting, vet, and the test
+# suite under the race detector (short profile). Run from the repo root
+# or anywhere inside it; `make check` is an alias.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+echo "ok"
+
+echo "== go test -race (short) =="
+go test -race -short ./...
+
+echo "All checks passed."

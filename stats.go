@@ -8,8 +8,10 @@ import (
 // Stats is a snapshot of a System's scheduling activity.
 type Stats struct {
 	// Commits counts committed transactions; Aborts counts retried
-	// attempts; UserStops counts user-cancelled transactions.
-	Commits, Aborts, UserStops uint64
+	// attempts; UserStops counts transactions stopped terminally by a
+	// user error, panic, or cancellation; Panics is the subset of
+	// UserStops caused by a panicking TxFunc.
+	Commits, Aborts, UserStops, Panics uint64
 	// Reads and Writes count committed transactional operations.
 	Reads, Writes uint64
 	// Mode breaks committed transactions down by the path they took
@@ -48,6 +50,7 @@ func (s *System) StatsSnapshot() Stats {
 		Commits:       cs.Commits,
 		Aborts:        cs.Aborts,
 		UserStops:     cs.UserStops,
+		Panics:        cs.Panics,
 		Reads:         cs.Reads,
 		Writes:        cs.Writes,
 		Mode:          mode,

@@ -34,6 +34,7 @@
 package tufast
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +53,15 @@ import (
 // (matching, parents, component ids): the all-ones word, which is never a
 // valid vertex id.
 const None = ^uint64(0)
+
+// TxPanicError is returned by Atomic / ForEachVertex / ForEachQueued when
+// a user transaction function panics. The runtime guarantees the panicking
+// transaction was fully unwound first: buffered writes discarded, in-place
+// L-mode writes rolled back, and every vertex lock released — the System
+// remains healthy and subsequent transactions commit normally. Value holds
+// the original panic payload and Stack the stack trace at recovery; use
+// errors.As to detect it.
+type TxPanicError = sched.TxPanicError
 
 // Addr is a word address inside a System's shared memory space.
 type Addr = uint64
@@ -182,7 +192,22 @@ func (s *System) Worker() *Worker {
 }
 
 // Release returns a worker obtained from Worker to the pool.
+//
+// A worker whose last transaction was unwound by a panic (its Atomic call
+// never returned) may still carry in-flight state: held vertex locks,
+// an open undo log, escalated backoff. Pooling such a worker as-is would
+// poison a later transaction, so Release first asks the scheduler to
+// verifiably reset it (releasing leftover locks and rolling back in-place
+// writes); if the scheduler cannot, the worker is discarded — its thread
+// id is retired rather than recycled into a corrupted context.
 func (s *System) Release(w *Worker) {
+	if w.busy {
+		a, ok := w.inner.(sched.Abandoner)
+		if !ok || !a.AbandonInFlight() {
+			return // discard: never pool a worker with in-flight state
+		}
+		w.busy = false
+	}
 	s.wmu.Lock()
 	s.free = append(s.free, w)
 	s.wmu.Unlock()
@@ -191,34 +216,61 @@ func (s *System) Release(w *Worker) {
 // Atomic runs fn as one serializable transaction on a pooled worker.
 // sizeHint is the paper's BEGIN(size) hint — approximately how many
 // shared words fn will touch (a vertex's degree, usually); 0 = unknown.
+//
+// If fn panics, the transaction is rolled back (no lock is leaked, no
+// write becomes visible) and the panic is returned as a *TxPanicError.
 func (s *System) Atomic(sizeHint int, fn func(tx Tx) error) error {
+	return s.AtomicCtx(context.Background(), sizeHint, fn)
+}
+
+// AtomicCtx is Atomic with cancellation: once ctx is cancelled the
+// transaction stops retrying — and, in L mode, stops waiting for vertex
+// locks — rolls back, and returns ctx.Err(). A transaction that already
+// entered its commit phase commits.
+func (s *System) AtomicCtx(ctx context.Context, sizeHint int, fn func(tx Tx) error) error {
 	w := s.Worker()
 	defer s.Release(w)
-	return w.Atomic(sizeHint, fn)
+	return w.AtomicCtx(ctx, sizeHint, fn)
 }
 
 // ForEachVertex runs fn once for every vertex as its own transaction,
 // in parallel, using the vertex degree as the size hint (the paper's
 // parallel_for + BEGIN(degree[v]) idiom). The first user error stops
-// the sweep (best effort) and is returned.
+// the sweep (best effort) and is returned; a panicking fn stops it with
+// a *TxPanicError.
 func (s *System) ForEachVertex(fn func(tx Tx, v uint32) error) error {
+	return s.ForEachVertexCtx(context.Background(), fn)
+}
+
+// ForEachVertexCtx is ForEachVertex with cancellation: ctx is checked at
+// every chunk boundary, between vertices, and inside lock waits, so a
+// cancelled sweep returns ctx.Err() promptly instead of draining the
+// remaining vertices.
+func (s *System) ForEachVertexCtx(ctx context.Context, fn func(tx Tx, v uint32) error) error {
 	n := s.g.NumVertices()
+	cancellable := ctx.Done() != nil
 	var firstErr atomic.Value
-	worklist.Range(n, s.threads, 256, func(_, lo, hi int) {
+	worklist.RangeCtx(ctx, n, s.threads, 256, func(_, lo, hi int) {
 		w := s.Worker()
 		defer s.Release(w)
 		for v := lo; v < hi; v++ {
 			if firstErr.Load() != nil {
 				return
 			}
+			if cancellable && ctx.Err() != nil {
+				return
+			}
 			vid := uint32(v)
 			hint := s.g.Degree(vid)*2 + 2
-			if err := w.Atomic(hint, func(tx Tx) error { return fn(tx, vid) }); err != nil {
+			if err := w.AtomicCtx(ctx, hint, func(tx Tx) error { return fn(tx, vid) }); err != nil {
 				firstErr.CompareAndSwap(nil, err)
 				return
 			}
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if e := firstErr.Load(); e != nil {
 		return e.(error)
 	}
@@ -230,7 +282,23 @@ func (s *System) ForEachVertex(fn func(tx Tx, v uint32) error) error {
 // pass a FIFO Queue for Bellman-Ford or a PQ for SPFA via the Source
 // interface). Workers exit when the queue stays empty and all workers
 // are idle.
+//
+// Pushing into q from inside fn happens before the transaction's writes
+// become visible (and also on attempts that later abort and retry), so a
+// popped vertex can observe pre-push state and a push is not a promise
+// that its triggering write committed. Write fn so that a stale or
+// spurious wakeup is harmless — re-check the activating condition
+// transactionally and do nothing if it no longer holds, as the
+// tufast/algorithms implementations do.
 func (s *System) ForEachQueued(q Source, fn func(tx Tx, v uint32) error) error {
+	return s.ForEachQueuedCtx(context.Background(), q, fn)
+}
+
+// ForEachQueuedCtx is ForEachQueued with cancellation: every worker polls
+// ctx between transactions and while idle, so a cancelled drain returns
+// ctx.Err() promptly even when the queue never empties.
+func (s *System) ForEachQueuedCtx(ctx context.Context, q Source, fn func(tx Tx, v uint32) error) error {
+	cancellable := ctx.Done() != nil
 	var firstErr atomic.Value
 	var idle atomic.Int64
 	var wg sync.WaitGroup
@@ -240,22 +308,35 @@ func (s *System) ForEachQueued(q Source, fn func(tx Tx, v uint32) error) error {
 			defer wg.Done()
 			w := s.Worker()
 			defer s.Release(w)
+			// Quiesce invariant: EVERY exit path leaves this worker's
+			// idle contribution permanently counted (the success exit
+			// keeps the increment it just made; error, panic, and
+			// cancellation exits add one on the way out). The remaining
+			// workers can therefore always reach the all-idle threshold
+			// and terminate, no matter in which order and for which
+			// reason their peers left.
 			idleSpins := 0
 			for {
 				if firstErr.Load() != nil {
+					idle.Add(1)
 					return
+				}
+				if cancellable {
+					if err := ctx.Err(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						idle.Add(1)
+						return
+					}
 				}
 				v, ok := q.Pop()
 				if ok {
 					idleSpins = 0
 				}
 				if !ok {
-					// Quiesce: leave only when every worker is idle and
-					// the queue is empty — then nobody can still push.
-					// An exiting worker keeps its idle contribution so
-					// the remaining workers reach the threshold too.
+					// Leave only when every worker is idle and the queue
+					// is empty — then nobody can still push.
 					n := idle.Add(1)
-					if int(n) == s.threads && q.Len() == 0 {
+					if int(n) >= s.threads && q.Len() == 0 {
 						return
 					}
 					idleSpins++
@@ -268,14 +349,18 @@ func (s *System) ForEachQueued(q Source, fn func(tx Tx, v uint32) error) error {
 					continue
 				}
 				hint := s.g.Degree(v)*2 + 2
-				if err := w.Atomic(hint, func(tx Tx) error { return fn(tx, v) }); err != nil {
+				if err := w.AtomicCtx(ctx, hint, func(tx Tx) error { return fn(tx, v) }); err != nil {
 					firstErr.CompareAndSwap(nil, err)
+					idle.Add(1)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if e := firstErr.Load(); e != nil {
 		return e.(error)
 	}
@@ -293,13 +378,35 @@ type Source interface {
 type Worker struct {
 	sys   *System
 	inner sched.Worker
+	// busy is set for the duration of an Atomic call; it stays set only
+	// when a panic unwound the call, marking in-flight state for Release.
+	busy bool
 }
 
 // Atomic runs fn as one serializable transaction.
 func (w *Worker) Atomic(sizeHint int, fn func(tx Tx) error) error {
-	return w.inner.Run(sizeHint, func(t sched.Tx) error {
-		return fn(Tx{t: t})
-	})
+	return w.AtomicCtx(context.Background(), sizeHint, fn)
+}
+
+// AtomicCtx runs fn as one serializable transaction that stops retrying
+// (and stops waiting for locks) with ctx.Err() once ctx is cancelled.
+func (w *Worker) AtomicCtx(ctx context.Context, sizeHint int, fn func(tx Tx) error) error {
+	w.busy = true
+	wrapped := func(t sched.Tx) error { return fn(Tx{t: t}) }
+	var err error
+	if cw, ok := w.inner.(sched.CtxWorker); ok {
+		err = cw.RunCtx(ctx, sizeHint, wrapped)
+	} else {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				w.busy = false
+				return cerr
+			}
+		}
+		err = w.inner.Run(sizeHint, wrapped)
+	}
+	w.busy = false
+	return err
 }
 
 // Tx is the transactional handle: every shared read/write names the
