@@ -1,12 +1,17 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test check bench
+.PHONY: build test lint check bench
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# lint runs the transaction-contract analyzers alone; the full gate
+# (make check) includes them after go vet.
+lint:
+	go run ./cmd/tufastcheck ./...
 
 check:
 	./scripts/check.sh

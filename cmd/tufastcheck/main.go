@@ -1,0 +1,145 @@
+// Command tufastcheck statically verifies user code against the TuFast
+// transaction contract: the API rules the runtime cannot check at run
+// time but serializability depends on.
+//
+//	tufastcheck [-json] [-enable a,b] [packages...]
+//
+// Packages default to ./... and use the usual pattern syntax ("...":
+// recursive). The exit status is 0 when no findings survive, 1 when at
+// least one diagnostic was reported, and 2 on load or usage errors.
+//
+// Analyzers (all enabled by default, select with -enable):
+//
+//	nakedaccess    direct VertexArray/Space access inside a transaction
+//	txescape       the Tx handle outlives its attempt
+//	retryunsafe    non-idempotent operation in a retryable TxFunc
+//	orderediter    iteration order violating DeadlockPreventOrdered
+//	ownermismatch  owner vertex and Addr index disagree
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//tufast:ignore retryunsafe approximate metric, duplicates fine
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tufast/internal/analysis"
+	"tufast/internal/analysis/checkers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("tufastcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: tufastcheck [-json] [-enable a,b] [packages...]\n\nanalyzers:\n")
+		for _, a := range checkers.Analyzers() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*enable)
+	if err != nil {
+		fmt.Fprintln(stderr, "tufastcheck:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "tufastcheck:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "tufastcheck:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "tufastcheck:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "tufastcheck:", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Analyzer, d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "tufastcheck:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "tufastcheck: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -enable list (empty = all).
+func selectAnalyzers(enable string) ([]*analysis.Analyzer, error) {
+	all := checkers.Analyzers()
+	if enable == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(enable, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-enable selected no analyzers")
+	}
+	return picked, nil
+}

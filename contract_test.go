@@ -1,0 +1,114 @@
+// contract_test.go — the transaction contract from the user's side of
+// the fence: a panicking TxFunc must surface as *TxPanicError through
+// every public entry point, stay extractable with errors.As even after
+// user-side wrapping, and show up in the public stats. tufastcheck's
+// analyzers enforce the static half of the contract; these tests pin
+// the runtime half.
+package tufast_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"tufast"
+)
+
+func TestTxPanicErrorExtractionThroughAtomic(t *testing.T) {
+	g := tufast.GenerateUniform(32, 4, 1)
+	s := tufast.NewSystem(g, tufast.Options{Threads: 2})
+	arr := s.NewVertexArray(0)
+
+	err := s.Atomic(4, func(tx tufast.Tx) error {
+		tx.Write(3, arr.Addr(3), 1)
+		panic("contract violation")
+	})
+	var pe *tufast.TxPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Atomic: err = %v (%T), want *TxPanicError", err, err)
+	}
+	if pe.Value != "contract violation" {
+		t.Fatalf("panic value = %v, want contract violation", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("TxPanicError.Stack is empty")
+	}
+
+	// Callers wrap errors on the way up; extraction must survive it.
+	wrapped := fmt.Errorf("analytics pass failed: %w", err)
+	pe = nil
+	if !errors.As(wrapped, &pe) || pe.Value != "contract violation" {
+		t.Fatalf("errors.As through wrapping: got %v from %v", pe, wrapped)
+	}
+
+	st := s.StatsSnapshot()
+	if st.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", st.Panics)
+	}
+	if st.UserStops < st.Panics {
+		t.Fatalf("Stats.UserStops = %d < Panics = %d; panics must count as user stops",
+			st.UserStops, st.Panics)
+	}
+}
+
+func TestTxPanicErrorExtractionThroughForEachVertexCtx(t *testing.T) {
+	g := tufast.GenerateUniform(256, 4, 3)
+	s := tufast.NewSystem(g, tufast.Options{Threads: 4})
+	arr := s.NewVertexArray(0)
+
+	err := s.ForEachVertexCtx(context.Background(), func(tx tufast.Tx, v uint32) error {
+		if v == 17 {
+			panic(fmt.Sprintf("vertex %d", v))
+		}
+		tx.Write(v, arr.Addr(v), uint64(v)+1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("ForEachVertexCtx: panicking TxFunc returned nil error")
+	}
+	var pe *tufast.TxPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("ForEachVertexCtx: err = %v (%T), want *TxPanicError", err, err)
+	}
+	if pe.Value != "vertex 17" {
+		t.Fatalf("panic value = %v, want vertex 17", pe.Value)
+	}
+
+	// The panic is terminal for its transaction: the panicking vertex's
+	// write rolled back, while vertices that committed kept theirs.
+	if got := arr.Get(17); got != 0 {
+		t.Fatalf("vertex 17 = %d, want 0 (rolled back)", got)
+	}
+
+	st := s.StatsSnapshot()
+	if st.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", st.Panics)
+	}
+	if st.UserStops < st.Panics {
+		t.Fatalf("Stats.UserStops = %d < Panics = %d", st.UserStops, st.Panics)
+	}
+}
+
+// TestStatsPanicsAccumulate pins that Panics counts every terminal
+// panic, is monotone across entry points, and resets with ResetStats.
+func TestStatsPanicsAccumulate(t *testing.T) {
+	g := tufast.GenerateUniform(32, 4, 1)
+	s := tufast.NewSystem(g, tufast.Options{Threads: 2})
+
+	for i := 0; i < 3; i++ {
+		err := s.Atomic(2, func(tx tufast.Tx) error { panic(i) })
+		var pe *tufast.TxPanicError
+		if !errors.As(err, &pe) || pe.Value != i {
+			t.Fatalf("panic %d: err = %v", i, err)
+		}
+	}
+	if st := s.StatsSnapshot(); st.Panics != 3 {
+		t.Fatalf("Stats.Panics = %d, want 3", st.Panics)
+	}
+
+	s.ResetStats()
+	if st := s.StatsSnapshot(); st.Panics != 0 || st.UserStops != 0 {
+		t.Fatalf("after ResetStats: Panics=%d UserStops=%d, want 0,0", st.Panics, st.UserStops)
+	}
+}

@@ -10,7 +10,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
 	"time"
 
 	"tufast"
@@ -64,10 +63,8 @@ func main() {
 		}
 	}()
 
-	var processed atomic.Uint64
 	startTime = time.Now()
 	err := sys.ForEachQueued(q, func(tx tufast.Tx, v uint32) error {
-		processed.Add(1)
 		rv := tx.ReadFloat(v, resid.Addr(v))
 		if rv <= eps {
 			return nil
@@ -115,8 +112,11 @@ func main() {
 			}
 		}
 	}
+	// Count committed vertex transactions from the scheduler stats: an
+	// in-transaction counter would tick once per retried attempt, not
+	// once per commit (tufastcheck's retryunsafe rule).
 	fmt.Printf("\nconverged after %d vertex transactions in %v\n",
-		processed.Load(), time.Since(startTime).Round(time.Millisecond))
+		sys.StatsSnapshot().Commits, time.Since(startTime).Round(time.Millisecond))
 	fmt.Println("top ranked vertices (degree in parentheses):")
 	for _, t := range top {
 		fmt.Printf("  v%-8d rank %.4f (degree %d)\n", t.v, t.r, g.Degree(t.v))

@@ -1,0 +1,106 @@
+// Package analysis is a small, stdlib-only static-analysis framework:
+// package loading and type-checking (go/parser + go/types with the
+// source importer — no external module dependencies), an Analyzer/Pass
+// abstraction in the style of golang.org/x/tools/go/analysis, position
+// reporting, and //tufast:ignore suppression comments.
+//
+// It exists to host tufastcheck, the transaction-contract analyzer suite
+// (see cmd/tufastcheck and internal/analysis/checkers), but is generic:
+// an Analyzer is any function over a type-checked package that reports
+// diagnostics.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -enable flags and
+	// //tufast:ignore comments. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description shown by the CLI's usage text.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Reportf. It must not retain pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package to one analyzer invocation.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: an analyzer name, a resolved file position
+// and a message.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies each analyzer to each package and returns the surviving
+// diagnostics: findings suppressed by a //tufast:ignore comment (same
+// line or the line directly above) are dropped, the rest are sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	kept := diags[:0]
+	ignores := collectIgnores(pkgs)
+	for _, d := range diags {
+		if !ignores.match(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//tufast:ignore", nil, true},
+		{"//tufast:ignore retryunsafe", []string{"retryunsafe"}, true},
+		{"//tufast:ignore a,b some reason", []string{"a", "b"}, true},
+		{"//tufast:ignore  a, b", []string{"a"}, true}, // second field is the reason
+		{"//tufast:ignored", nil, false},
+		{"// tufast:ignore a", nil, false},
+		{"//tufast:ignore\ta reason", []string{"a"}, true},
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseIgnore(c.text)
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root, path, goVer, err := findModule(mustAbs(t, "."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "tufast" {
+		t.Fatalf("module path = %q, want tufast", path)
+	}
+	if filepath.Base(root) == "" || !strings.HasPrefix(goVer, "go1") {
+		t.Fatalf("root=%q goVersion=%q", root, goVer)
+	}
+	if mustAbs(t, ".") != filepath.Join(root, "internal", "analysis") {
+		t.Fatalf("unexpected module root %q", root)
+	}
+}
+
+func TestExpandSkipsTestdataAndHiddenDirs(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand(l.ModuleRoot(), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRoot, sawAlgo bool
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") || strings.Contains(d, string(filepath.Separator)+".") {
+			t.Errorf("Expand included excluded dir %s", d)
+		}
+		if d == l.ModuleRoot() {
+			sawRoot = true
+		}
+		if d == filepath.Join(l.ModuleRoot(), "internal", "algo") {
+			sawAlgo = true
+		}
+	}
+	if !sawRoot || !sawAlgo {
+		t.Fatalf("Expand missed expected dirs (root=%v algo=%v) in %v", sawRoot, sawAlgo, dirs)
+	}
+}
+
+func TestLoadTypechecksModulePackage(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(l.ModuleRoot(), "internal", "worklist")
+	pkgs, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.PkgPath != "tufast/internal/worklist" {
+		t.Fatalf("PkgPath = %q", pkg.PkgPath)
+	}
+	if pkg.Types == nil || !pkg.Types.Complete() {
+		t.Fatalf("package not type-checked")
+	}
+	if len(pkg.Info.Defs) == 0 || len(pkg.Info.Uses) == 0 {
+		t.Fatalf("empty type info")
+	}
+	// The cache must return the identical package on reload.
+	again, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != pkg {
+		t.Fatalf("Load did not cache")
+	}
+}
+
+func TestRunAppliesIgnores(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(l.ModuleRoot(), "internal", "worklist")
+	pkgs, err := l.Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An analyzer that reports at every file's package clause: no
+	// worklist file carries an ignore directive, so every file reports.
+	reportAll := &Analyzer{
+		Name: "reportall",
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Name.Pos(), "package clause of %s", f.Name.Name)
+			}
+		},
+	}
+	diags := Run(pkgs, []*Analyzer{reportAll})
+	if len(diags) != len(pkgs[0].Files) {
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(pkgs[0].Files))
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i].Pos.Filename < diags[i-1].Pos.Filename {
+			t.Fatalf("diagnostics not sorted: %v", diags)
+		}
+	}
+	if diags[0].Analyzer != "reportall" || !strings.Contains(diags[0].String(), "[reportall]") {
+		t.Fatalf("bad diagnostic formatting: %v", diags[0])
+	}
+}
+
+func TestIgnoreSetMatching(t *testing.T) {
+	set := ignoreSet{
+		"f.go": {
+			3: nil,                     // bare ignore: everything
+			7: []string{"retryunsafe"}, // named ignore
+		},
+	}
+	mk := func(line int, analyzer string) Diagnostic {
+		d := Diagnostic{Analyzer: analyzer}
+		d.Pos.Filename = "f.go"
+		d.Pos.Line = line
+		return d
+	}
+	if !set.match(mk(3, "anything")) {
+		t.Error("bare ignore must match every analyzer")
+	}
+	if !set.match(mk(7, "retryunsafe")) {
+		t.Error("named ignore must match its analyzer")
+	}
+	if set.match(mk(7, "nakedaccess")) {
+		t.Error("named ignore must not match other analyzers")
+	}
+	if set.match(mk(9, "retryunsafe")) {
+		t.Error("uncovered line must not match")
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,119 @@
+// Package analysistest runs analyzers over golden testdata packages and
+// checks their diagnostics against expectations embedded in the source:
+//
+//	tx.Write(u, arr.Addr(v), 0) // want "owner"
+//
+// A `// want "substr"` comment (one or more quoted substrings) on a line
+// means each substring must be matched by a diagnostic reported on that
+// line; any diagnostic on a line without a matching want fails the test.
+// Negative cases therefore need no annotation — idiomatic code with no
+// comment asserts silence — but `// nowant` may be used to document
+// them.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"tufast/internal/analysis"
+)
+
+// loaders caches one Loader per module root: the expensive part of a
+// load is type-checking the standard library and the tufast module
+// itself from source, which every testdata package shares.
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*analysis.Loader{}
+)
+
+func sharedLoader(t *testing.T, dir string) *analysis.Loader {
+	t.Helper()
+	probe, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	if l, ok := loaders[probe.ModuleRoot()]; ok {
+		return l
+	}
+	loaders[probe.ModuleRoot()] = probe
+	return probe
+}
+
+// wantRe matches the quoted substrings of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one unmatched want substring.
+type expectation struct {
+	file string
+	line int
+	sub  string
+}
+
+// Run loads the package rooted at dir, applies the analyzers, and
+// compares diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader := sharedLoader(t, abs)
+	pkgs, err := loader.Load([]string{abs})
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllString(c.Text[idx:], -1) {
+						sub, err := strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("analysistest: bad want string %s at %s:%d: %v", m, pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, sub: sub})
+					}
+				}
+			}
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w != nil && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.sub) {
+				matched = true
+				// Consume the expectation.
+				for i := range wants {
+					if wants[i] == w {
+						wants[i] = nil
+						break
+					}
+				}
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if w != nil {
+			t.Errorf("%s:%d: no diagnostic matched want %q", filepath.Base(w.file), w.line, w.sub)
+		}
+	}
+}

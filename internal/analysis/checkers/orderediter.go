@@ -1,0 +1,82 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tufast/internal/analysis"
+)
+
+// OrderedIter flags iteration orders that violate the
+// DeadlockPreventOrdered contract. That policy (paper §IV-E) disables
+// deadlock detection entirely on the assumption that every transaction
+// acquires vertex locks in ascending id order — which holds when
+// neighbor lists (sorted ascending in the CSR) are iterated forward.
+// A descending loop or a Go map range (randomized order) around
+// transactional accesses can acquire locks out of order and deadlock
+// with no detector running. The analyzer only fires in packages that
+// actually select the policy (tufast.DeadlockPreventOrdered or the
+// internal deadlock.PreventOrdered).
+var OrderedIter = &analysis.Analyzer{
+	Name: "orderediter",
+	Doc:  "descending or map-order iteration around tx ops under DeadlockPreventOrdered",
+	Run:  runOrderedIter,
+}
+
+func runOrderedIter(pass *analysis.Pass) {
+	if !usesOrderedPolicy(pass) {
+		return
+	}
+	forEachTxFunc(pass, func(fn *txFunc) {
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && containsTxOp(pass.Info, n.Body) {
+					pass.Reportf(n.Pos(), "map range order is randomized; transactional access under DeadlockPreventOrdered must iterate in ascending vertex-id order")
+				}
+			case *ast.ForStmt:
+				if isDescendingPost(n.Post) && containsTxOp(pass.Info, n.Body) {
+					pass.Reportf(n.Pos(), "descending loop around transactional access violates the ascending-id lock order DeadlockPreventOrdered assumes")
+				}
+			}
+			return true
+		})
+	})
+}
+
+// usesOrderedPolicy reports whether the package references the ordered
+// deadlock-prevention policy constant.
+func usesOrderedPolicy(pass *analysis.Pass) bool {
+	for _, obj := range pass.Info.Uses {
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		switch obj.Name() {
+		case "DeadlockPreventOrdered":
+			if isTufastPkg(obj.Pkg().Path()) {
+				return true
+			}
+		case "PreventOrdered":
+			if p := obj.Pkg().Path(); p == "deadlock" || len(p) > 8 && p[len(p)-9:] == "/deadlock" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDescendingPost matches the post statements i-- and i -= k.
+func isDescendingPost(post ast.Stmt) bool {
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		return p.Tok == token.DEC
+	case *ast.AssignStmt:
+		return p.Tok == token.SUB_ASSIGN
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package checkers
+
+import (
+	"go/ast"
+
+	"tufast/internal/analysis"
+)
+
+// OwnerMismatch flags tx.Read(v, arr.Addr(u)) — and the internal form
+// tx.Read(v, base+mem.Addr(u)) — where the owner vertex argument and the
+// address index are different identifiers. The owner argument is the
+// vertex whose lock is subscribed (H mode) or acquired (L mode) for the
+// access; naming vertex v while touching vertex u's word means u's word
+// is read or written with no conflict protection at all — the
+// lock-subscription bug class of the paper's Figure 3 discussion. When
+// both positions are plain identifiers they almost always should be the
+// same one; computed addresses are left alone.
+var OwnerMismatch = &analysis.Analyzer{
+	Name: "ownermismatch",
+	Doc:  "owner vertex and Addr index disagree in a tx.Read/tx.Write",
+	Run:  runOwnerMismatch,
+}
+
+func runOwnerMismatch(pass *analysis.Pass) {
+	forEachTxFunc(pass, func(fn *txFunc) {
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			op, ok := isTxOp(pass.Info, call)
+			if !ok {
+				return true
+			}
+			owner := identArg(pass.Info, call.Args[0])
+			idx := addrIndexIdent(pass, call.Args[1])
+			if owner == nil || idx == nil {
+				return true
+			}
+			if pass.Info.Uses[owner] != nil && pass.Info.Uses[owner] == pass.Info.Uses[idx] {
+				return true
+			}
+			if owner.Name == idx.Name {
+				return true // same name resolving oddly; give the benefit of the doubt
+			}
+			pass.Reportf(call.Pos(),
+				"tx.%s names vertex %q as owner but addresses vertex %q's word; the access is unprotected by %q's lock — owner and index must match",
+				op, owner.Name, idx.Name, idx.Name)
+			return true
+		})
+	})
+}
+
+// addrIndexIdent extracts the vertex-index identifier from an address
+// expression of one of the two idiomatic shapes:
+//
+//	arr.Addr(u)          (public API: Array/VertexArray.Addr)
+//	base + mem.Addr(u)   (internal algo form: base is the array's origin)
+//
+// It returns nil for any other shape (computed offsets, multi-word
+// layouts), which the analyzer deliberately does not judge.
+func addrIndexIdent(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Addr" || len(x.Args) != 1 {
+			return nil
+		}
+		if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+			return nil
+		}
+		return identArg(pass.Info, x.Args[0])
+	case *ast.BinaryExpr:
+		if idx := addrConvIdent(pass, x.X); idx != nil {
+			return idx
+		}
+		return addrConvIdent(pass, x.Y)
+	}
+	return nil
+}
+
+// addrConvIdent matches the conversion mem.Addr(u) (a conversion to a
+// type named Addr) and returns u.
+func addrConvIdent(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); !ok || sel.Sel.Name != "Addr" {
+		return nil
+	}
+	return identArg(pass.Info, call.Args[0])
+}

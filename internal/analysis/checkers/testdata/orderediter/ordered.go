@@ -1,0 +1,36 @@
+// Golden corpus for the orderediter analyzer: this package constructs a
+// System with DeadlockPreventOrdered, so transactional loops must visit
+// vertices in ascending id order.
+package ordered
+
+import "tufast"
+
+func run() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{Deadlock: tufast.DeadlockPreventOrdered})
+	arr := sys.NewVertexArray(0)
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		nb := g.Neighbors(v)
+		for i := len(nb) - 1; i >= 0; i-- { // want "descending loop around transactional access"
+			u := nb[i]
+			tx.Write(u, arr.Addr(u), 1)
+		}
+		weights := map[uint32]uint64{1: 2, 3: 4}
+		for u, w := range weights { // want "map range order is randomized"
+			tx.Write(u, arr.Addr(u), w)
+		}
+		for _, u := range nb { // nowant: CSR adjacency is sorted ascending
+			tx.Write(u, arr.Addr(u), 2)
+		}
+		var sum uint64
+		for _, w := range weights { // nowant: no transactional access in the body
+			sum += w
+		}
+		for i := 0; i < len(nb); i++ { // nowant: ascending index loop
+			u := nb[i]
+			sum += tx.Read(u, arr.Addr(u))
+		}
+		tx.Write(v, arr.Addr(v), sum)
+		return nil
+	})
+}

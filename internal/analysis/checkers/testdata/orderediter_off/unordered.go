@@ -1,0 +1,25 @@
+// Golden corpus for the orderediter analyzer's gate: identical loops to
+// the ordered corpus, but this package never selects
+// DeadlockPreventOrdered — the default detector handles any lock order,
+// so nothing may be reported.
+package unordered
+
+import "tufast"
+
+func run() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{Deadlock: tufast.DeadlockDetect})
+	arr := sys.NewVertexArray(0)
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		nb := g.Neighbors(v)
+		for i := len(nb) - 1; i >= 0; i-- { // nowant: detection is on, any order is safe
+			u := nb[i]
+			tx.Write(u, arr.Addr(u), 1)
+		}
+		weights := map[uint32]uint64{1: 2}
+		for u, w := range weights { // nowant: detection is on
+			tx.Write(u, arr.Addr(u), w)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,44 @@
+// Golden corpus for the ownermismatch analyzer: the vertex named as the
+// access's owner must be the vertex whose word the address points at.
+package owner
+
+import (
+	"tufast"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+)
+
+func public() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{})
+	match := sys.NewVertexArray(tufast.None)
+	other := sys.NewArray(4)
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		if tx.Read(v, match.Addr(v)) != tufast.None { // nowant: owner matches index
+			return nil
+		}
+		for _, u := range g.Neighbors(v) {
+			if tx.Read(v, match.Addr(u)) == tufast.None { // want "names vertex \"v\" as owner but addresses vertex \"u\""
+				tx.Write(u, match.Addr(v), uint64(u)) // want "names vertex \"u\" as owner but addresses vertex \"v\""
+				tx.Write(u, match.Addr(u), uint64(v)) // nowant: the Figure 1 pairing writes
+				break
+			}
+		}
+		slot := int(v) % other.Len()
+		_ = tx.Read(v, other.Addr(slot)) // want "names vertex \"v\" as owner but addresses vertex \"slot\""
+		_ = tx.Read(v, match.Addr(v)+0)  // nowant: computed addresses are not judged
+		return nil
+	})
+}
+
+// relax exercises the internal base+mem.Addr(u) form through a named
+// function taking the scheduler-level Tx.
+func relax(tx sched.Tx, v uint32, dist mem.Addr, neighbors []uint32) {
+	dv := tx.Read(v, dist+mem.Addr(v)) // nowant: owner matches index
+	for _, u := range neighbors {
+		du := tx.Read(v, dist+mem.Addr(u)) // want "names vertex \"v\" as owner but addresses vertex \"u\""
+		if dv < du {
+			tx.Write(u, dist+mem.Addr(u), dv) // nowant: owner matches index
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Golden corpus for //tufast:ignore suppression: every analyzer runs
+// over this package; the directives must silence exactly the named
+// findings and nothing else.
+package suppress
+
+import "tufast"
+
+func run() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{})
+	arr := sys.NewVertexArray(0)
+	total := 0
+	wrong := 0
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		total++ //tufast:ignore retryunsafe approximate progress metric, duplicates acceptable
+
+		//tufast:ignore nakedaccess documented seeding exception
+		_ = arr.Get(v)
+
+		arr.Set(v, 1) //tufast:ignore
+
+		// A directive naming the wrong analyzer must not suppress.
+		wrong++ //tufast:ignore nakedaccess -- want "assignment to captured variable"
+
+		tx.Write(v, arr.Addr(v), 2)
+		return nil
+	})
+	_ = total
+	_ = wrong
+}

@@ -1,0 +1,53 @@
+// Golden corpus for the txescape analyzer: the Tx handle leaving its
+// transaction attempt.
+package escape
+
+import "tufast"
+
+var leaked tufast.Tx
+
+type holder struct{ tx tufast.Tx }
+
+func bad() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{})
+	arr := sys.NewVertexArray(0)
+	ch := make(chan tufast.Tx, 8)
+	var h holder
+	var txs []tufast.Tx
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		leaked = tx           // want "stored to a variable declared outside"
+		h.tx = tx             // want "stored to a heap location"
+		ch <- tx              // want "sent on a channel"
+		txs = append(txs, tx) // want "appended to a slice"
+		go func() {           // want "captured by a goroutine"
+			_ = tx.Read(v, arr.Addr(v))
+		}()
+		defer func() { // want "captured by defer"
+			_ = tx.Read(v, arr.Addr(v))
+		}()
+		alias := tx
+		leaked = alias // want "stored to a variable declared outside"
+		return nil
+	})
+	_ = h
+	_ = txs
+}
+
+func helper(tx tufast.Tx, v uint32, arr tufast.VertexArray) uint64 {
+	return tx.Read(v, arr.Addr(v)) // nowant: a helper receiving tx runs inside the attempt
+}
+
+func good() {
+	g := tufast.GenerateUniform(16, 2, 1)
+	sys := tufast.NewSystem(g, tufast.Options{})
+	arr := sys.NewVertexArray(0)
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		alias := tx               // nowant: local alias stays inside the attempt
+		_ = helper(alias, v, arr) // nowant: passing tx down the call stack is fine
+		val := tx.Read(v, arr.Addr(v))
+		val = val + 1 // nowant: plain local data assignment
+		tx.Write(v, arr.Addr(v), val)
+		return nil
+	})
+}

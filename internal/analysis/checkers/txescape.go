@@ -1,0 +1,121 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tufast/internal/analysis"
+)
+
+// TxEscape flags the Tx handle leaving its transaction attempt: stored
+// to a heap location (struct field, slice/map element, pointer target,
+// package-level or captured variable), captured by a go/defer closure,
+// appended to a slice, or sent on a channel. A Tx is only valid inside
+// the attempt that received it — the scheduler rolls the attempt back
+// and retries with fresh state, so a handle used after the TxFunc
+// returns reads and writes outside any serializability guarantee.
+var TxEscape = &analysis.Analyzer{
+	Name: "txescape",
+	Doc:  "the Tx handle must not outlive its transaction attempt",
+	Run:  runTxEscape,
+}
+
+// isBuiltinAppend matches a call to the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	return obj != nil && obj.Pkg() == nil
+}
+
+func runTxEscape(pass *analysis.Pass) {
+	forEachTxFunc(pass, func(fn *txFunc) {
+		if fn.tx == nil {
+			return
+		}
+		// Track the Tx parameter plus direct local aliases (t2 := tx).
+		objs := map[types.Object]bool{fn.tx: true}
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && objs[pass.Info.Uses[id]] {
+					if lhs, ok := as.Lhs[i].(*ast.Ident); ok {
+						if obj := pass.Info.Defs[lhs]; obj != nil {
+							objs[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		uses := func(n ast.Node) bool { return usesAny(pass.Info, n, objs) }
+
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if uses(n.Call) {
+					pass.Reportf(n.Pos(), "Tx handle captured by a goroutine outlives the transaction attempt")
+				}
+			case *ast.DeferStmt:
+				if uses(n.Call) {
+					pass.Reportf(n.Pos(), "Tx handle captured by defer may run after the attempt was rolled back")
+				}
+			case *ast.SendStmt:
+				if uses(n.Value) {
+					pass.Reportf(n.Pos(), "Tx handle sent on a channel escapes the transaction attempt")
+				}
+			case *ast.CallExpr:
+				if isBuiltinAppend(pass, n) {
+					for _, arg := range n.Args[1:] {
+						if uses(arg) {
+							pass.Reportf(n.Pos(), "Tx handle appended to a slice escapes the transaction attempt")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN {
+					return true
+				}
+				checkAssign := func(lhs ast.Expr, rhs ast.Expr) {
+					if !uses(rhs) {
+						return
+					}
+					if isBuiltinAppend(pass, rhs) {
+						return // reported by the append case above
+					}
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if id.Name == "_" {
+							return
+						}
+						if obj := pass.Info.Uses[id]; declaredWithin(obj, fn) {
+							return // local re-assignment stays inside the attempt
+						}
+						pass.Reportf(n.Pos(), "Tx handle stored to a variable declared outside the transaction attempt")
+						return
+					}
+					pass.Reportf(n.Pos(), "Tx handle stored to a heap location escapes the transaction attempt")
+				}
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						checkAssign(n.Lhs[i], n.Rhs[i])
+					}
+				} else if len(n.Rhs) == 1 {
+					for _, lhs := range n.Lhs {
+						checkAssign(lhs, n.Rhs[0])
+					}
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// ignorePrefix introduces a suppression comment:
+//
+//	//tufast:ignore analyzer1,analyzer2 optional reason
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The bare form "//tufast:ignore" (no names)
+// suppresses every analyzer on that line.
+const ignorePrefix = "//tufast:ignore"
+
+// ignoreSet maps file -> line -> analyzer names suppressed there (nil
+// slice = all analyzers).
+type ignoreSet map[string]map[int][]string
+
+// collectIgnores scans every file's comments for suppression directives.
+// A directive covers its own line and, so that standalone comments work,
+// the line after it.
+func collectIgnores(pkgs []*Package) ignoreSet {
+	set := ignoreSet{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := set[pos.Filename]
+					if lines == nil {
+						lines = map[int][]string{}
+						set[pos.Filename] = lines
+					}
+					lines[pos.Line] = names
+					if _, taken := lines[pos.Line+1]; !taken {
+						lines[pos.Line+1] = names
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseIgnore extracts the analyzer list from a comment's text;
+// ok is false when the comment is not an ignore directive.
+func parseIgnore(text string) (names []string, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, false
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //tufast:ignoreXYZ
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, true // suppress everything on the line
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, true
+}
+
+// match reports whether d is suppressed.
+func (s ignoreSet) match(d Diagnostic) bool {
+	lines, ok := s[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	names, ok := lines[d.Pos.Line]
+	if !ok {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if n == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,25 +1,51 @@
 #!/bin/sh
-# check.sh — the repo's pre-merge gate: formatting, vet, and the test
-# suite under the race detector (short profile). Run from the repo root
-# or anywhere inside it; `make check` is an alias.
+# check.sh — the repo's pre-merge gate: formatting, vet, the
+# transaction-contract analyzer suite (tufastcheck), and the test suite
+# under the race detector (short profile). Run from the repo root or
+# anywhere inside it; `make check` is an alias and `make lint` runs the
+# analyzer stage alone.
 set -eu
+
+# Fail fast, and clearly, if the toolchain is missing rather than
+# letting the first stage die with a cryptic "not found".
+for tool in go gofmt; do
+    if ! command -v "$tool" >/dev/null 2>&1; then
+        echo "check.sh: required tool '$tool' not found in PATH" >&2
+        echo "check.sh: install the Go toolchain (go 1.22+) and retry" >&2
+        exit 2
+    fi
+done
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
+stage_start=0
+begin() {
+    echo "== $1 =="
+    stage_start=$(date +%s)
+}
+end() {
+    echo "ok ($(($(date +%s) - stage_start))s)"
+}
+
+begin "gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
-echo "ok"
+end
 
-echo "== go vet =="
+begin "go vet"
 go vet ./...
-echo "ok"
+end
 
-echo "== go test -race (short) =="
+begin "tufastcheck"
+go run ./cmd/tufastcheck ./...
+end
+
+begin "go test -race (short)"
 go test -race -short ./...
+end
 
 echo "All checks passed."
