@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check bench bench-snapshot
 
 build:
 	go build ./...
@@ -18,3 +18,9 @@ check:
 
 bench:
 	go test -bench=. -benchtime=1x ./internal/bench/
+
+# bench-snapshot writes a machine-readable performance snapshot
+# (commits/sec plus per-mode abort-reason breakdowns for the figure
+# workloads) that CI archives as a non-blocking artifact.
+bench-snapshot:
+	go run ./cmd/tufast-bench -short -snapshot BENCH_pr3.json

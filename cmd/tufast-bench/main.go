@@ -26,6 +26,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verbose = flag.Bool("v", false, "print experiment telemetry")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		snap    = flag.String("snapshot", "", "write a machine-readable performance snapshot (throughput + per-mode metrics) to this JSON file and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tufast-bench [flags] <experiment>... | all\n\nexperiments:\n")
@@ -40,6 +41,15 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(bench.IDs(), " "))
+		return
+	}
+	if *snap != "" {
+		opts := bench.Options{Scale: *scale, Threads: *threads, Short: *short}
+		if err := bench.WriteSnapshot(opts, *snap); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *snap)
 		return
 	}
 	args := flag.Args()

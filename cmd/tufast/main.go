@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"tufast/internal/graph"
 	"tufast/internal/graph/gen"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/sched"
 	"tufast/internal/vlock"
 )
@@ -43,6 +45,8 @@ func main() {
 		threads  = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 		source   = flag.Uint("source", 0, "source vertex for traversals")
 		stats    = flag.Bool("stats", false, "print scheduler statistics")
+		metrics  = flag.Bool("metrics", false, "dump the observability snapshot as JSON (TM systems only)")
+		metHTTP  = flag.String("metrics-http", "", "serve /metrics and /debug/vars on this address during the run and block after it (TM systems only; e.g. :8080)")
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (TM systems only; 0 = no limit)")
 	)
 	flag.Parse()
@@ -65,8 +69,26 @@ func main() {
 		defer cancel()
 	}
 
+	// With -metrics-http the endpoint goes live as soon as the scheduler
+	// exists, so the run can be watched from outside.
+	onSched := func(s sched.Scheduler) {
+		if *metHTTP == "" {
+			return
+		}
+		m := sched.MetricsOf(s)
+		if m == nil {
+			return
+		}
+		bound, _, err := obs.Serve(*metHTTP, "tufast", m.Snapshot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast: metrics endpoint:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", bound)
+	}
+
 	start := time.Now()
-	summary, schedStats, err := run(ctx, g, *algoName, *system, *threads, uint32(*source))
+	summary, scheduler, err := run(ctx, g, *algoName, *system, *threads, uint32(*source), onSched)
 	elapsed := time.Since(start)
 	if errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "tufast: run cancelled after %v (-timeout %v)\n", elapsed, *timeout)
@@ -78,10 +100,24 @@ func main() {
 	}
 	fmt.Printf("%s on %s: %s\n", *algoName, *system, summary)
 	fmt.Printf("elapsed: %v\n", elapsed)
-	if *stats && schedStats != nil {
-		s := schedStats.Snapshot()
+	if *stats && scheduler != nil {
+		s := scheduler.Stats().Snapshot()
 		fmt.Printf("commits=%d aborts=%d reads=%d writes=%d deadlocks=%d\n",
 			s.Commits, s.Aborts, s.Reads, s.Writes, s.Deadlocks)
+	}
+	if *metrics && scheduler != nil {
+		if m := sched.MetricsOf(scheduler); m != nil {
+			buf, merr := json.MarshalIndent(m.Snapshot(), "", "  ")
+			if merr != nil {
+				fmt.Fprintln(os.Stderr, "tufast:", merr)
+				os.Exit(1)
+			}
+			fmt.Printf("metrics: %s\n", buf)
+		}
+	}
+	if *metHTTP != "" && scheduler != nil {
+		fmt.Println("metrics: endpoint still serving; Ctrl-C to exit")
+		select {}
 	}
 }
 
@@ -114,7 +150,7 @@ func symmetrize(g *graph.CSR) *graph.CSR {
 	return graph.MustBuild(g.NumVertices(), edges, graph.BuildOptions{Symmetrize: true})
 }
 
-func run(ctx context.Context, g *graph.CSR, algoName, system string, threads int, source uint32) (string, *sched.Stats, error) {
+func run(ctx context.Context, g *graph.CSR, algoName, system string, threads int, source uint32, onSched func(sched.Scheduler)) (string, sched.Scheduler, error) {
 	n := g.NumVertices()
 	switch system {
 	case "tufast", "stm", "2pl", "occ", "to", "htm-only", "hsync", "hto":
@@ -138,12 +174,15 @@ func run(ctx context.Context, g *graph.CSR, algoName, system string, threads int
 		case "hto":
 			s = sched.NewHTO(sp, vlock.NewTable(n), n, 1000)
 		}
+		if onSched != nil {
+			onSched(s)
+		}
 		r := algo.NewRuntime(g, sp, s, threads)
 		if ctx.Done() != nil {
 			r.Ctx = ctx
 		}
 		sum, err := runTM(r, algoName, source)
-		return sum, s.Stats(), err
+		return sum, s, err
 	case "ligra":
 		e := bsp.New(g, threads)
 		return runBSP(e, algoName, source)
@@ -229,7 +268,7 @@ func runTM(r *algo.Runtime, name string, source uint32) (string, error) {
 	}
 }
 
-func runBSP(e *bsp.Engine, name string, source uint32) (string, *sched.Stats, error) {
+func runBSP(e *bsp.Engine, name string, source uint32) (string, sched.Scheduler, error) {
 	switch name {
 	case "pagerank":
 		_, steps := e.PageRank(0.85, 1e-6)
@@ -253,7 +292,7 @@ func runBSP(e *bsp.Engine, name string, source uint32) (string, *sched.Stats, er
 	}
 }
 
-func runLockstep(e *lockstep.Engine, name string, source uint32) (string, *sched.Stats, error) {
+func runLockstep(e *lockstep.Engine, name string, source uint32) (string, sched.Scheduler, error) {
 	switch name {
 	case "pagerank":
 		e.PageRank(0.85, 1e-6)
@@ -273,7 +312,7 @@ func runLockstep(e *lockstep.Engine, name string, source uint32) (string, *sched
 	}
 }
 
-func runDist(e *dist.Engine, name string, source uint32) (string, *sched.Stats, error) {
+func runDist(e *dist.Engine, name string, source uint32) (string, sched.Scheduler, error) {
 	var sum string
 	switch name {
 	case "pagerank":
@@ -296,7 +335,7 @@ func runDist(e *dist.Engine, name string, source uint32) (string, *sched.Stats, 
 		sum, float64(e.BytesMoved)/1e6, e.NetworkTime), nil, nil
 }
 
-func runOOC(e *ooc.Engine, name string, source uint32) (string, *sched.Stats, error) {
+func runOOC(e *ooc.Engine, name string, source uint32) (string, sched.Scheduler, error) {
 	var sum string
 	var err error
 	switch name {

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -17,6 +19,9 @@ import (
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "dump the observability snapshot as JSON after the run")
+	flag.Parse()
+
 	g := tufast.GeneratePowerLaw(25_000, 400_000, 2.1, 23).Undirect()
 	sys := tufast.NewSystem(g, tufast.Options{})
 	fmt.Printf("graph: |V|=%d |E|=%d maxdeg=%d\n\n", g.NumVertices(), g.NumEdges(), g.MaxDegree())
@@ -116,4 +121,12 @@ func main() {
 	st := sys.StatsSnapshot()
 	fmt.Printf("\nall five analyses: %d serializable transactions, %d retried aborts\n",
 		st.Commits, st.Aborts)
+
+	if *metrics {
+		buf, err := json.MarshalIndent(sys.MetricsSnapshot(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmetrics:\n%s\n", buf)
+	}
 }

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,6 +23,9 @@ const (
 )
 
 func main() {
+	metrics := flag.Bool("metrics", false, "dump the observability snapshot as JSON after the run")
+	flag.Parse()
+
 	g := tufast.GeneratePowerLaw(30_000, 600_000, 2.1, 11)
 	sys := tufast.NewSystem(g, tufast.Options{})
 
@@ -120,6 +125,14 @@ func main() {
 	fmt.Println("top ranked vertices (degree in parentheses):")
 	for _, t := range top {
 		fmt.Printf("  v%-8d rank %.4f (degree %d)\n", t.v, t.r, g.Degree(t.v))
+	}
+
+	if *metrics {
+		buf, err := json.MarshalIndent(sys.MetricsSnapshot(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmetrics:\n%s\n", buf)
 	}
 }
 

@@ -71,16 +71,21 @@ func Fig15(o Options) []Table {
 		tf := core.New(sp, n, core.Config{})
 		runWorkload(g, sp, tf, kind, base, txns, o.Threads)
 		ms := tf.ModeStats()
+		snap := tf.Metrics().Snapshot()
 		t := &Table{
 			ID:     "fig15",
 			Title:  fmt.Sprintf("TuFast mode breakdown, workload %s", kind),
-			Header: []string{"class", "transactions", "operations"},
+			Header: []string{"class", "transactions", "operations", "aborts", "conflict", "capacity", "explicit", "locked", "deadlock"},
 			Notes: []string{
 				"paper shape: H dominates transaction count; O/O+ carry a large share of operations; L is tiny in count but holds the giant vertices",
+				"abort columns from the observability snapshot: per-class retried attempts by reason",
 			},
 		}
 		for _, c := range core.Classes() {
-			t.AddRow(c.String(), ms.Count(c), ms.Ops(c))
+			m := snap.Modes[c.String()]
+			t.AddRow(c.String(), ms.Count(c), ms.Ops(c), m.AbortTotal(),
+				m.Aborts["conflict"], m.Aborts["capacity"], m.Aborts["explicit"],
+				m.Aborts["locked"], m.Aborts["deadlock"])
 		}
 		tables = append(tables, *t)
 	}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"tufast/internal/core"
+	"tufast/internal/graph/gen"
+	"tufast/internal/obs"
+	"tufast/internal/trace"
+)
+
+// PerfEntry is one workload's result in a performance snapshot:
+// throughput plus the full observability snapshot, so regressions in
+// abort-reason mix or retry distributions are visible next to the
+// headline number.
+type PerfEntry struct {
+	Workload  string       `json:"workload"`
+	TxnPerSec float64      `json:"txn_per_sec"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
+
+// PerfReport is the machine-readable benchmark snapshot CI archives
+// (make bench-snapshot).
+type PerfReport struct {
+	Dataset string      `json:"dataset"`
+	Threads int         `json:"threads"`
+	Scale   float64     `json:"scale"`
+	Txns    int         `json:"txns"`
+	Entries []PerfEntry `json:"entries"`
+}
+
+// Snapshot runs the figure workloads (RM and RW neighborhood
+// transactions on the twitter stand-in) on TuFast and collects
+// throughput plus per-mode metrics.
+func Snapshot(o Options) PerfReport {
+	o = o.normalize()
+	ds, _ := gen.DatasetByName("twitter-mpi")
+	g := ds.Generate(o.Scale / 2)
+	n := g.NumVertices()
+	txns := 40_000
+	if o.Short {
+		txns = 6_000
+	}
+	rep := PerfReport{Dataset: ds.Name, Threads: o.Threads, Scale: o.Scale, Txns: txns}
+	for _, kind := range []Workload{RM, RW} {
+		sp, base := newWorkloadSpace(n)
+		tf := core.New(sp, n, core.Config{})
+		tps := runWorkload(g, sp, tf, kind, base, txns, o.Threads)
+		snap := tf.Metrics().Snapshot()
+		snap.Gauges = map[string]int64{"adaptive_period": int64(tf.CurrentPeriod())}
+		rep.Entries = append(rep.Entries, PerfEntry{
+			Workload:  kind.String(),
+			TxnPerSec: tps,
+			Metrics:   snap,
+		})
+		trace.Logf("snapshot %s: %.0f txn/s, %d commits, %d aborts",
+			kind, tps, snap.Commits(), snap.Aborts())
+	}
+	return rep
+}
+
+// WriteSnapshot writes the performance snapshot as indented JSON to
+// path.
+func WriteSnapshot(o Options, path string) error {
+	rep := Snapshot(o)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

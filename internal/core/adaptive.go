@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"tufast/internal/obs"
+)
 
 // periodController implements the §IV-D adaptive parameter selection.
 //
@@ -17,6 +21,10 @@ type periodController struct {
 
 	floor, cap int
 	window     uint64 // decay threshold in ops
+
+	// m, when set, receives period_up/period_down transition counts so
+	// the controller's trajectory is observable (Fig. 17 telemetry).
+	m *obs.Metrics
 }
 
 func newPeriodController(initial, floor, capP int) *periodController {
@@ -55,7 +63,13 @@ func (pc *periodController) Observe(ops uint64, aborted bool) {
 			period = int64(pc.cap)
 		}
 	}
-	pc.cur.Store(period)
+	if old := pc.cur.Swap(period); pc.m != nil && period != old {
+		if period > old {
+			pc.m.Transition(obs.TransPeriodUp)
+		} else {
+			pc.m.Transition(obs.TransPeriodDown)
+		}
+	}
 	if o >= pc.window {
 		// Exponential decay: halve both counters so the estimate tracks
 		// the recent workload (§IV-D "base on the recent workload"). The

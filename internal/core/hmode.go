@@ -7,6 +7,7 @@ import (
 	"tufast/internal/gentab"
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/sched"
 	"tufast/internal/vlock"
 )
@@ -64,6 +65,7 @@ func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
 		uerr, ok := sched.RunAttempt(h, fn)
 		if ok && uerr != nil {
 			w.s.stats.NoteUserStop(uerr)
+			w.probe.TxStop(obs.ModeH, sched.StopReason(uerr), w.attempts)
 			return true, uerr
 		}
 		if ok && h.commit() {
@@ -71,10 +73,13 @@ func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
 			w.s.stats.Reads.Add(h.nreads)
 			w.s.stats.Writes.Add(h.nwrites)
 			w.s.mode.record(ClassH, h.nreads+h.nwrites)
+			w.probe.TxCommit(obs.ModeH, w.attempts, w.span)
 			w.bo.Reset()
 			return true, nil
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeH, sched.HTMReason(h.tx.LastAbort()))
+		w.attempts++
 		if h.tx.LastAbort() == htm.AbortCapacity {
 			return false, nil // straight to O mode
 		}
@@ -82,6 +87,7 @@ func (w *worker) runH(fn sched.TxFunc) (done bool, err error) {
 			return false, nil
 		}
 		if err := w.ctxErr(); err != nil {
+			w.probe.TxStop(obs.ModeH, sched.StopReason(err), w.attempts)
 			return true, err
 		}
 		w.bo.Wait()

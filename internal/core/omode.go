@@ -7,6 +7,7 @@ import (
 	"tufast/internal/gentab"
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/sched"
 	"tufast/internal/vlock"
 )
@@ -105,6 +106,7 @@ func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
 		o.settleTelemetry()
 		if ok && uerr != nil {
 			w.s.stats.NoteUserStop(uerr)
+			w.probe.TxStop(obs.ModeO, sched.StopReason(uerr), w.attempts)
 			return true, uerr
 		}
 		if ok && o.commit() {
@@ -112,14 +114,23 @@ func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
 			w.s.stats.Reads.Add(o.nreads)
 			w.s.stats.Writes.Add(o.nwrites)
 			class := ClassO
+			omode := obs.ModeO
 			if !first {
 				class = ClassOPlus
+				omode = obs.ModeOPlus
 			}
 			w.s.mode.record(class, o.nreads+o.nwrites)
+			w.probe.TxCommit(omode, w.attempts, w.span)
 			w.bo.Reset()
 			return true, nil
 		}
 		w.s.stats.Aborts.Add(1)
+		if o.capacityAbort {
+			w.probe.TxAbort(obs.ModeO, obs.ReasonCapacity)
+		} else {
+			w.probe.TxAbort(obs.ModeO, obs.ReasonConflict)
+		}
+		w.attempts++
 		first = false
 		if o.capacityAbort {
 			period /= 2
@@ -130,6 +141,7 @@ func (w *worker) runO(fn sched.TxFunc) (done bool, err error) {
 			}
 		}
 		if err := w.ctxErr(); err != nil {
+			w.probe.TxStop(obs.ModeO, sched.StopReason(err), w.attempts)
 			return true, err
 		}
 		w.bo.Wait()

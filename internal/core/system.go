@@ -8,6 +8,7 @@ import (
 	"tufast/internal/deadlock"
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/sched"
 	"tufast/internal/vlock"
 )
@@ -16,6 +17,7 @@ import (
 // space and one vertex-lock table. It implements sched.Scheduler so the
 // same algorithm code runs unchanged on TuFast and on every baseline.
 type System struct {
+	sched.Instrumented
 	sp    *mem.Space
 	locks *vlock.Table
 	det   *deadlock.Detector
@@ -62,6 +64,11 @@ func New(sp *mem.Space, nVertices int, cfg Config) *System {
 		period: newPeriodController(cfg.PeriodInit, cfg.PeriodFloor, cfg.PeriodCap),
 	}
 	s.lmode = sched.NewTPL(sp, s.locks, det, cfg.Deadlock)
+	// The core records L-mode outcomes itself (it alone knows the O2L/L
+	// class split and the end-to-end latency), so the TPL sub-scheduler
+	// must not double-count into its own metrics.
+	s.lmode.DisableObs()
+	s.period.m = s.Metrics()
 	return s
 }
 
@@ -113,6 +120,7 @@ func (s *System) Worker(tid int) sched.Worker {
 	w.o = newOCtx(w)
 	w.l = s.lmode.NewWorker(tid)
 	w.bo = sched.NewBackoff(uint64(tid)*0x9E3779B97F4A7C15 + 0xA5)
+	w.probe = s.Metrics().NewProbe(tid)
 	return w
 }
 
@@ -125,6 +133,13 @@ type worker struct {
 	l   *sched.TPLWorker
 	bo  sched.Backoff
 
+	// probe records this worker's lifecycle telemetry; span and attempts
+	// carry the in-flight transaction's sampled start time and aborted
+	// attempt count across the H→O→L mode ladder.
+	probe    obs.Probe
+	span     obs.Span
+	attempts uint32
+
 	// ctx is the cancellation context of the in-flight RunCtx call (nil
 	// when the transaction is not cancellable); retry loops poll it.
 	ctx context.Context
@@ -134,6 +149,8 @@ type worker struct {
 // Transactions with an unknown hint (0) start optimistic in H mode.
 func (w *worker) Run(sizeHint int, fn sched.TxFunc) error {
 	cfg := &w.s.cfg
+	w.span = w.probe.TxBegin(sizeHint)
+	w.attempts = 0
 	if sizeHint > cfg.OMaxHint {
 		return w.runL(fn, ClassL)
 	}
@@ -141,14 +158,18 @@ func (w *worker) Run(sizeHint int, fn sched.TxFunc) error {
 		if done, err := w.runH(fn); done {
 			return err
 		}
+		w.s.Metrics().Transition(obs.TransHO)
 	}
 	if err := w.ctxErr(); err != nil {
+		w.probe.TxStop(obs.ModeO, sched.StopReason(err), w.attempts)
 		return err
 	}
 	if done, err := w.runO(fn); done {
 		return err
 	}
+	w.s.Metrics().Transition(obs.TransOL)
 	if err := w.ctxErr(); err != nil {
+		w.probe.TxStop(obs.ModeO2L, sched.StopReason(err), w.attempts)
 		return err
 	}
 	return w.runL(fn, ClassO2L)
@@ -201,8 +222,23 @@ func (w *worker) runL(fn sched.TxFunc, class ModeClass) error {
 	defer w.s.lActive.Add(-1)
 
 	err := w.l.RunCtx(w.ctx, 0, fn)
+
+	// TPL records nothing itself (DisableObs): attribute its internal
+	// retries post-hoc so abort-reason breakdowns include L mode, under
+	// the class-accurate mode label.
+	omode := obs.ModeL
+	if class == ClassO2L {
+		omode = obs.ModeO2L
+	}
+	lRetries, lDeadlocks := w.l.LastAbortBreakdown()
+	met := w.s.Metrics()
+	met.AbortBulk(omode, obs.ReasonDeadlock, lDeadlocks)
+	met.AbortBulk(omode, obs.ReasonConflict, lRetries-lDeadlocks)
+	w.attempts += uint32(lRetries)
+
 	if err != nil {
 		w.s.stats.NoteUserStop(err)
+		w.probe.TxStop(omode, sched.StopReason(err), w.attempts)
 		return err
 	}
 	r, wr := w.l.LastOpCounts()
@@ -210,5 +246,6 @@ func (w *worker) runL(fn sched.TxFunc, class ModeClass) error {
 	w.s.stats.Reads.Add(r)
 	w.s.stats.Writes.Add(wr)
 	w.s.mode.record(class, r+wr)
+	w.probe.TxCommit(omode, w.attempts, w.span)
 	return nil
 }

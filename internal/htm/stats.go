@@ -43,6 +43,19 @@ func (s *Stats) AbortRate() float64 {
 	return float64(s.Aborts()) / float64(st)
 }
 
+// Reset zeroes all counters (benchmark warmup discards). Counterpart of
+// Snapshot: every field Snapshot reports, Reset clears.
+func (s *Stats) Reset() {
+	s.Starts.Store(0)
+	s.Commits.Store(0)
+	s.Ops.Store(0)
+	s.WastedOps.Store(0)
+	s.AbortConflicts.Store(0)
+	s.AbortCapacity.Store(0)
+	s.AbortExplicit.Store(0)
+	s.AbortLocked.Store(0)
+}
+
 // Snapshot returns a plain-value copy for reporting.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+)
+
+// Publish registers src under name in the process-wide expvar registry
+// (visible at /debug/vars wherever the default mux is served).
+// Publishing the same name twice keeps the first registration.
+func Publish(name string, src func() Snapshot) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return src() }))
+}
+
+// Handler serves the snapshot as JSON.
+func Handler(src func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src())
+	})
+}
+
+// Serve starts an HTTP endpoint on addr exposing
+//
+//	/metrics      the JSON snapshot
+//	/debug/vars   the expvar registry (this snapshot included)
+//
+// It returns the bound address (useful with addr ":0") and a close
+// function. Serving runs on a background goroutine; errors after a
+// successful Listen are dropped (the endpoint is best-effort
+// telemetry, never load-bearing).
+func Serve(addr, name string, src func() Snapshot) (bound string, close func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	Publish(name, src)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(src))
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

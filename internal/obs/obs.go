@@ -1,0 +1,349 @@
+// Package obs is the runtime's low-overhead observability layer: the
+// telemetry the paper's adaptive routing (§IV-D, Fig. 10/15) is driven
+// by, made inspectable. It provides
+//
+//   - per-mode commit / abort-reason / user-stop counters,
+//   - per-mode latency and retry-count histograms (power-of-two
+//     buckets, plain atomic adds, mergeable snapshots),
+//   - mode-transition counters that make the H→O→L fallback ladder and
+//     the adaptive-period trajectory directly observable,
+//   - per-worker, allocation-free event rings (sequence-stamped
+//     transaction lifecycle events), and
+//   - export paths: plain-value Snapshot for programs, JSON over
+//     expvar / HTTP for operators.
+//
+// Hot-path budget: with events disabled (the default), recording a
+// committed transaction costs a handful of atomic adds; commit latency
+// is sampled (1 in 64 transactions) so the timestamp reads stay off the
+// common path. Event recording is heavier (a mutex-protected ring
+// store per event) and is therefore gated behind EnableEvents.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode labels the execution mode a measurement is attributed to. TuFast
+// transactions commit in one of the five Fig. 15 classes; single-mode
+// baseline schedulers (OCC, STM, TO, ...) record everything under
+// ModeTx.
+type Mode uint8
+
+const (
+	// ModeH: committed inside a single emulated hardware transaction.
+	ModeH Mode = iota
+	// ModeO: committed optimistically on the first O attempt.
+	ModeO
+	// ModeOPlus: committed in O mode after at least one period change.
+	ModeOPlus
+	// ModeO2L: exhausted O mode and committed under locks.
+	ModeO2L
+	// ModeL: routed directly to the lock-based mode.
+	ModeL
+	// ModeTx: single-mode baseline schedulers.
+	ModeTx
+	// NumModes bounds the mode enum.
+	NumModes
+)
+
+// String names the mode as in Figure 15.
+func (m Mode) String() string {
+	switch m {
+	case ModeH:
+		return "H"
+	case ModeO:
+		return "O"
+	case ModeOPlus:
+		return "O+"
+	case ModeO2L:
+		return "O2L"
+	case ModeL:
+		return "L"
+	case ModeTx:
+		return "tx"
+	default:
+		return "?"
+	}
+}
+
+// Reason attributes an abort or terminal stop.
+type Reason uint8
+
+const (
+	// ReasonNone: no attribution (placeholder).
+	ReasonNone Reason = iota
+	// ReasonConflict: data conflict with a concurrent transaction.
+	ReasonConflict
+	// ReasonCapacity: emulated-HTM cache capacity overflow.
+	ReasonCapacity
+	// ReasonExplicit: explicit abort (subscribed lock held, XABORT).
+	ReasonExplicit
+	// ReasonLocked: a line seqlock was held at access or commit.
+	ReasonLocked
+	// ReasonDeadlock: chosen as a deadlock victim (lock-based modes).
+	ReasonDeadlock
+	// ReasonUser: the transaction function returned an error.
+	ReasonUser
+	// ReasonPanic: the transaction function panicked.
+	ReasonPanic
+	// ReasonCancel: the transaction's context was cancelled.
+	ReasonCancel
+	// NumReasons bounds the reason enum.
+	NumReasons
+)
+
+// String names the reason for snapshots and JSON.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonConflict:
+		return "conflict"
+	case ReasonCapacity:
+		return "capacity"
+	case ReasonExplicit:
+		return "explicit"
+	case ReasonLocked:
+		return "locked"
+	case ReasonDeadlock:
+		return "deadlock"
+	case ReasonUser:
+		return "user"
+	case ReasonPanic:
+		return "panic"
+	case ReasonCancel:
+		return "cancel"
+	default:
+		return "?"
+	}
+}
+
+// Transition labels a routing or controller state change.
+type Transition uint8
+
+const (
+	// TransHO: a transaction exhausted H mode and entered O mode.
+	TransHO Transition = iota
+	// TransOL: a transaction exhausted O mode and escalated to L mode.
+	TransOL
+	// TransPeriodUp: the adaptive controller raised the O-mode period.
+	TransPeriodUp
+	// TransPeriodDown: the adaptive controller lowered the period.
+	TransPeriodDown
+	// NumTransitions bounds the transition enum.
+	NumTransitions
+)
+
+// String names the transition for snapshots and JSON.
+func (t Transition) String() string {
+	switch t {
+	case TransHO:
+		return "h_to_o"
+	case TransOL:
+		return "o_to_l"
+	case TransPeriodUp:
+		return "period_up"
+	case TransPeriodDown:
+		return "period_down"
+	default:
+		return "?"
+	}
+}
+
+// latencySampleMask selects 1 in 64 transactions for commit-latency
+// timing; everything between the two timestamp reads is untouched on
+// the other 63.
+const latencySampleMask = 63
+
+// Metrics is the shared observability state of one scheduler. The zero
+// value is ready to use, so schedulers embed it by value; all counter
+// updates are single atomic adds.
+type Metrics struct {
+	commits [NumModes]atomic.Uint64
+	aborts  [NumModes][NumReasons]atomic.Uint64
+	stops   [NumModes][NumReasons]atomic.Uint64
+	latency [NumModes]Histogram // sampled commit latency, nanoseconds
+	retries [NumModes]Histogram // aborted attempts per committed txn
+	trans   [NumTransitions]atomic.Uint64
+
+	// Event machinery: one ring per worker, a global sequence stamp, a
+	// single enable flag checked (one atomic load) per lifecycle point.
+	eventsOn atomic.Bool
+	seq      atomic.Uint64
+	mu       sync.Mutex
+	rings    []*Ring
+}
+
+// Commit records a committed transaction: mode population, retry
+// histogram, and (when the span was sampled) commit latency.
+func (m *Metrics) Commit(mode Mode, retries uint32, sp Span) {
+	m.commits[mode].Add(1)
+	m.retries[mode].Record(uint64(retries))
+	if sp.start != 0 {
+		ns := time.Now().UnixNano() - sp.start
+		if ns < 0 {
+			ns = 0
+		}
+		m.latency[mode].Record(uint64(ns))
+	}
+}
+
+// Abort records one aborted (retried) attempt.
+func (m *Metrics) Abort(mode Mode, reason Reason) {
+	m.aborts[mode][reason].Add(1)
+}
+
+// AbortBulk records n aborted attempts at once (post-hoc attribution,
+// e.g. L-mode internal retries surfaced after commit).
+func (m *Metrics) AbortBulk(mode Mode, reason Reason, n uint64) {
+	if n != 0 {
+		m.aborts[mode][reason].Add(n)
+	}
+}
+
+// Stop records a terminal non-commit outcome (user error, panic, or
+// cancellation).
+func (m *Metrics) Stop(mode Mode, reason Reason) {
+	m.stops[mode][reason].Add(1)
+}
+
+// Transition records a routing or controller transition.
+func (m *Metrics) Transition(t Transition) {
+	m.trans[t].Add(1)
+}
+
+// EnableEvents toggles lifecycle event recording into per-worker rings.
+// Off by default: events cost a mutex-protected ring store each, which
+// is beyond the hot-path atomic-add budget.
+func (m *Metrics) EnableEvents(on bool) { m.eventsOn.Store(on) }
+
+// EventsEnabled reports whether event recording is on.
+func (m *Metrics) EventsEnabled() bool { return m.eventsOn.Load() }
+
+// Reset zeroes every counter and histogram and clears the event rings.
+// The events-enabled flag is left as configured.
+func (m *Metrics) Reset() {
+	for mo := range int(NumModes) {
+		m.commits[mo].Store(0)
+		m.latency[mo].Reset()
+		m.retries[mo].Reset()
+		for r := range int(NumReasons) {
+			m.aborts[mo][r].Store(0)
+			m.stops[mo][r].Store(0)
+		}
+	}
+	for t := range int(NumTransitions) {
+		m.trans[t].Store(0)
+	}
+	m.mu.Lock()
+	rings := make([]*Ring, len(m.rings))
+	copy(rings, m.rings)
+	m.mu.Unlock()
+	for _, r := range rings {
+		r.reset()
+	}
+}
+
+// NewProbe returns the per-worker recording handle for worker tid,
+// registering its event ring. Probes are not safe for concurrent use
+// (one per goroutine, like workers).
+func (m *Metrics) NewProbe(tid int) Probe {
+	r := &Ring{}
+	m.mu.Lock()
+	m.rings = append(m.rings, r)
+	m.mu.Unlock()
+	return Probe{m: m, ring: r, tid: int32(tid)}
+}
+
+// Events returns all retained lifecycle events across every worker
+// ring, ordered by sequence stamp.
+func (m *Metrics) Events() []Event {
+	m.mu.Lock()
+	rings := make([]*Ring, len(m.rings))
+	copy(rings, m.rings)
+	m.mu.Unlock()
+	var evs []Event
+	for _, r := range rings {
+		evs = r.appendTo(evs)
+	}
+	sortEvents(evs)
+	return evs
+}
+
+// EventsDropped returns the number of events evicted from rings since
+// the last Reset.
+func (m *Metrics) EventsDropped() uint64 {
+	m.mu.Lock()
+	rings := make([]*Ring, len(m.rings))
+	copy(rings, m.rings)
+	m.mu.Unlock()
+	var n uint64
+	for _, r := range rings {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// Span carries the sampled start timestamp of one transaction from
+// TxBegin to Commit; the zero Span means "unsampled".
+type Span struct {
+	start int64 // UnixNano, 0 = latency not sampled for this txn
+}
+
+// Probe is the per-worker recording handle: it owns the worker's event
+// ring and the local sampling counter, so the hot path touches no
+// shared state beyond the Metrics counters themselves.
+type Probe struct {
+	m    *Metrics
+	ring *Ring
+	tid  int32
+	n    uint64 // worker-local transaction count (sampling clock)
+}
+
+// TxBegin opens a transaction: decides latency sampling and, when
+// events are enabled, records a begin event. hint is the size hint.
+func (p *Probe) TxBegin(hint int) Span {
+	p.n++
+	var sp Span
+	if p.n&latencySampleMask == 0 {
+		sp.start = time.Now().UnixNano()
+	}
+	if p.m.eventsOn.Load() {
+		p.event(Event{Kind: KindBegin, Hint: int32(hint)})
+	}
+	return sp
+}
+
+// TxCommit closes a transaction as committed in mode after retries
+// aborted attempts.
+func (p *Probe) TxCommit(mode Mode, retries uint32, sp Span) {
+	p.m.Commit(mode, retries, sp)
+	if p.m.eventsOn.Load() {
+		p.event(Event{Kind: KindCommit, Mode: mode, Retries: retries})
+	}
+}
+
+// TxAbort records one aborted attempt in mode.
+func (p *Probe) TxAbort(mode Mode, reason Reason) {
+	p.m.Abort(mode, reason)
+	if p.m.eventsOn.Load() {
+		p.event(Event{Kind: KindAbort, Mode: mode, Reason: reason})
+	}
+}
+
+// TxStop closes a transaction as terminally stopped (user error,
+// panic, cancellation) in mode after retries aborted attempts.
+func (p *Probe) TxStop(mode Mode, reason Reason, retries uint32) {
+	p.m.Stop(mode, reason)
+	if p.m.eventsOn.Load() {
+		p.event(Event{Kind: KindStop, Mode: mode, Reason: reason, Retries: retries})
+	}
+}
+
+func (p *Probe) event(e Event) {
+	e.Seq = p.m.seq.Add(1)
+	e.Worker = p.tid
+	p.ring.record(e)
+}

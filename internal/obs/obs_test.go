@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Record(0) // bucket 0: exact zeros
+	h.Record(1) // bucket 1: [1,1]
+	h.Record(2) // bucket 2: [2,3]
+	h.Record(3)
+	h.Record(4)       // bucket 3: [4,7]
+	h.Record(1 << 50) // clamps into the last bucket
+	s := h.Snapshot()
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, HistBuckets - 1: 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	if s.Sum != 0+1+2+3+4+1<<50 {
+		t.Errorf("Sum = %d", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(10) // bucket 4: [8,15]
+	}
+	h.Record(1000) // bucket 10: [512,1023]
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != BucketUpper(4) {
+		t.Errorf("p50 = %d, want %d", q, BucketUpper(4))
+	}
+	if q := s.Quantile(1.0); q != BucketUpper(10) {
+		t.Errorf("p100 = %d, want %d", q, BucketUpper(10))
+	}
+	var empty HistSnapshot
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %d, want 0", q)
+	}
+}
+
+// TestHistogramMergeConcurrent records into two histograms from many
+// goroutines (the hot-path usage) and checks that merged snapshots are
+// exact. Run under -race this also proves Record/Snapshot are safe.
+func TestHistogramMergeConcurrent(t *testing.T) {
+	var a, b Histogram
+	const workers = 8
+	const each = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < each; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				v := rng % 4096
+				if seed%2 == 0 {
+					a.Record(v)
+				} else {
+					b.Record(v)
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	sa, sb := a.Snapshot(), b.Snapshot()
+	m := sa.Merge(sb)
+	if got, want := m.Count(), uint64(workers*each); got != want {
+		t.Fatalf("merged count = %d, want %d", got, want)
+	}
+	if m.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %d, want %d", m.Sum, sa.Sum+sb.Sum)
+	}
+	for i := range m.Counts {
+		if m.Counts[i] != sa.Counts[i]+sb.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != %d+%d", i, m.Counts[i], sa.Counts[i], sb.Counts[i])
+		}
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	var m Metrics
+	m.EnableEvents(true)
+	p := m.NewProbe(3)
+	total := ringSize + 100
+	for i := 0; i < total; i++ {
+		p.TxAbort(ModeTx, ReasonConflict)
+	}
+	evs := m.Events()
+	if len(evs) != ringSize {
+		t.Fatalf("retained %d events, want %d", len(evs), ringSize)
+	}
+	if got, want := m.EventsDropped(), uint64(total-ringSize); got != want {
+		t.Fatalf("dropped = %d, want %d", got, want)
+	}
+	// Oldest were dropped: the retained window is the newest ringSize
+	// events, in sequence order.
+	for i, e := range evs {
+		want := uint64(total - ringSize + i + 1)
+		if e.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (oldest must be dropped first)", i, e.Seq, want)
+		}
+		if e.Worker != 3 || e.Kind != KindAbort || e.Reason != ReasonConflict {
+			t.Fatalf("event %d: unexpected payload %+v", i, e)
+		}
+	}
+}
+
+func TestEventsDisabledByDefault(t *testing.T) {
+	var m Metrics
+	p := m.NewProbe(0)
+	sp := p.TxBegin(5)
+	p.TxCommit(ModeH, 0, sp)
+	if evs := m.Events(); len(evs) != 0 {
+		t.Fatalf("events recorded while disabled: %d", len(evs))
+	}
+	if m.Snapshot().Modes["H"].Commits != 1 {
+		t.Fatal("counters must record even with events disabled")
+	}
+}
+
+func TestMetricsReset(t *testing.T) {
+	var m Metrics
+	m.EnableEvents(true)
+	p := m.NewProbe(0)
+	sp := p.TxBegin(1)
+	p.TxAbort(ModeO, ReasonCapacity)
+	p.TxCommit(ModeO, 1, sp)
+	p.TxStop(ModeL, ReasonUser, 0)
+	m.Transition(TransHO)
+	m.Reset()
+	s := m.Snapshot()
+	if len(s.Modes) != 0 || len(s.Transitions) != 0 || s.EventsDropped != 0 {
+		t.Fatalf("snapshot not empty after Reset: %+v", s)
+	}
+	if len(m.Events()) != 0 {
+		t.Fatal("events survive Reset")
+	}
+	if !m.EventsEnabled() {
+		t.Fatal("Reset must not flip the events-enabled flag")
+	}
+}
+
+func TestSnapshotMergeAndJSON(t *testing.T) {
+	var m1, m2 Metrics
+	p1, p2 := m1.NewProbe(0), m2.NewProbe(0)
+	p1.TxCommit(ModeH, 0, Span{})
+	p1.TxAbort(ModeH, ReasonConflict)
+	p2.TxCommit(ModeH, 2, Span{})
+	p2.TxCommit(ModeL, 0, Span{})
+	m2.Transition(TransOL)
+
+	merged := m1.Snapshot().Merge(m2.Snapshot())
+	if got := merged.Commits(); got != 3 {
+		t.Fatalf("merged commits = %d, want 3", got)
+	}
+	if got := merged.Modes["H"].Commits; got != 2 {
+		t.Fatalf("merged H commits = %d, want 2", got)
+	}
+	if got := merged.AbortReasons()["conflict"]; got != 1 {
+		t.Fatalf("merged conflict aborts = %d, want 1", got)
+	}
+	if got := merged.Transitions["o_to_l"]; got != 1 {
+		t.Fatalf("merged o_to_l = %d, want 1", got)
+	}
+
+	buf, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Commits() != merged.Commits() {
+		t.Fatal("commit count lost in JSON round-trip")
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	var m Metrics
+	p := m.NewProbe(0)
+	// Drive enough transactions that the 1-in-64 sampler must fire.
+	for i := 0; i < 256; i++ {
+		sp := p.TxBegin(0)
+		if sp.start != 0 {
+			time.Sleep(time.Microsecond)
+		}
+		p.TxCommit(ModeTx, 0, sp)
+	}
+	s := m.Snapshot().Modes["tx"]
+	if s.Commits != 256 {
+		t.Fatalf("commits = %d", s.Commits)
+	}
+	if got := s.Latency.Count(); got != 256/64 {
+		t.Fatalf("latency samples = %d, want %d", got, 256/64)
+	}
+	if s.Retries.Count() != 256 {
+		t.Fatalf("retry histogram must record every commit, got %d", s.Retries.Count())
+	}
+}
+
+func TestSyncWriterWholeCalls(t *testing.T) {
+	var mu sync.Mutex
+	var chunks [][]byte
+	w := NewSyncWriter(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		chunks = append(chunks, append([]byte(nil), p...))
+		mu.Unlock()
+		return len(p), nil
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_, _ = w.Write([]byte("one complete line\n"))
+			}
+		}()
+	}
+	wg.Wait()
+	if len(chunks) != 800 {
+		t.Fatalf("got %d writes, want 800", len(chunks))
+	}
+	for _, c := range chunks {
+		if string(c) != "one complete line\n" {
+			t.Fatalf("interleaved write: %q", c)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

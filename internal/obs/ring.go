@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Kind classifies a lifecycle event.
+type Kind uint8
+
+const (
+	// KindBegin: a transaction entered the scheduler.
+	KindBegin Kind = iota
+	// KindCommit: a transaction committed.
+	KindCommit
+	// KindAbort: one attempt aborted (the transaction retries).
+	KindAbort
+	// KindStop: a transaction stopped terminally without committing.
+	KindStop
+)
+
+// String names the kind for dumps and JSON.
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindStop:
+		return "stop"
+	default:
+		return "?"
+	}
+}
+
+// Event is one transaction lifecycle event. Events are fixed-size so
+// ring recording never allocates.
+type Event struct {
+	// Seq is the global sequence stamp: events from different workers
+	// order by Seq.
+	Seq uint64 `json:"seq"`
+	// Worker is the recording worker's thread id.
+	Worker int32 `json:"worker"`
+	// Hint is the size hint (begin events only).
+	Hint int32 `json:"hint,omitempty"`
+	// Retries is the aborted-attempt count (commit and stop events).
+	Retries uint32 `json:"retries,omitempty"`
+	// Kind is the lifecycle point.
+	Kind Kind `json:"kind"`
+	// Mode is the execution mode (commit, abort, and stop events).
+	Mode Mode `json:"mode"`
+	// Reason attributes aborts and stops.
+	Reason Reason `json:"reason,omitempty"`
+}
+
+// ringSize is the per-worker event retention. Power of two; at 256
+// events a ring is ~8 KB and survives bursts without allocating.
+const ringSize = 256
+
+// Ring is a fixed-size, allocation-free buffer of the newest ringSize
+// events of one worker. Overflow drops the oldest event and counts the
+// drop. A single goroutine records; snapshots may run concurrently
+// (the mutex is uncontended on the hot path — one worker, rare reads).
+type Ring struct {
+	mu  sync.Mutex
+	buf [ringSize]Event
+	n   uint64 // total events ever recorded
+}
+
+func (r *Ring) record(e Event) {
+	r.mu.Lock()
+	r.buf[r.n%ringSize] = e
+	r.n++
+	r.mu.Unlock()
+}
+
+func (r *Ring) reset() {
+	r.mu.Lock()
+	r.n = 0
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events (≤ ringSize).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < ringSize {
+		return int(r.n)
+	}
+	return ringSize
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n <= ringSize {
+		return 0
+	}
+	return r.n - ringSize
+}
+
+// appendTo copies the retained events, oldest first, onto dst.
+func (r *Ring) appendTo(dst []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n <= ringSize {
+		return append(dst, r.buf[:r.n]...)
+	}
+	start := r.n % ringSize
+	dst = append(dst, r.buf[start:]...)
+	return append(dst, r.buf[:start]...)
+}
+
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+}

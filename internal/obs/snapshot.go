@@ -1,0 +1,178 @@
+package obs
+
+// Snapshot is a plain-value, JSON-serializable copy of a Metrics. It
+// supersedes ad-hoc counter plumbing: one call captures mode
+// populations, abort-reason breakdowns, latency and retry histograms,
+// and the routing-transition counters.
+type Snapshot struct {
+	// Modes maps mode name (H, O, O+, O2L, L, tx) to its metrics;
+	// modes with no activity are omitted.
+	Modes map[string]ModeSnapshot `json:"modes"`
+	// Transitions counts routing and controller transitions (h_to_o,
+	// o_to_l, period_up, period_down).
+	Transitions map[string]uint64 `json:"transitions,omitempty"`
+	// Gauges carries point-in-time values (e.g. adaptive_period) the
+	// caller folds in; counters above are cumulative.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// EventsDropped counts ring-buffer evictions since the last reset.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+}
+
+// ModeSnapshot is the per-mode slice of a Snapshot.
+type ModeSnapshot struct {
+	// Commits counts committed transactions in this mode.
+	Commits uint64 `json:"commits"`
+	// Aborts breaks retried attempts down by reason.
+	Aborts map[string]uint64 `json:"aborts,omitempty"`
+	// Stops breaks terminal non-commit outcomes down by reason.
+	Stops map[string]uint64 `json:"stops,omitempty"`
+	// Latency is the sampled commit-latency histogram (nanoseconds,
+	// 1-in-64 sampling).
+	Latency HistSnapshot `json:"latency_ns"`
+	// Retries is the aborted-attempts-per-commit histogram.
+	Retries HistSnapshot `json:"retries"`
+}
+
+// AbortTotal sums the abort counts across reasons.
+func (m ModeSnapshot) AbortTotal() uint64 {
+	var n uint64
+	for _, c := range m.Aborts {
+		n += c
+	}
+	return n
+}
+
+// Snapshot captures the current counters as plain values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Modes:         make(map[string]ModeSnapshot),
+		EventsDropped: m.EventsDropped(),
+	}
+	for mo := Mode(0); mo < NumModes; mo++ {
+		ms := ModeSnapshot{
+			Commits: m.commits[mo].Load(),
+			Latency: m.latency[mo].Snapshot(),
+			Retries: m.retries[mo].Snapshot(),
+		}
+		active := ms.Commits != 0
+		for r := Reason(0); r < NumReasons; r++ {
+			if c := m.aborts[mo][r].Load(); c != 0 {
+				if ms.Aborts == nil {
+					ms.Aborts = make(map[string]uint64)
+				}
+				ms.Aborts[r.String()] = c
+				active = true
+			}
+			if c := m.stops[mo][r].Load(); c != 0 {
+				if ms.Stops == nil {
+					ms.Stops = make(map[string]uint64)
+				}
+				ms.Stops[r.String()] = c
+				active = true
+			}
+		}
+		if active {
+			s.Modes[mo.String()] = ms
+		}
+	}
+	for t := Transition(0); t < NumTransitions; t++ {
+		if c := m.trans[t].Load(); c != 0 {
+			if s.Transitions == nil {
+				s.Transitions = make(map[string]uint64)
+			}
+			s.Transitions[t.String()] = c
+		}
+	}
+	return s
+}
+
+// Commits sums committed transactions across all modes.
+func (s Snapshot) Commits() uint64 {
+	var n uint64
+	for _, m := range s.Modes {
+		n += m.Commits
+	}
+	return n
+}
+
+// Aborts sums aborted attempts across all modes and reasons.
+func (s Snapshot) Aborts() uint64 {
+	var n uint64
+	for _, m := range s.Modes {
+		n += m.AbortTotal()
+	}
+	return n
+}
+
+// AbortReasons flattens the per-mode breakdowns into reason totals.
+func (s Snapshot) AbortReasons() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, m := range s.Modes {
+		for r, c := range m.Aborts {
+			out[r] += c
+		}
+	}
+	return out
+}
+
+// Merge folds other into a copy of s: counters add, histograms merge
+// bucket-wise, gauges from other win. Snapshots from different systems
+// (or the same system at different times, for deltas via subtraction
+// elsewhere) merge exactly.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{
+		Modes:         make(map[string]ModeSnapshot),
+		EventsDropped: s.EventsDropped + other.EventsDropped,
+	}
+	for name, m := range s.Modes {
+		out.Modes[name] = m
+	}
+	for name, om := range other.Modes {
+		m, ok := out.Modes[name]
+		if !ok {
+			out.Modes[name] = om
+			continue
+		}
+		m.Commits += om.Commits
+		m.Aborts = mergeCounts(m.Aborts, om.Aborts)
+		m.Stops = mergeCounts(m.Stops, om.Stops)
+		m.Latency = m.Latency.Merge(om.Latency)
+		m.Retries = m.Retries.Merge(om.Retries)
+		out.Modes[name] = m
+	}
+	out.Transitions = mergeCounts(copyCounts(s.Transitions), other.Transitions)
+	if s.Gauges != nil || other.Gauges != nil {
+		out.Gauges = make(map[string]int64, len(s.Gauges)+len(other.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range other.Gauges {
+			out.Gauges[k] = v
+		}
+	}
+	return out
+}
+
+func copyCounts(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func mergeCounts(dst, src map[string]uint64) map[string]uint64 {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]uint64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}

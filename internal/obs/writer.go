@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes whole Write calls onto an underlying writer so
+// concurrent telemetry producers (trace lines, metrics dumps) never
+// interleave mid-line. Producers must format a complete line into one
+// buffer and issue a single Write.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer with whole-call atomicity.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

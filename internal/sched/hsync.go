@@ -7,6 +7,7 @@ import (
 	"tufast/internal/gentab"
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 )
 
@@ -20,6 +21,7 @@ import (
 // vertex burns its whole hardware retry budget on guaranteed capacity
 // aborts and then joins the single-file software commit queue.
 type HSync struct {
+	Instrumented
 	sp      *mem.Space
 	retries int
 
@@ -54,13 +56,19 @@ func (s *HSync) Worker(tid int) Worker {
 		tx:       htm.NewTx(s.sp, &s.HTMStats),
 		writeIdx: gentab.New(5),
 		bo:       NewBackoff(uint64(tid)*0xFF51AFD7ED558CCD + 13),
+		probe:    s.Metrics().NewProbe(tid),
 	}
 }
 
 type hsyncWorker struct {
-	s  *HSync
-	tx *htm.Tx
-	bo Backoff
+	s     *HSync
+	tx    *htm.Tx
+	bo    Backoff
+	probe obs.Probe
+
+	// retries counts aborted attempts of the current transaction across
+	// both the hardware and NOrec phases, for the retry histogram.
+	retries uint32
 
 	// Software (NOrec) path state.
 	softMode bool
@@ -78,6 +86,8 @@ type valRead struct {
 
 // Run implements Worker.
 func (w *hsyncWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
+	w.retries = 0
 	for attempt := 0; attempt <= w.s.retries; attempt++ {
 		w.softMode = false
 		w.nreads, w.nwrites = 0, 0
@@ -85,6 +95,8 @@ func (w *hsyncWorker) Run(_ int, fn TxFunc) error {
 		seq := w.s.seq.Load()
 		if seq&1 != 0 {
 			w.s.stats.Aborts.Add(1)
+			w.probe.TxAbort(obs.ModeTx, obs.ReasonLocked)
+			w.retries++
 			w.bo.Wait()
 			continue
 		}
@@ -92,16 +104,20 @@ func (w *hsyncWorker) Run(_ int, fn TxFunc) error {
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), w.retries)
 			return err
 		}
 		if ok && w.tx.Commit() == htm.AbortNone {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
+			w.probe.TxCommit(obs.ModeTx, w.retries, sp)
 			w.bo.Reset()
 			return nil
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, HTMReason(w.tx.LastAbort()))
+		w.retries++
 		// HSync is size-oblivious by design: it burns its whole retry
 		// budget in hardware even on capacity aborts before falling back
 		// (recognizing capacity aborts and routing by size is exactly
@@ -109,12 +125,12 @@ func (w *hsyncWorker) Run(_ int, fn TxFunc) error {
 		// the comparison the paper makes).
 		w.bo.Wait()
 	}
-	return w.runSoft(fn)
+	return w.runSoft(fn, sp)
 }
 
 // runSoft executes the NOrec fallback: speculative value-logged reads,
 // buffered writes, global-sequence-lock commit.
-func (w *hsyncWorker) runSoft(fn TxFunc) error {
+func (w *hsyncWorker) runSoft(fn TxFunc, sp obs.Span) error {
 	for {
 		w.softMode = true
 		w.reads = w.reads[:0]
@@ -124,16 +140,20 @@ func (w *hsyncWorker) runSoft(fn TxFunc) error {
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), w.retries)
 			return err
 		}
 		if ok && w.softCommit() {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
+			w.probe.TxCommit(obs.ModeTx, w.retries, sp)
 			w.bo.Reset()
 			return nil
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonConflict)
+		w.retries++
 		w.bo.Wait()
 	}
 }

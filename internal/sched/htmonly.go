@@ -6,6 +6,7 @@ import (
 
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 )
 
@@ -17,6 +18,7 @@ import (
 // graph the giant vertices always overflow the HTM capacity and funnel
 // into the global lock, destroying parallelism.
 type HTMOnly struct {
+	Instrumented
 	sp      *mem.Space
 	retries int
 	mu      sync.Mutex
@@ -46,24 +48,27 @@ func (s *HTMOnly) Stats() *Stats { return &s.stats }
 // Worker implements Scheduler.
 func (s *HTMOnly) Worker(tid int) Worker {
 	return &htmOnlyWorker{
-		s:  s,
-		tx: htm.NewTx(s.sp, &s.HTMStats),
-		bo: NewBackoff(uint64(tid)*0x94D049BB133111EB + 5),
+		s:     s,
+		tx:    htm.NewTx(s.sp, &s.HTMStats),
+		bo:    NewBackoff(uint64(tid)*0x94D049BB133111EB + 5),
+		probe: s.Metrics().NewProbe(tid),
 	}
 }
 
 type htmOnlyWorker struct {
-	s    *HTMOnly
-	tx   *htm.Tx
-	bo   Backoff
-	mode uint8 // 0 = HTM, 1 = fallback
-	undo []undoRec
+	s     *HTMOnly
+	tx    *htm.Tx
+	bo    Backoff
+	probe obs.Probe
+	mode  uint8 // 0 = HTM, 1 = fallback
+	undo  []undoRec
 
 	nreads, nwrites uint64
 }
 
 // Run implements Worker.
 func (w *htmOnlyWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
 	attempts := 0
 	for {
 		w.mode = 0
@@ -74,6 +79,7 @@ func (w *htmOnlyWorker) Run(_ int, fn TxFunc) error {
 		fb := w.s.fallback.Load()
 		if fb&1 != 0 {
 			w.s.stats.Aborts.Add(1)
+			w.probe.TxAbort(obs.ModeTx, obs.ReasonLocked)
 			w.bo.Wait()
 			continue
 		}
@@ -81,32 +87,35 @@ func (w *htmOnlyWorker) Run(_ int, fn TxFunc) error {
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), uint32(attempts))
 			return err
 		}
 		if ok && w.tx.Commit() == htm.AbortNone {
-			w.commitStats()
+			w.commitStats(uint32(attempts), sp)
 			return nil
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, HTMReason(w.tx.LastAbort()))
 		attempts++
 		if attempts > w.s.retries || !w.tx.LastAbortRetryable() {
-			return w.runFallback(fn)
+			return w.runFallback(fn, uint32(attempts), sp)
 		}
 		w.bo.Wait()
 	}
 }
 
-func (w *htmOnlyWorker) commitStats() {
+func (w *htmOnlyWorker) commitStats(retries uint32, sp obs.Span) {
 	w.s.stats.Commits.Add(1)
 	w.s.stats.Reads.Add(w.nreads)
 	w.s.stats.Writes.Add(w.nwrites)
+	w.probe.TxCommit(obs.ModeTx, retries, sp)
 	w.bo.Reset()
 }
 
 // runFallback serializes the transaction under the global mutex. HTM
 // attempts in flight observe the fallback flag flip and abort; writes go
 // through StoreVersioned so their read sets cannot validate either.
-func (w *htmOnlyWorker) runFallback(fn TxFunc) error {
+func (w *htmOnlyWorker) runFallback(fn TxFunc, retries uint32, sp obs.Span) error {
 	w.s.mu.Lock()
 	w.s.fallback.Add(1) // even -> odd: fallback active
 	w.mode = 1
@@ -124,13 +133,15 @@ func (w *htmOnlyWorker) runFallback(fn TxFunc) error {
 		// User code aborted internally in fallback mode; cannot happen
 		// (fallback never conflicts), but fail safe by retrying.
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonExplicit)
 		return w.Run(0, fn)
 	}
 	if err != nil {
 		w.s.stats.NoteUserStop(err)
+		w.probe.TxStop(obs.ModeTx, StopReason(err), retries)
 		return err
 	}
-	w.commitStats()
+	w.commitStats(retries, sp)
 	return nil
 }
 

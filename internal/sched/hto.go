@@ -7,6 +7,7 @@ import (
 	"tufast/internal/gentab"
 	"tufast/internal/htm"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 	"tufast/internal/vlock"
 )
@@ -19,6 +20,7 @@ import (
 // parameter (it has no TuFast-style adaptation — that is the point of the
 // comparison).
 type HTO struct {
+	Instrumented
 	sp       *mem.Space
 	locks    *vlock.Table
 	rts      []atomic.Uint64
@@ -57,10 +59,11 @@ func (s *HTO) Stats() *Stats { return &s.stats }
 // Worker implements Scheduler.
 func (s *HTO) Worker(tid int) Worker {
 	return &htoWorker{
-		s:    s,
-		tid:  tid,
-		held: gentab.New(5),
-		bo:   NewBackoff(uint64(tid)*0xC2B2AE3D27D4EB4F + 17),
+		s:     s,
+		tid:   tid,
+		held:  gentab.New(5),
+		bo:    NewBackoff(uint64(tid)*0xC2B2AE3D27D4EB4F + 17),
+		probe: s.Metrics().NewProbe(tid),
 	}
 }
 
@@ -72,6 +75,7 @@ type htoWorker struct {
 	heldOrder []uint32
 	undo      []undoRec
 	bo        Backoff
+	probe     obs.Probe
 
 	// HTM-segment emulation state: reads of the current segment are
 	// revalidated when the global commit clock moves.
@@ -86,6 +90,7 @@ type htoWorker struct {
 
 // Run implements Worker.
 func (w *htoWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
 	consecutive := 0
 	for {
 		exclusive := consecutive >= starveLimit
@@ -110,6 +115,7 @@ func (w *htoWorker) Run(_ int, fn TxFunc) error {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
+			w.probe.TxCommit(obs.ModeTx, uint32(consecutive), sp)
 			w.nreads, w.nwrites = 0, 0
 			w.bo.Reset()
 			return nil
@@ -118,10 +124,12 @@ func (w *htoWorker) Run(_ int, fn TxFunc) error {
 		unlock()
 		if ok {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), uint32(consecutive))
 			w.nreads, w.nwrites = 0, 0
 			return err
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonConflict)
 		w.nreads, w.nwrites = 0, 0
 		consecutive++
 		w.bo.Wait()

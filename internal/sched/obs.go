@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"context"
+	"errors"
+
+	"tufast/internal/htm"
+	"tufast/internal/obs"
+)
+
+// Instrumented carries the shared observability metrics every scheduler
+// embeds. The zero value is ready, so constructors need no change; the
+// hot-path cost is the few atomic adds obs documents.
+type Instrumented struct {
+	obsm obs.Metrics
+}
+
+// Metrics exposes the scheduler's observability metrics.
+func (i *Instrumented) Metrics() *obs.Metrics { return &i.obsm }
+
+// MetricsOf returns s's observability metrics when s exposes them
+// (every scheduler in this module does), or nil.
+func MetricsOf(s Scheduler) *obs.Metrics {
+	if m, ok := s.(interface{ Metrics() *obs.Metrics }); ok {
+		return m.Metrics()
+	}
+	return nil
+}
+
+// StopReason classifies a terminal non-commit error for attribution:
+// panics, cancellations, and plain user errors.
+func StopReason(err error) obs.Reason {
+	if _, isPanic := AsPanicError(err); isPanic {
+		return obs.ReasonPanic
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return obs.ReasonCancel
+	}
+	return obs.ReasonUser
+}
+
+// HTMReason maps an emulated-HTM abort code to its obs attribution.
+func HTMReason(code htm.AbortCode) obs.Reason {
+	switch code {
+	case htm.AbortCapacity:
+		return obs.ReasonCapacity
+	case htm.AbortExplicit:
+		return obs.ReasonExplicit
+	case htm.AbortLocked:
+		return obs.ReasonLocked
+	default:
+		return obs.ReasonConflict
+	}
+}

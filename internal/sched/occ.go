@@ -5,6 +5,7 @@ import (
 
 	"tufast/internal/gentab"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 	"tufast/internal/vlock"
 )
@@ -16,6 +17,7 @@ import (
 // and installs the writes. All mutation happens under exclusive vertex
 // locks, so the stamp check alone proves the read set is unchanged.
 type OCC struct {
+	Instrumented
 	sp    *mem.Space
 	locks *vlock.Table
 	stats Stats
@@ -40,6 +42,7 @@ func (s *OCC) Worker(tid int) Worker {
 		readIdx:  gentab.New(6),
 		writeIdx: gentab.New(5),
 		bo:       NewBackoff(uint64(tid)*0x2545F4914F6CDD1D + 7),
+		probe:    s.Metrics().NewProbe(tid),
 	}
 }
 
@@ -64,25 +67,32 @@ type occWorker struct {
 	writes   []occWrite
 	writeIdx *gentab.Table
 	bo       Backoff
+	probe    obs.Probe
 }
 
 // Run implements Worker.
 func (w *occWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
+	var retries uint32
 	for {
 		w.reset()
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), retries)
 			return err
 		}
 		if ok && w.commit() {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(uint64(len(w.reads)))
 			w.s.stats.Writes.Add(uint64(len(w.writes)))
+			w.probe.TxCommit(obs.ModeTx, retries, sp)
 			w.bo.Reset()
 			return nil
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonConflict)
+		retries++
 		w.bo.Wait()
 	}
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"tufast/internal/gentab"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 )
 
@@ -18,6 +19,7 @@ import (
 // and HTM transactions conflict correctly with each other — that is what
 // lets the HSync hybrid fall back from HTM to STM.
 type STM struct {
+	Instrumented
 	sp    *mem.Space
 	stats Stats
 }
@@ -36,37 +38,45 @@ func (s *STM) Stats() *Stats { return &s.stats }
 // Worker implements Scheduler.
 func (s *STM) Worker(tid int) Worker {
 	return &stmWorker{
-		s:  s,
-		tx: newStmTx(s.sp),
-		bo: NewBackoff(uint64(tid)*0xBF58476D1CE4E5B9 + 11),
+		s:     s,
+		tx:    newStmTx(s.sp),
+		bo:    NewBackoff(uint64(tid)*0xBF58476D1CE4E5B9 + 11),
+		probe: s.Metrics().NewProbe(tid),
 	}
 }
 
 type stmWorker struct {
-	s  *STM
-	tx *stmTx
-	bo Backoff
+	s     *STM
+	tx    *stmTx
+	bo    Backoff
+	probe obs.Probe
 }
 
 // Run implements Worker.
 func (w *stmWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
+	var retries uint32
 	for {
 		w.tx.begin()
 		err, ok := RunAttempt(w, fn)
 		if ok && err != nil {
 			w.tx.abort()
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), retries)
 			return err
 		}
 		if ok && w.tx.commit() {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(uint64(w.tx.nreads))
 			w.s.stats.Writes.Add(uint64(len(w.tx.writes)))
+			w.probe.TxCommit(obs.ModeTx, retries, sp)
 			w.bo.Reset()
 			return nil
 		}
 		w.tx.abort()
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonConflict)
+		retries++
 		w.bo.Wait()
 	}
 }

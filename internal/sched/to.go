@@ -6,6 +6,7 @@ import (
 
 	"tufast/internal/gentab"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 	"tufast/internal/vlock"
 )
@@ -17,6 +18,7 @@ import (
 // lock (with undo), and advance the write timestamp. A transaction that
 // arrives "too late" aborts and retries with a fresh timestamp.
 type TO struct {
+	Instrumented
 	sp    *mem.Space
 	locks *vlock.Table
 	rts   []atomic.Uint64
@@ -51,10 +53,11 @@ func (s *TO) Stats() *Stats { return &s.stats }
 // Worker implements Scheduler.
 func (s *TO) Worker(tid int) Worker {
 	return &toWorker{
-		s:    s,
-		tid:  tid,
-		held: gentab.New(5),
-		bo:   NewBackoff(uint64(tid)*0xD1342543DE82EF95 + 3),
+		s:     s,
+		tid:   tid,
+		held:  gentab.New(5),
+		bo:    NewBackoff(uint64(tid)*0xD1342543DE82EF95 + 3),
+		probe: s.Metrics().NewProbe(tid),
 	}
 }
 
@@ -66,6 +69,7 @@ type toWorker struct {
 	heldOrder []uint32
 	undo      []undoRec
 	bo        Backoff
+	probe     obs.Probe
 
 	nreads, nwrites uint64
 }
@@ -76,6 +80,7 @@ const starveLimit = 64
 
 // Run implements Worker.
 func (w *toWorker) Run(_ int, fn TxFunc) error {
+	sp := w.probe.TxBegin(0)
 	consecutive := 0
 	for {
 		exclusive := consecutive >= starveLimit
@@ -99,6 +104,7 @@ func (w *toWorker) Run(_ int, fn TxFunc) error {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
+			w.probe.TxCommit(obs.ModeTx, uint32(consecutive), sp)
 			w.nreads, w.nwrites = 0, 0
 			w.bo.Reset()
 			return nil
@@ -107,10 +113,12 @@ func (w *toWorker) Run(_ int, fn TxFunc) error {
 		unlock()
 		if ok {
 			w.s.stats.NoteUserStop(err)
+			w.probe.TxStop(obs.ModeTx, StopReason(err), uint32(consecutive))
 			w.nreads, w.nwrites = 0, 0
 			return err
 		}
 		w.s.stats.Aborts.Add(1)
+		w.probe.TxAbort(obs.ModeTx, obs.ReasonConflict)
 		w.nreads, w.nwrites = 0, 0
 		consecutive++
 		w.bo.Wait()

@@ -9,6 +9,7 @@ import (
 	"tufast/internal/deadlock"
 	"tufast/internal/gentab"
 	"tufast/internal/mem"
+	"tufast/internal/obs"
 	"tufast/internal/simcost"
 	"tufast/internal/vlock"
 )
@@ -20,12 +21,18 @@ import (
 // exclusive locks (with an undo log), so optimistic readers in other
 // modes observe the version bumps and the lock stamps.
 type TPL struct {
+	Instrumented
 	sp    *mem.Space
 	locks *vlock.Table
 	det   *deadlock.Detector
 	mode  deadlock.Mode
 	stats Stats
 	name  string
+
+	// obsOff suppresses scheduler-level obs recording; TuFast's core
+	// sets it and records L-mode outcomes itself (with end-to-end
+	// latency and the O2L/L class split the core alone knows).
+	obsOff bool
 
 	// drain is the starvation escape hatch: under extreme contention the
 	// shared->exclusive upgrade path can deadlock-victim the same
@@ -52,6 +59,11 @@ func (s *TPL) SetExclusiveOnly(on bool) { s.exclusiveOnly = on }
 // SetFaultInjector installs (or, with nil, removes) a fault injector.
 func (s *TPL) SetFaultInjector(fi *FaultInjector) { s.faults.Store(fi) }
 
+// DisableObs turns off scheduler-level obs recording (the embedding
+// scheduler records instead; per-run breakdowns stay available through
+// LastRetries / LastAbortBreakdown).
+func (s *TPL) DisableObs() { s.obsOff = true }
+
 // NewTPL creates a 2PL scheduler. det may be nil unless mode is Detect.
 func NewTPL(sp *mem.Space, locks *vlock.Table, det *deadlock.Detector, mode deadlock.Mode) *TPL {
 	if mode == deadlock.Detect && det == nil {
@@ -73,10 +85,11 @@ func (s *TPL) Worker(tid int) Worker { return s.NewWorker(tid) }
 // as the L-mode executor).
 func (s *TPL) NewWorker(tid int) *TPLWorker {
 	return &TPLWorker{
-		s:    s,
-		tid:  tid,
-		held: gentab.New(6),
-		bo:   NewBackoff(uint64(tid)*0x9E3779B97F4A7C15 + 1),
+		s:     s,
+		tid:   tid,
+		held:  gentab.New(6),
+		bo:    NewBackoff(uint64(tid)*0x9E3779B97F4A7C15 + 1),
+		probe: s.Metrics().NewProbe(tid),
 	}
 }
 
@@ -103,8 +116,14 @@ type TPLWorker struct {
 	// when the transaction is not cancellable); lock-wait loops poll it.
 	ctx context.Context
 
-	nreads, nwrites       uint64
-	lastReads, lastWrites uint64
+	probe obs.Probe
+	// dlAbort marks the in-flight attempt as a deadlock victim so the
+	// retry loop can attribute the abort.
+	dlAbort bool
+
+	nreads, nwrites           uint64
+	lastReads, lastWrites     uint64
+	lastRetries, lastDeadlock uint64
 }
 
 // LastOpCounts reports the committed read and write operation counts of
@@ -114,38 +133,76 @@ func (w *TPLWorker) LastOpCounts() (reads, writes uint64) {
 	return w.lastReads, w.lastWrites
 }
 
+// LastAbortBreakdown reports the most recently finished transaction's
+// internal retries: how many attempts aborted, and how many of those
+// were deadlock victims (the rest were lock conflicts). The embedding
+// scheduler uses it for post-hoc abort attribution.
+func (w *TPLWorker) LastAbortBreakdown() (retries, deadlocks uint64) {
+	return w.lastRetries, w.lastDeadlock
+}
+
 // upgradeSpinLimit bounds shared-to-exclusive upgrade spinning in modes
 // without detection; two upgraders of the same vertex deadlock otherwise.
 const upgradeSpinLimit = 1 << 14
 
 // Run implements Worker. The size hint is ignored: 2PL handles any size.
 func (w *TPLWorker) Run(_ int, fn TxFunc) error {
+	var sp obs.Span
+	if !w.s.obsOff {
+		sp = w.probe.TxBegin(0)
+	}
 	consecutive := 0
+	var deadlocks uint64
 	for {
+		w.dlAbort = false
 		err, ok, committed := w.attempt(fn, consecutive >= starveLimit)
 		if committed {
 			w.s.stats.Commits.Add(1)
 			w.s.stats.Reads.Add(w.nreads)
 			w.s.stats.Writes.Add(w.nwrites)
 			w.resetCounters()
+			w.noteDone(uint64(consecutive), deadlocks)
+			if !w.s.obsOff {
+				w.probe.TxCommit(obs.ModeL, uint32(consecutive), sp)
+			}
 			w.bo.Reset()
 			return nil
 		}
 		if ok { // user abort, panic, or cancellation: do not retry
 			w.s.stats.NoteUserStop(err)
 			w.resetCounters()
+			w.noteDone(uint64(consecutive), deadlocks)
+			if !w.s.obsOff {
+				w.probe.TxStop(obs.ModeL, StopReason(err), uint32(consecutive))
+			}
 			w.bo.Reset()
 			return err
 		}
 		w.s.stats.Aborts.Add(1)
+		reason := obs.ReasonConflict
+		if w.dlAbort {
+			reason = obs.ReasonDeadlock
+			deadlocks++
+		}
+		if !w.s.obsOff {
+			w.probe.TxAbort(obs.ModeL, reason)
+		}
 		w.resetCounters()
 		consecutive++
 		if err := w.ctxErr(); err != nil {
+			w.noteDone(uint64(consecutive), deadlocks)
+			if !w.s.obsOff {
+				w.probe.TxStop(obs.ModeL, obs.ReasonCancel, uint32(consecutive))
+			}
 			w.bo.Reset()
 			return err
 		}
 		w.bo.Wait()
 	}
+}
+
+func (w *TPLWorker) noteDone(retries, deadlocks uint64) {
+	w.lastRetries, w.lastDeadlock = retries, deadlocks
 }
 
 // RunCtx implements CtxWorker: Run, but returning ctx.Err() promptly
@@ -321,6 +378,7 @@ func (w *TPLWorker) block(v uint32, exclusive bool, try func() bool) {
 	case deadlock.Detect:
 		if err := w.s.det.BeginWait(w.tid, v, exclusive); err != nil {
 			w.s.stats.Deadlocks.Add(1)
+			w.dlAbort = true
 			ThrowAbort("deadlock victim")
 		}
 		for i := 0; ; i++ {

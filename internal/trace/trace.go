@@ -4,18 +4,41 @@ package trace
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync/atomic"
+
+	"tufast/internal/obs"
 )
 
 var verbose atomic.Bool
 
+// out is the injectable destination. Every line goes through one
+// obs.SyncWriter, so concurrent Logf calls cannot interleave mid-line.
+var out atomic.Pointer[obs.SyncWriter]
+
+func init() {
+	out.Store(obs.NewSyncWriter(os.Stderr))
+}
+
 // SetVerbose toggles experiment telemetry output.
 func SetVerbose(on bool) { verbose.Store(on) }
 
-// Logf prints telemetry when verbose is on.
+// SetOutput redirects telemetry to w (tests capture it; tools route it
+// next to their own output). A nil w restores the default, os.Stderr.
+func SetOutput(w io.Writer) {
+	if w == nil {
+		w = os.Stderr
+	}
+	out.Store(obs.NewSyncWriter(w))
+}
+
+// Logf prints telemetry when verbose is on. Each call writes exactly
+// one line in a single Write, so lines from concurrent workers never
+// interleave.
 func Logf(format string, args ...any) {
 	if verbose.Load() {
-		fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		buf := fmt.Appendf(nil, "# "+format+"\n", args...)
+		out.Load().Write(buf)
 	}
 }

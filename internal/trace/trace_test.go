@@ -1,6 +1,11 @@
 package trace
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
 
 func TestVerboseToggle(t *testing.T) {
 	SetVerbose(false)
@@ -8,4 +13,71 @@ func TestVerboseToggle(t *testing.T) {
 	SetVerbose(true)
 	Logf("loud %d", 2)
 	SetVerbose(false)
+}
+
+func TestSetOutputCaptures(t *testing.T) {
+	var buf bytes.Buffer
+	SetOutput(&buf)
+	defer SetOutput(nil)
+
+	SetVerbose(false)
+	Logf("suppressed %d", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("quiet Logf wrote %q", buf.String())
+	}
+
+	SetVerbose(true)
+	defer SetVerbose(false)
+	Logf("captured %d", 2)
+	if got, want := buf.String(), "# captured 2\n"; got != want {
+		t.Fatalf("Logf wrote %q, want %q", got, want)
+	}
+}
+
+// TestLogfLinesDoNotInterleave pins the reason Logf routes through one
+// obs.SyncWriter: concurrent workers each emit whole lines.
+func TestLogfLinesDoNotInterleave(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	SetOutput(lockedWriter{&mu, &buf})
+	defer SetOutput(nil)
+	SetVerbose(true)
+	defer SetVerbose(false)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				Logf("worker %d line %d tail", id, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	mu.Unlock()
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "# worker ") || !strings.HasSuffix(l, " tail") {
+			t.Fatalf("interleaved line: %q", l)
+		}
+	}
+}
+
+// lockedWriter guards the buffer against the reader in the test body;
+// line atomicity itself comes from the SyncWriter above it.
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
 }

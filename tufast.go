@@ -37,6 +37,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -250,7 +252,12 @@ func (s *System) ForEachVertexCtx(ctx context.Context, fn func(tx Tx, v uint32) 
 	n := s.g.NumVertices()
 	cancellable := ctx.Done() != nil
 	var firstErr atomic.Value
-	worklist.RangeCtx(ctx, n, s.threads, 256, func(_, lo, hi int) {
+	worklist.RangeCtx(ctx, n, s.threads, 256, func(tid, lo, hi int) {
+		// Label the goroutine so CPU profiles attribute samples to the
+		// sweep and the worker slot (pprof -tagfocus / -taghide).
+		defer pprof.SetGoroutineLabels(ctx)
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels(
+			"tufast", "foreach_vertex", "worker", strconv.Itoa(tid))))
 		w := s.Worker()
 		defer s.Release(w)
 		for v := lo; v < hi; v++ {
@@ -306,6 +313,8 @@ func (s *System) ForEachQueuedCtx(ctx context.Context, q Source, fn func(tx Tx, 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels(
+				"tufast", "foreach_queued", "worker", strconv.Itoa(t))))
 			w := s.Worker()
 			defer s.Release(w)
 			// Quiesce invariant: EVERY exit path leaves this worker's
