@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot
+.PHONY: build test lint check bench bench-snapshot bench-stream
 
 build:
 	go build ./...
@@ -24,3 +24,9 @@ bench:
 # workloads) that CI archives as a non-blocking artifact.
 bench-snapshot:
 	go run ./cmd/tufast-bench -short -snapshot BENCH_pr3.json
+
+# bench-stream writes the streaming-workload snapshot (mutation
+# throughput + per-mode commit mix of the dynamic-graph subsystem),
+# archived by CI as a non-blocking artifact.
+bench-stream:
+	go run ./cmd/tufast-bench -short -stream-snapshot BENCH_pr4.json

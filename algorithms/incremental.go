@@ -1,0 +1,398 @@
+// Incremental algorithms over mutable graphs: instead of recomputing
+// from scratch after every batch of edge mutations, they attach to
+// DynGraph.ApplyStream's hooks — each mutation transaction does a tiny
+// transactional fix-up and emits the vertices whose state may now be
+// stale, and a concurrent Stabilize drain propagates the change. The
+// result is the streaming workload of the dynamic-graph literature
+// (GTX-style updates coexisting with analytics) expressed entirely in
+// TuFast transactions, so fix-up work is routed H/O/L by live degree
+// like everything else.
+package algorithms
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"tufast"
+	"tufast/internal/worklist"
+)
+
+// dedupSink is the Sink the incremental drains use: pushes are
+// deduplicated with a bitset at enqueue time (a vertex already pending
+// is not pushed twice), and the drain body clears the bit first so the
+// vertex can be re-activated by later changes.
+type dedupSink struct {
+	q      *tufast.Queue
+	queued *worklist.Bitset
+}
+
+func (s dedupSink) Push(v uint32) {
+	if s.queued.TestAndSet(v) {
+		s.q.Push(v)
+	}
+}
+func (s dedupSink) Pop() (uint32, bool) { return s.q.Pop() }
+func (s dedupSink) Len() int            { return s.q.Len() }
+
+// IncrementalCC maintains connected-component labels (min vertex id
+// per component) on a mutable undirected graph. Edge inserts are fixed
+// up incrementally: the mutation transaction compares the two
+// endpoints' labels and, when they differ, emits both so the Stabilize
+// drain merges the components by min-label propagation over live
+// adjacency. Deletes can split components, which label propagation
+// cannot undo locally — after a stream containing deletes, run
+// Recompute (StreamingCC does this automatically).
+type IncrementalCC struct {
+	dyn  *tufast.DynGraph
+	sys  *tufast.System
+	comp tufast.VertexArray
+	sink dedupSink
+}
+
+// NewIncrementalCC attaches an incremental connected-components
+// computation to d (which must be undirected) and initializes labels
+// for the current topology via Recompute.
+func NewIncrementalCC(d *tufast.DynGraph) (*IncrementalCC, error) {
+	if !d.Undirected() {
+		return nil, ErrNeedUndirected
+	}
+	s := d.System()
+	cc := &IncrementalCC{
+		dyn:  d,
+		sys:  s,
+		comp: s.NewVertexArray(0),
+		sink: dedupSink{q: s.NewQueue(), queued: worklist.NewBitset(d.NumVertices())},
+	}
+	return cc, nil
+}
+
+// Recompute computes labels for the current topology from scratch.
+// Quiescent start: no mutators may be in flight when it resets labels
+// (the subsequent drain tolerates concurrent inserts).
+func (cc *IncrementalCC) Recompute() error {
+	return cc.RecomputeCtx(context.Background())
+}
+
+// RecomputeCtx is Recompute with cancellation.
+func (cc *IncrementalCC) RecomputeCtx(ctx context.Context) error {
+	n := cc.dyn.NumVertices()
+	for v := 0; v < n; v++ {
+		cc.comp.Set(uint32(v), uint64(v))
+	}
+	for v := 0; v < n; v++ {
+		cc.sink.Push(uint32(v))
+	}
+	return cc.StabilizeCtx(ctx)
+}
+
+// OnEdge is the StreamOptions.OnEdge hook: inside the mutation
+// transaction, an insert joining two differently-labeled endpoints
+// emits both so the drain merges their components. Deletes are left to
+// a later Recompute.
+func (cc *IncrementalCC) OnEdge(tx tufast.Tx, op tufast.StreamOp, changed bool, emit func(u uint32)) error {
+	if !changed || op.Del {
+		return nil
+	}
+	if tx.Read(op.U, cc.comp.Addr(op.U)) != tx.Read(op.V, cc.comp.Addr(op.V)) {
+		emit(op.U)
+		emit(op.V)
+	}
+	return nil
+}
+
+// Emit is the StreamOptions.Emit hook: committed emits enter the
+// dedup queue for the next Stabilize.
+func (cc *IncrementalCC) Emit(u uint32) { cc.sink.Push(u) }
+
+// Stabilize drains the pending queue, propagating min labels over live
+// adjacency until no vertex improves. Safe to run concurrently with an
+// insert-only ApplyStream (labels only decrease, and every mutation
+// emits post-commit); returns with the queue empty.
+func (cc *IncrementalCC) Stabilize() error {
+	return cc.StabilizeCtx(context.Background())
+}
+
+// StabilizeCtx is Stabilize with cancellation.
+func (cc *IncrementalCC) StabilizeCtx(ctx context.Context) error {
+	hint := func(v uint32) int { return 2*cc.dyn.LiveDegree(v) + 4 }
+	return cc.sys.ForEachQueuedEmitCtx(ctx, cc.sink, hint,
+		func(tx tufast.Tx, v uint32, emit func(u uint32)) error {
+			cc.sink.queued.Clear(v)
+			cv := tx.Read(v, cc.comp.Addr(v))
+			best := cv
+			nbs := tx.NeighborsMut(cc.dyn, v, nil)
+			for _, u := range nbs {
+				if cu := tx.Read(u, cc.comp.Addr(u)); cu < best {
+					best = cu
+				}
+			}
+			if best < cv {
+				tx.Write(v, cc.comp.Addr(v), best)
+				emit(v)
+			}
+			for _, u := range nbs {
+				if tx.Read(u, cc.comp.Addr(u)) > best {
+					tx.Write(u, cc.comp.Addr(u), best)
+					emit(u)
+				}
+			}
+			return nil
+		})
+}
+
+// Components returns the current labels (quiescent read).
+func (cc *IncrementalCC) Components() []uint64 {
+	n := cc.dyn.NumVertices()
+	out := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		out[v] = cc.comp.Get(uint32(v))
+	}
+	return out
+}
+
+// DeltaPageRank maintains PageRank on a mutable graph by residual
+// propagation, exactly for both inserts and deletes. Three words per
+// vertex: rank x[v] (absorbed mass, the estimate), residual r[v]
+// (signed: deletes produce negative residuals), and paid p[v] — the
+// per-out-neighbor amount v has distributed so far. The invariant
+//
+//	r[v] = (1-d) + d·Σ_{u→v} p[u] − x[v]
+//
+// is preserved by every operation: a push absorbs r into x and pays
+// r/deg more to each out-neighbor; an edge mutation transaction
+// adjusts the new/removed target by ±d·p[u] and re-levels p[u] to
+// x[u]/newdeg across the current adjacency, all inside the mutation's
+// own transaction (reads observe the uncommitted topology change). At
+// quiescence with all |r| ≤ eps, x matches a from-scratch PageRank of
+// the current topology to within the usual residual tolerance.
+// Dangling vertices drop their mass, matching the static PageRank
+// here.
+type DeltaPageRank struct {
+	dyn  *tufast.DynGraph
+	sys  *tufast.System
+	d    float64
+	eps  float64
+	rank tufast.VertexArray // x
+	res  tufast.VertexArray // r
+	paid tufast.VertexArray // p
+	sink dedupSink
+}
+
+// NewDeltaPageRank attaches a delta-PageRank computation (damping d,
+// residual tolerance eps) to dg and seeds it for the current topology.
+// Quiescent start; call Stabilize (or run a stream) to converge.
+func NewDeltaPageRank(dg *tufast.DynGraph, d, eps float64) *DeltaPageRank {
+	s := dg.System()
+	pr := &DeltaPageRank{
+		dyn: dg, sys: s, d: d, eps: eps,
+		rank: s.NewVertexArray(0),
+		res:  s.NewVertexArray(0),
+		paid: s.NewVertexArray(0),
+		sink: dedupSink{q: s.NewQueue(), queued: worklist.NewBitset(dg.NumVertices())},
+	}
+	n := dg.NumVertices()
+	resid := make([]float64, n)
+	var buf []uint32
+	for v := 0; v < n; v++ {
+		pr.rank.SetFloat(uint32(v), 1-d)
+		buf = dg.NeighborsNow(uint32(v), buf[:0])
+		if len(buf) == 0 {
+			continue
+		}
+		p := (1 - d) / float64(len(buf))
+		pr.paid.SetFloat(uint32(v), p)
+		for _, w := range buf {
+			resid[w] += d * p
+		}
+	}
+	for v := 0; v < n; v++ {
+		pr.res.SetFloat(uint32(v), resid[v])
+		if math.Abs(resid[v]) > eps {
+			pr.sink.Push(uint32(v))
+		}
+	}
+	return pr
+}
+
+// addResid adds delta to w's residual inside tx, emitting w when the
+// residual crosses the tolerance.
+func (pr *DeltaPageRank) addResid(tx tufast.Tx, w uint32, delta float64, emit func(u uint32)) {
+	old := tx.ReadFloat(w, pr.res.Addr(w))
+	nw := old + delta
+	tx.WriteFloat(w, pr.res.Addr(w), nw)
+	if math.Abs(nw) > pr.eps && math.Abs(old) <= pr.eps {
+		emit(w)
+	}
+}
+
+// fixArc restores the paid invariant for source u after arc u→w was
+// inserted (del=false) or removed (del=true) earlier in the same
+// transaction: w gains/loses the historical payment d·p[u], and p[u]
+// is re-leveled to x[u]/newdeg across u's current (post-mutation)
+// adjacency.
+func (pr *DeltaPageRank) fixArc(tx tufast.Tx, u, w uint32, del bool, emit func(v uint32)) {
+	pu := tx.ReadFloat(u, pr.paid.Addr(u))
+	if del {
+		pr.addResid(tx, w, -pr.d*pu, emit)
+	} else {
+		pr.addResid(tx, w, pr.d*pu, emit)
+	}
+	kNew := tx.DegreeMut(pr.dyn, u)
+	pNew := 0.0
+	if kNew > 0 {
+		pNew = tx.ReadFloat(u, pr.rank.Addr(u)) / float64(kNew)
+	}
+	if delta := pNew - pu; delta != 0 && kNew > 0 {
+		for _, nb := range tx.NeighborsMut(pr.dyn, u, nil) {
+			pr.addResid(tx, nb, pr.d*delta, emit)
+		}
+	}
+	tx.WriteFloat(u, pr.paid.Addr(u), pNew)
+}
+
+// OnEdge is the StreamOptions.OnEdge hook: fix up the source's paid
+// state inside the mutation transaction (both directions on
+// undirected graphs, matching AddEdge/RemoveEdge).
+func (pr *DeltaPageRank) OnEdge(tx tufast.Tx, op tufast.StreamOp, changed bool, emit func(u uint32)) error {
+	if !changed {
+		return nil
+	}
+	pr.fixArc(tx, op.U, op.V, op.Del, emit)
+	if pr.dyn.Undirected() {
+		pr.fixArc(tx, op.V, op.U, op.Del, emit)
+	}
+	return nil
+}
+
+// Emit is the StreamOptions.Emit hook.
+func (pr *DeltaPageRank) Emit(u uint32) { pr.sink.Push(u) }
+
+// Stabilize drains residuals below eps by asynchronous push. Safe to
+// run concurrently with ApplyStream (every hook emits post-commit).
+func (pr *DeltaPageRank) Stabilize() error {
+	return pr.StabilizeCtx(context.Background())
+}
+
+// StabilizeCtx is Stabilize with cancellation.
+func (pr *DeltaPageRank) StabilizeCtx(ctx context.Context) error {
+	hint := func(v uint32) int { return 2*pr.dyn.LiveDegree(v) + 8 }
+	return pr.sys.ForEachQueuedEmitCtx(ctx, pr.sink, hint,
+		func(tx tufast.Tx, v uint32, emit func(u uint32)) error {
+			pr.sink.queued.Clear(v)
+			rv := tx.ReadFloat(v, pr.res.Addr(v))
+			if math.Abs(rv) <= pr.eps {
+				return nil
+			}
+			tx.WriteFloat(v, pr.res.Addr(v), 0)
+			tx.WriteFloat(v, pr.rank.Addr(v), tx.ReadFloat(v, pr.rank.Addr(v))+rv)
+			k := tx.DegreeMut(pr.dyn, v)
+			if k == 0 {
+				return nil // dangling: mass dropped, like the static PageRank
+			}
+			share := rv / float64(k)
+			tx.WriteFloat(v, pr.paid.Addr(v), tx.ReadFloat(v, pr.paid.Addr(v))+share)
+			for _, u := range tx.NeighborsMut(pr.dyn, v, nil) {
+				pr.addResid(tx, u, pr.d*share, emit)
+			}
+			return nil
+		})
+}
+
+// Ranks returns the current estimates (quiescent read).
+func (pr *DeltaPageRank) Ranks() []float64 {
+	n := pr.dyn.NumVertices()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		out[v] = pr.rank.GetFloat(uint32(v))
+	}
+	return out
+}
+
+// streamResult carries ApplyStream's outcome across the driver
+// goroutine boundary.
+type streamResult struct {
+	stats tufast.StreamStats
+	err   error
+}
+
+// runStreaming applies ops with the given hooks while repeatedly
+// draining stabilize concurrently, then returns the stream stats.
+func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp,
+	window int, onEdge func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error,
+	emit func(uint32), stabilize func(context.Context) error) (tufast.StreamStats, error) {
+
+	done := make(chan streamResult, 1)
+	go func() {
+		st, err := d.ApplyStreamCtx(ctx, ops, tufast.StreamOptions{
+			Window: window, OnEdge: onEdge, Emit: emit,
+		})
+		done <- streamResult{st, err}
+	}()
+	for {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				return r.stats, r.err
+			}
+			return r.stats, nil
+		default:
+			if err := stabilize(ctx); err != nil {
+				r := <-done // let the stream driver finish before reporting
+				if r.err != nil {
+					return r.stats, r.err
+				}
+				return r.stats, err
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// StreamingCC applies a timestamped edge stream to d while maintaining
+// connected components incrementally: mutation transactions and label
+// propagation run concurrently on the same transactional runtime. If
+// the stream contained effective deletes the labels are rebuilt at the
+// end (propagation cannot split components); otherwise a final
+// Stabilize suffices. Returns the final labels and the stream stats.
+func StreamingCC(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp, window int) ([]uint64, tufast.StreamStats, error) {
+	cc, err := NewIncrementalCC(d)
+	if err != nil {
+		return nil, tufast.StreamStats{}, err
+	}
+	if err := cc.RecomputeCtx(ctx); err != nil {
+		return nil, tufast.StreamStats{}, err
+	}
+	stats, err := runStreaming(ctx, d, ops, window, cc.OnEdge, cc.Emit, cc.StabilizeCtx)
+	if err != nil {
+		return nil, stats, err
+	}
+	if stats.Removed > 0 {
+		err = cc.RecomputeCtx(ctx)
+	} else {
+		err = cc.StabilizeCtx(ctx)
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return cc.Components(), stats, nil
+}
+
+// StreamingPageRank applies a timestamped edge stream to d while
+// maintaining PageRank by exact delta propagation — deletes included,
+// so no final recompute is needed, only a final drain. Returns the
+// final ranks and the stream stats.
+func StreamingPageRank(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp, damping, eps float64, window int) ([]float64, tufast.StreamStats, error) {
+	pr := NewDeltaPageRank(d, damping, eps)
+	if err := pr.StabilizeCtx(ctx); err != nil {
+		return nil, tufast.StreamStats{}, err
+	}
+	stats, err := runStreaming(ctx, d, ops, window, pr.OnEdge, pr.Emit, pr.StabilizeCtx)
+	if err != nil {
+		return nil, stats, err
+	}
+	if err := pr.StabilizeCtx(ctx); err != nil {
+		return nil, stats, err
+	}
+	return pr.Ranks(), stats, nil
+}

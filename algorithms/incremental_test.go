@@ -1,0 +1,160 @@
+package algorithms_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"tufast"
+	"tufast/algorithms"
+	"tufast/internal/dyngraph"
+)
+
+// synthStream derives a reproducible mixed stream from a power-law
+// graph: addFrac of its edges held out as inserts, delFrac of the rest
+// replayed as deletes.
+func synthStream(t *testing.T, n, m int, addFrac, delFrac float64, seed uint64) (*tufast.Graph, *dyngraph.Stream) {
+	t.Helper()
+	full := tufast.GeneratePowerLaw(n, m, 2.1, seed).Undirect()
+	st := dyngraph.Synthesize(full.CSR(), addFrac, delFrac, seed)
+	base, err := st.BuildBase()
+	if err != nil {
+		t.Fatalf("BuildBase: %v", err)
+	}
+	return tufast.WrapCSR(base), st
+}
+
+func dynSystem(t *testing.T, g *tufast.Graph, mutations int) (*tufast.System, *tufast.DynGraph) {
+	t.Helper()
+	s := tufast.NewSystem(g, tufast.Options{
+		Threads:    4,
+		SpaceWords: tufast.DynSpaceWords(g, mutations) + 8*g.NumVertices(),
+		HMaxHint:   64,
+		OMaxHint:   512,
+	})
+	return s, tufast.NewDynGraph(s)
+}
+
+// staticLabels computes connected components of g from scratch on a
+// fresh system — the oracle for the incremental labels.
+func staticLabels(t *testing.T, g *tufast.Graph) []uint64 {
+	t.Helper()
+	s := tufast.NewSystem(g, tufast.Options{Threads: 4})
+	comp, err := algorithms.ConnectedComponents(s)
+	if err != nil {
+		t.Fatalf("ConnectedComponents: %v", err)
+	}
+	return comp
+}
+
+func TestStreamingCCInsertOnly(t *testing.T) {
+	g, st := synthStream(t, 600, 2400, 0.3, 0, 17)
+	s, d := dynSystem(t, g, 2*len(st.Ops))
+	_ = s
+	comp, stats, err := algorithms.StreamingCC(context.Background(), d, st.Ops, 256)
+	if err != nil {
+		t.Fatalf("StreamingCC: %v", err)
+	}
+	if stats.Inserted == 0 || stats.Removed != 0 {
+		t.Fatalf("unexpected stream stats %+v", stats)
+	}
+	final, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	want := staticLabels(t, final)
+	for v := range want {
+		if comp[v] != want[v] {
+			t.Fatalf("comp[%d] = %d, static says %d", v, comp[v], want[v])
+		}
+	}
+}
+
+func TestStreamingCCWithDeletes(t *testing.T) {
+	g, st := synthStream(t, 500, 2000, 0.25, 0.3, 23)
+	s, d := dynSystem(t, g, 2*len(st.Ops))
+	_ = s
+	comp, stats, err := algorithms.StreamingCC(context.Background(), d, st.Ops, 256)
+	if err != nil {
+		t.Fatalf("StreamingCC: %v", err)
+	}
+	if stats.Removed == 0 {
+		t.Fatalf("stream had no deletes: %+v", stats)
+	}
+	final, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	want := staticLabels(t, final)
+	for v := range want {
+		if comp[v] != want[v] {
+			t.Fatalf("comp[%d] = %d, static says %d (deletes must trigger recompute)", v, comp[v], want[v])
+		}
+	}
+}
+
+func TestIncrementalCCRequiresUndirected(t *testing.T) {
+	g := tufast.GeneratePowerLaw(100, 300, 2.1, 3) // directed
+	s := tufast.NewSystem(g, tufast.Options{Threads: 2, SpaceWords: tufast.DynSpaceWords(g, 64)})
+	d := tufast.NewDynGraph(s)
+	if _, err := algorithms.NewIncrementalCC(d); err != algorithms.ErrNeedUndirected {
+		t.Fatalf("err = %v, want ErrNeedUndirected", err)
+	}
+}
+
+// staticRanks computes PageRank of g from scratch on a fresh system.
+func staticRanks(t *testing.T, g *tufast.Graph, damping, eps float64) []float64 {
+	t.Helper()
+	s := tufast.NewSystem(g, tufast.Options{Threads: 4})
+	pr, err := algorithms.PageRank(s, damping, eps)
+	if err != nil {
+		t.Fatalf("PageRank: %v", err)
+	}
+	return pr
+}
+
+func checkRanksClose(t *testing.T, got, want []float64, tol float64) {
+	t.Helper()
+	worst, at := 0.0, -1
+	for v := range want {
+		if d := math.Abs(got[v] - want[v]); d > worst {
+			worst, at = d, v
+		}
+	}
+	if worst > tol {
+		t.Fatalf("rank[%d] = %g, static says %g (|Δ| = %g > %g)", at, got[at], want[at], worst, tol)
+	}
+}
+
+func TestDeltaPageRankStaticConvergence(t *testing.T) {
+	// No mutations at all: delta-PageRank's init + drain must agree
+	// with the from-scratch PageRank on the same graph.
+	g, _ := synthStream(t, 400, 1600, 0, 0, 31)
+	_, d := dynSystem(t, g, 64)
+	const damping, eps = 0.85, 1e-7
+	ranks, _, err := algorithms.StreamingPageRank(context.Background(), d, nil, damping, eps, 256)
+	if err != nil {
+		t.Fatalf("StreamingPageRank: %v", err)
+	}
+	checkRanksClose(t, ranks, staticRanks(t, g, damping, eps), 1e-3)
+}
+
+func TestStreamingPageRankMixed(t *testing.T) {
+	// Inserts and deletes: the delta fix-up is exact, so the final
+	// ranks must match a from-scratch PageRank of the final topology.
+	g, st := synthStream(t, 400, 1600, 0.25, 0.2, 41)
+	_, d := dynSystem(t, g, 2*len(st.Ops))
+	const damping, eps = 0.85, 1e-7
+	ranks, stats, err := algorithms.StreamingPageRank(context.Background(), d, st.Ops, damping, eps, 256)
+	if err != nil {
+		t.Fatalf("StreamingPageRank: %v", err)
+	}
+	if stats.Inserted == 0 || stats.Removed == 0 {
+		t.Fatalf("stream had no effect: %+v", stats)
+	}
+	final, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	checkRanksClose(t, ranks, staticRanks(t, final, damping, eps), 1e-3)
+}

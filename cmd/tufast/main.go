@@ -48,8 +48,25 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "dump the observability snapshot as JSON (TM systems only)")
 		metHTTP  = flag.String("metrics-http", "", "serve /metrics and /debug/vars on this address during the run and block after it (TM systems only; e.g. :8080)")
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (TM systems only; 0 = no limit)")
+
+		streamIn   = flag.String("stream", "", "edge-stream file (graphgen -stream); replays it through the dynamic-graph API instead of -algo/-system")
+		streamAlgo = flag.String("stream-algo", "mutate", "with -stream: mutate|cc|pagerank")
+		window     = flag.Int("window", 4096, "with -stream: ops applied concurrently between barriers")
+		hMax       = flag.Int("h-max-hint", 0, "with -stream: route txns with size hint ≤ this to H mode (0 = paper default)")
+		oMax       = flag.Int("o-max-hint", 0, "with -stream: route txns with size hint > this straight to L mode (0 = paper default)")
 	)
 	flag.Parse()
+
+	if *streamIn != "" {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		runStream(ctx, *streamIn, *streamAlgo, *threads, *window, *hMax, *oMax, *stats, *metrics, *timeout)
+		return
+	}
 
 	g, err := loadGraph(*graphIn, *dataset, *scale)
 	if err != nil {

@@ -1,0 +1,398 @@
+package tufast
+
+import (
+	"context"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast/internal/dyngraph"
+	"tufast/internal/worklist"
+)
+
+// DynGraph is a mutable graph: the System's frozen base graph plus a
+// transactional delta overlay living in the same shared space. Edges
+// are mutated through Tx.AddEdge / Tx.RemoveEdge inside ordinary
+// transactions, so a mutation is routed H/O/L by its size hint — which
+// MutationHint derives from live degree, giving topology updates the
+// same skew-aware treatment the paper gives property updates: leaf
+// inserts commit in H mode, hub mutations take the L-mode lock path.
+//
+// The overlay allocates from the System's space; size it with
+// DynSpaceWords. Quiescent methods (NeighborsNow, Compact, ...) are
+// only exact when no mutator transaction is in flight.
+type DynGraph struct {
+	sys *System
+	st  *dyngraph.Store
+
+	inserted atomic.Uint64
+	removed  atomic.Uint64
+	noops    atomic.Uint64
+}
+
+// NewDynGraph layers a mutable edge overlay over s's graph. The
+// overlay's vertex arrays and edge blocks come out of s's space:
+// construct the System with Options.SpaceWords ≥ DynSpaceWords for the
+// mutation volume you expect.
+func NewDynGraph(s *System) *DynGraph {
+	return &DynGraph{sys: s, st: dyngraph.New(s.sp, s.g.csr)}
+}
+
+// DynSpaceWords returns an Options.SpaceWords value sized for a System
+// on g that also hosts a DynGraph absorbing up to mutations edge
+// mutations (each undirected mutation is two arc mutations).
+func DynSpaceWords(g *Graph, mutations int) int {
+	arcs := mutations
+	if g.Undirected() {
+		arcs *= 2
+	}
+	n := g.NumVertices()
+	return 24*(n+8) + 4096 + dyngraph.SpaceWords(n, arcs)
+}
+
+// System returns the runtime the overlay is bound to.
+func (d *DynGraph) System() *System { return d.sys }
+
+// Base returns the frozen graph underneath the overlay.
+func (d *DynGraph) Base() *Graph { return d.sys.g }
+
+// Undirected reports whether the base graph is undirected; Tx.AddEdge
+// and Tx.RemoveEdge mutate both arcs of an undirected edge in one
+// transaction.
+func (d *DynGraph) Undirected() bool { return d.st.Undirected() }
+
+// NumVertices returns |V| (fixed: the overlay mutates edges only).
+func (d *DynGraph) NumVertices() int { return d.st.NumVertices() }
+
+// LiveDegree returns v's current out-degree: exact at quiescence,
+// advisory (one racy word read) while mutators run — fine for size
+// hints and scheduling, not for invariants.
+func (d *DynGraph) LiveDegree(v uint32) int { return d.st.LiveDegree(v) }
+
+// NeighborsNow returns v's live out-neighbors, sorted, appended into
+// buf[:0]. Quiescent: results are undefined while a mutator is in
+// flight; inside transactions use Tx.NeighborsMut.
+func (d *DynGraph) NeighborsNow(v uint32, buf []uint32) []uint32 {
+	return d.st.NeighborsNow(v, buf)
+}
+
+// HasEdgeNow reports quiescently whether edge (u, v) is live; inside
+// transactions use Tx.HasEdgeMut.
+func (d *DynGraph) HasEdgeNow(u, v uint32) bool { return d.st.HasArcNow(u, v) }
+
+// LiveArcs returns the quiescent live arc count (2× the edge count on
+// undirected graphs).
+func (d *DynGraph) LiveArcs() int { return d.st.LiveArcs() }
+
+// MutationHint returns the transaction size hint for mutating edge
+// (u, v): proportional to both endpoints' live degrees, so the §IV-B
+// router sends leaf mutations to H mode and hub mutations to L mode.
+func (d *DynGraph) MutationHint(u, v uint32) int { return d.st.Hint(u, v) }
+
+// Compact freezes base+overlay into a fresh immutable Graph (sorted,
+// de-duplicated, validated via the standard builder) for scan-heavy
+// phases. Quiescent: all mutators must have drained.
+func (d *DynGraph) Compact() (*Graph, error) {
+	csr, err := d.st.Compact()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: csr}, nil
+}
+
+// MutationStats returns how many ApplyStream operations actually
+// inserted an edge, actually removed one, and were no-ops (duplicate
+// insert / missing delete).
+func (d *DynGraph) MutationStats() (inserted, removed, noops uint64) {
+	return d.inserted.Load(), d.removed.Load(), d.noops.Load()
+}
+
+// AddEdge inserts edge (u, v) into g within tx, returning whether the
+// edge was actually added (false for duplicates and self-loops). On
+// undirected graphs both arcs are inserted atomically. The touched
+// words belong to u and v, so conflict detection and lock subscription
+// work exactly as for property writes.
+func (tx Tx) AddEdge(g *DynGraph, u, v uint32) bool {
+	changed := g.st.AddArc(tx.t, u, v)
+	if g.st.Undirected() {
+		if g.st.AddArc(tx.t, v, u) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// RemoveEdge deletes edge (u, v) from g within tx, returning whether
+// the edge was actually removed (false when it was not live). On
+// undirected graphs both arcs are removed atomically.
+func (tx Tx) RemoveEdge(g *DynGraph, u, v uint32) bool {
+	changed := g.st.RemoveArc(tx.t, u, v)
+	if g.st.Undirected() {
+		if g.st.RemoveArc(tx.t, v, u) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// HasEdgeMut reports whether edge (u, v) is live in g within tx,
+// observing the transaction's own uncommitted mutations.
+func (tx Tx) HasEdgeMut(g *DynGraph, u, v uint32) bool {
+	return g.st.HasArc(tx.t, u, v)
+}
+
+// DegreeMut returns v's live out-degree in g within tx, observing the
+// transaction's own uncommitted mutations.
+func (tx Tx) DegreeMut(g *DynGraph, v uint32) int {
+	return g.st.Degree(tx.t, v)
+}
+
+// NeighborsMut returns v's live out-neighbors in g within tx, sorted,
+// appended into buf[:0], observing the transaction's own uncommitted
+// mutations. Reading the whole adjacency subscribes to v's overlay
+// words, so concurrent mutations of v conflict — as they must.
+func (tx Tx) NeighborsMut(g *DynGraph, v uint32, buf []uint32) []uint32 {
+	return g.st.Neighbors(tx.t, v, buf)
+}
+
+// StreamOp is one timestamped edge mutation of a dynamic-graph stream
+// (an alias of the internal stream type, so cmd-level tooling and the
+// public API share files).
+type StreamOp = dyngraph.Op
+
+// StreamStats summarizes one ApplyStream run.
+type StreamStats struct {
+	// Applied counts operations applied (= len(ops) on success).
+	Applied int
+	// Inserted / Removed count operations that changed the graph.
+	Inserted int
+	// Removed counts operations that deleted a live edge.
+	Removed int
+	// NoOps counts duplicate inserts and deletes of absent edges.
+	NoOps int
+}
+
+// StreamOptions tunes ApplyStream.
+type StreamOptions struct {
+	// Window is how many consecutive ops are applied concurrently
+	// between barriers (default 4096). Ops within a window commit in
+	// arbitrary order; ordering across windows is preserved, so two
+	// ops on the same edge only race if they share a window.
+	Window int
+	// OnEdge, when non-nil, runs inside each mutation transaction
+	// after the mutation, with changed reporting whether the graph
+	// actually changed. It observes the uncommitted mutation (reads
+	// see the transaction's own writes) and may do transactional
+	// fix-up work; emit(u) schedules u post-commit (see Emit). Like
+	// any transaction body it must be retry-safe.
+	OnEdge func(tx Tx, op StreamOp, changed bool, emit func(u uint32)) error
+	// Emit, when non-nil, receives every vertex the transaction
+	// emitted — after that transaction committed (never for aborted
+	// attempts). Called from worker goroutines concurrently; typical
+	// use pushes into a worklist an incremental algorithm drains.
+	Emit func(u uint32)
+}
+
+// ApplyStream applies a timestamped edge stream to g through
+// transactions: ops are sorted by Time (in place), then applied in
+// windows; within a window mutations run concurrently across the
+// System's threads, each as its own transaction routed by
+// MutationHint. See StreamOptions for the hooks incremental
+// algorithms attach.
+func (d *DynGraph) ApplyStream(ops []StreamOp, opt StreamOptions) (StreamStats, error) {
+	return d.ApplyStreamCtx(context.Background(), ops, opt)
+}
+
+// ApplyStreamCtx is ApplyStream with cancellation.
+func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt StreamOptions) (StreamStats, error) {
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Time < ops[j].Time })
+	window := opt.Window
+	if window <= 0 {
+		window = 4096
+	}
+	var stats StreamStats
+	var ins, rem, noop atomic.Uint64
+	for lo := 0; lo < len(ops); lo += window {
+		hi := lo + window
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		win := ops[lo:hi]
+		err := d.applyWindow(ctx, win, opt, &ins, &rem, &noop)
+		if err != nil {
+			return stats, err
+		}
+		stats.Applied += len(win)
+	}
+	stats.Inserted = int(ins.Load())
+	stats.Removed = int(rem.Load())
+	stats.NoOps = int(noop.Load())
+	d.inserted.Add(ins.Load())
+	d.removed.Add(rem.Load())
+	d.noops.Add(noop.Load())
+	return stats, nil
+}
+
+// applyWindow runs one window of ops concurrently and barriers.
+func (d *DynGraph) applyWindow(ctx context.Context, win []StreamOp, opt StreamOptions,
+	ins, rem, noop *atomic.Uint64) error {
+	var firstErr atomic.Value
+	err := worklist.RangeCtx(ctx, len(win), d.sys.threads, 32, func(tid, lo, hi int) {
+		pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels(
+			"tufast", "apply_stream", "worker", strconv.Itoa(tid))))
+		w := d.sys.Worker()
+		defer d.sys.Release(w)
+		var pending []uint32
+		emit := func(u uint32) { pending = append(pending, u) }
+		for i := lo; i < hi; i++ {
+			if firstErr.Load() != nil {
+				return
+			}
+			op := win[i]
+			var changed bool
+			note := func(c bool) { changed = c }
+			hint := d.MutationHint(op.U, op.V)
+			err := w.AtomicCtx(ctx, hint, func(tx Tx) error {
+				pending = pending[:0]
+				if op.Del {
+					note(tx.RemoveEdge(d, op.U, op.V))
+				} else {
+					note(tx.AddEdge(d, op.U, op.V))
+				}
+				if opt.OnEdge != nil {
+					return opt.OnEdge(tx, op, changed, emit)
+				}
+				return nil
+			})
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			switch {
+			case !changed:
+				noop.Add(1)
+			case op.Del:
+				rem.Add(1)
+			default:
+				ins.Add(1)
+			}
+			if opt.Emit != nil {
+				for _, u := range pending {
+					opt.Emit(u)
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// Sink is a Source that also accepts pushes; *Queue and *PQ satisfy it.
+type Sink interface {
+	Source
+	Push(v uint32)
+}
+
+// ForEachQueuedEmit is ForEachQueued for algorithms that push
+// follow-up work from inside transactions: fn receives an emit
+// callback, and emitted vertices are pushed into q only after the
+// transaction commits — never for attempts that abort and retry — so
+// a wakeup always has a committed write behind it. hint overrides the
+// per-vertex size hint (nil falls back to the base graph's degree,
+// which dynamic-graph algorithms replace with live degree).
+func (s *System) ForEachQueuedEmit(q Sink, hint func(v uint32) int,
+	fn func(tx Tx, v uint32, emit func(u uint32)) error) error {
+	return s.ForEachQueuedEmitCtx(context.Background(), q, hint, fn)
+}
+
+// ForEachQueuedEmitCtx is ForEachQueuedEmit with cancellation.
+func (s *System) ForEachQueuedEmitCtx(ctx context.Context, q Sink, hint func(v uint32) int,
+	fn func(tx Tx, v uint32, emit func(u uint32)) error) error {
+	cancellable := ctx.Done() != nil
+	var firstErr atomic.Value
+	var idle atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < s.threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels(
+				"tufast", "foreach_queued_emit", "worker", strconv.Itoa(t))))
+			w := s.Worker()
+			defer s.Release(w)
+			var pending []uint32
+			emit := func(u uint32) { pending = append(pending, u) }
+			// Quiesce invariant as in ForEachQueuedCtx: every exit path
+			// leaves this worker's idle contribution counted, so the
+			// rest can always reach the all-idle threshold.
+			idleSpins := 0
+			for {
+				if firstErr.Load() != nil {
+					idle.Add(1)
+					return
+				}
+				if cancellable {
+					if err := ctx.Err(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						idle.Add(1)
+						return
+					}
+				}
+				v, ok := q.Pop()
+				if ok {
+					idleSpins = 0
+				}
+				if !ok {
+					n := idle.Add(1)
+					if int(n) >= s.threads && q.Len() == 0 {
+						return
+					}
+					idleSpins++
+					if idleSpins > 64 {
+						time.Sleep(50 * time.Microsecond)
+					} else {
+						runtime.Gosched()
+					}
+					idle.Add(-1)
+					continue
+				}
+				h := s.g.Degree(v)*2 + 2
+				if hint != nil {
+					h = hint(v)
+				}
+				err := w.AtomicCtx(ctx, h, func(tx Tx) error {
+					pending = pending[:0]
+					return fn(tx, v, emit)
+				})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					idle.Add(1)
+					return
+				}
+				// Flush post-commit: these pushes are backed by committed
+				// writes, so the stale-wakeup caveat of ForEachQueued's
+				// in-transaction pushes does not apply.
+				for _, u := range pending {
+					q.Push(u)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// graphio_test.go — SaveBinary/LoadGraphBinary round trips at the
+// public API layer: directed and undirected graphs (the Undirected
+// flag must survive), trailing isolated vertices, and the empty graph.
+package tufast_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tufast"
+)
+
+func roundTrip(t *testing.T, g *tufast.Graph) *tufast.Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := g.SaveBinary(path); err != nil {
+		t.Fatalf("SaveBinary: %v", err)
+	}
+	back, err := tufast.LoadGraphBinary(path)
+	if err != nil {
+		t.Fatalf("LoadGraphBinary: %v", err)
+	}
+	return back
+}
+
+func assertSameGraph(t *testing.T, got, want *tufast.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("NumVertices = %d, want %d", got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d", got.NumEdges(), want.NumEdges())
+	}
+	if got.Undirected() != want.Undirected() {
+		t.Fatalf("Undirected = %v, want %v", got.Undirected(), want.Undirected())
+	}
+	for v := uint32(0); int(v) < want.NumVertices(); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) == 0 && len(wn) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gn, wn) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, gn, wn)
+		}
+	}
+}
+
+func TestGraphBinaryRoundTripDirected(t *testing.T) {
+	g := tufast.GeneratePowerLaw(300, 1200, 2.1, 9)
+	if g.Undirected() {
+		t.Fatal("power-law generator unexpectedly produced an undirected graph")
+	}
+	assertSameGraph(t, roundTrip(t, g), g)
+}
+
+func TestGraphBinaryRoundTripUndirected(t *testing.T) {
+	g := tufast.GeneratePowerLaw(300, 1200, 2.1, 9).Undirect()
+	if !g.Undirected() {
+		t.Fatal("Undirect did not set the flag")
+	}
+	back := roundTrip(t, g)
+	assertSameGraph(t, back, g)
+	if !back.Undirected() {
+		t.Fatal("Undirected flag lost in the binary round trip")
+	}
+}
+
+func TestGraphBinaryRoundTripIsolatedVertices(t *testing.T) {
+	// Vertices 5..9 have no edges; the saved vertex count must win
+	// over the largest id actually referenced.
+	g, err := tufast.BuildGraph(10, []tufast.EdgePair{{U: 0, V: 1}, {U: 1, V: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := roundTrip(t, g)
+	assertSameGraph(t, back, g)
+	if back.Degree(9) != 0 {
+		t.Fatalf("Degree(9) = %d, want 0", back.Degree(9))
+	}
+}
+
+func TestGraphBinaryRoundTripEmpty(t *testing.T) {
+	for _, undirected := range []bool{false, true} {
+		g, err := tufast.BuildGraph(4, nil, undirected)
+		if err != nil {
+			t.Fatalf("undirected=%v: BuildGraph: %v", undirected, err)
+		}
+		back := roundTrip(t, g)
+		assertSameGraph(t, back, g)
+		if back.NumEdges() != 0 {
+			t.Fatalf("undirected=%v: NumEdges = %d, want 0", undirected, back.NumEdges())
+		}
+	}
+}

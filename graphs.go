@@ -51,8 +51,9 @@ func GenerateGrid(rows, cols int) *Graph {
 	return &Graph{csr: gen.Grid(rows, cols)}
 }
 
-// Undirect returns the symmetrized view of g (every arc mirrored); g
-// itself is unchanged.
+// Undirect returns a new symmetrized graph (every arc mirrored, then
+// de-duplicated); g itself is unchanged. If g is already undirected it
+// is returned as-is, not copied.
 func (g *Graph) Undirect() *Graph {
 	if g.csr.Undirected() {
 		return g
@@ -67,7 +68,9 @@ func (g *Graph) Undirect() *Graph {
 	return &Graph{csr: graph.MustBuild(n, edges, graph.BuildOptions{Symmetrize: true})}
 }
 
-// LoadGraphBinary reads a graph saved with SaveBinary.
+// LoadGraphBinary reads a graph saved with SaveBinary. The round trip
+// is lossless: topology, vertex count (including trailing isolated
+// vertices) and the Undirected flag all survive.
 func LoadGraphBinary(path string) (*Graph, error) {
 	c, err := graph.LoadBinary(path)
 	if err != nil {
@@ -76,7 +79,8 @@ func LoadGraphBinary(path string) (*Graph, error) {
 	return &Graph{csr: c}, nil
 }
 
-// SaveBinary writes the graph in the compact binary format.
+// SaveBinary writes the graph in the compact binary format read by
+// LoadGraphBinary (and by cmd/tufast via -graph).
 func (g *Graph) SaveBinary(path string) error { return g.csr.SaveBinary(path) }
 
 // ReadEdgeListGraph parses a whitespace-separated "u v" edge list

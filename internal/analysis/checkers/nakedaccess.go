@@ -31,6 +31,18 @@ var spaceMethods = map[string]bool{
 	"Load": true, "Store": true, "StoreVersioned": true, "ReadConsistent": true,
 }
 
+// dynMethods are the quiescent accessors of tufast.DynGraph: they read
+// (or rebuild from) the edge overlay with no transactional protection,
+// so inside a TxFunc they can observe torn chains and miss the
+// transaction's own uncommitted mutations. The transactional
+// counterparts are tx.AddEdge / tx.RemoveEdge / tx.HasEdgeMut /
+// tx.DegreeMut / tx.NeighborsMut.
+var dynMethods = map[string]bool{
+	"NeighborsNow": true, "HasEdgeNow": true, "LiveDegree": true,
+	"LiveArcs": true, "Compact": true, "ApplyStream": true, "ApplyStreamCtx": true,
+	"MutationStats": true,
+}
+
 func runNakedAccess(pass *analysis.Pass) {
 	forEachTxFunc(pass, func(fn *txFunc) {
 		ast.Inspect(fn.body, func(n ast.Node) bool {
@@ -55,6 +67,10 @@ func runNakedAccess(pass *analysis.Pass) {
 			case isMemPkg(pkg) && name == "Space" && spaceMethods[sel.Sel.Name]:
 				pass.Reportf(call.Pos(),
 					"Space.%s inside a transaction bypasses the TM; use tx.Read/tx.Write",
+					sel.Sel.Name)
+			case isTufastPkg(pkg) && name == "DynGraph" && dynMethods[sel.Sel.Name]:
+				pass.Reportf(call.Pos(),
+					"DynGraph.%s inside a transaction reads the edge overlay without TM protection; use tx.AddEdge/tx.RemoveEdge/tx.HasEdgeMut/tx.DegreeMut/tx.NeighborsMut",
 					sel.Sel.Name)
 			}
 			return true

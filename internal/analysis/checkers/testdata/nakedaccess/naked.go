@@ -27,6 +27,38 @@ func bad() {
 	})
 }
 
+func badDyn() {
+	sys, arr, _ := setup()
+	d := tufast.NewDynGraph(sys)
+	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
+		for _, u := range d.NeighborsNow(v, nil) { // want "DynGraph.NeighborsNow inside a transaction"
+			tx.Write(u, arr.Addr(u), 1)
+		}
+		if d.HasEdgeNow(v, v+1) { // want "DynGraph.HasEdgeNow inside a transaction"
+			return nil
+		}
+		_ = d.LiveDegree(v) // want "DynGraph.LiveDegree inside a transaction"
+		return nil
+	})
+}
+
+func goodDyn() {
+	sys, arr, _ := setup()
+	d := tufast.NewDynGraph(sys)
+	_ = d.LiveDegree(0)          // nowant: quiescent read outside any transaction
+	_ = d.NeighborsNow(0, nil)   // nowant: outside any transaction
+	hint := d.MutationHint(1, 2) // nowant: size hints are computed before the transaction
+	_ = sys.Atomic(hint, func(tx tufast.Tx) error {
+		if !tx.HasEdgeMut(d, 1, 2) { // nowant: transactional accessor
+			tx.AddEdge(d, 1, 2)
+		}
+		for _, u := range tx.NeighborsMut(d, 1, nil) { // nowant: transactional accessor
+			tx.Write(u, arr.Addr(u), uint64(tx.DegreeMut(d, u)))
+		}
+		return nil
+	})
+}
+
 func good() {
 	sys, arr, g := setup()
 	arr.Set(0, 7)       // nowant: initialization before the parallel section

@@ -9,6 +9,7 @@ func run() {
 	g := tufast.GenerateUniform(16, 2, 1)
 	sys := tufast.NewSystem(g, tufast.Options{})
 	arr := sys.NewVertexArray(0)
+	dyn := tufast.NewDynGraph(sys)
 	total := 0
 	wrong := 0
 	_ = sys.ForEachVertex(func(tx tufast.Tx, v uint32) error {
@@ -16,6 +17,9 @@ func run() {
 
 		//tufast:ignore nakedaccess documented seeding exception
 		_ = arr.Get(v)
+
+		//tufast:ignore nakedaccess debug-only overlay probe, staleness acceptable
+		_ = dyn.LiveDegree(v)
 
 		arr.Set(v, 1) //tufast:ignore
 

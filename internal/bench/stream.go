@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"tufast/internal/core"
+	"tufast/internal/dyngraph"
+	"tufast/internal/graph"
+	"tufast/internal/graph/gen"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+	"tufast/internal/trace"
+	"tufast/internal/worklist"
+)
+
+// Streaming workloads: Fig-15-style mode attribution and throughput
+// for transactional topology mutations. A timestamped edge stream is
+// synthesized from the twitter stand-in and replayed through the
+// dyngraph overlay; every mutation is one transaction whose size hint
+// is the live degree of its endpoints, so the H/O/L router spreads the
+// stream across modes exactly as the paper's §IV-B routes property
+// transactions.
+
+// streamConfig is the TM configuration the streaming benchmarks use:
+// routing thresholds scaled down from the paper's HTM-capacity
+// defaults so laptop-scale streams still exercise the full H/O/L
+// spread (leaves route H, hubs route L).
+func streamConfig() core.Config {
+	return core.Config{HMaxHint: 64, OMaxHint: 256}
+}
+
+// streamWorkload names one synthesized stream mix.
+type streamWorkload struct {
+	name             string
+	addFrac, delFrac float64
+}
+
+func streamWorkloads() []streamWorkload {
+	return []streamWorkload{
+		{"stream-insert", 0.25, 0},
+		{"stream-mixed", 0.20, 0.10},
+	}
+}
+
+// runStream replays ops through the overlay on tf, windowed like the
+// public ApplyStream driver, and returns throughput in ops/second.
+func runStream(st *dyngraph.Store, ops []dyngraph.Op, tf *core.System, threads, window int) float64 {
+	start := time.Now()
+	for lo := 0; lo < len(ops); lo += window {
+		hi := lo + window
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		win := ops[lo:hi]
+		worklist.Range(len(win), threads, 32, func(tid, wlo, whi int) {
+			w := tf.Worker(tid)
+			for i := wlo; i < whi; i++ {
+				op := win[i]
+				hint := st.Hint(op.U, op.V)
+				_ = w.Run(hint, func(tx sched.Tx) error {
+					if op.Del {
+						st.RemoveArc(tx, op.U, op.V)
+						st.RemoveArc(tx, op.V, op.U)
+					} else {
+						st.AddArc(tx, op.U, op.V)
+						st.AddArc(tx, op.V, op.U)
+					}
+					return nil
+				})
+			}
+		})
+	}
+	return float64(len(ops)) / time.Since(start).Seconds()
+}
+
+// streamSetup synthesizes one workload's stream over the twitter
+// stand-in and builds a fresh overlay (and its space) for it.
+func streamSetup(o Options, wl streamWorkload) (*mem.Space, *dyngraph.Store, []dyngraph.Op) {
+	ds, _ := gen.DatasetByName("twitter-mpi")
+	g := ds.Generate(o.Scale / 4)
+	stream := dyngraph.Synthesize(g, wl.addFrac, wl.delFrac, 7)
+	base := graph.MustBuild(stream.N, stream.Base, graph.BuildOptions{Symmetrize: g.Undirected()})
+	sp := mem.NewSpace(dyngraph.SpaceWords(stream.N, 2*len(stream.Ops)))
+	return sp, dyngraph.New(sp, base), stream.Ops
+}
+
+// FigStream is the streaming counterpart of Fig15: per-mode commit
+// attribution of mutation transactions plus stream throughput, for an
+// insert-only and a mixed insert/delete stream.
+func FigStream(o Options) []Table {
+	o = o.normalize()
+	t := &Table{
+		ID:     "stream",
+		Title:  "Streaming mutations: throughput and mode mix",
+		Header: []string{"workload", "ops", "ops/sec", "H", "O", "O+", "O2L", "L", "live arcs"},
+		Notes: []string{
+			"each edge mutation is one transaction, size hint = live degree of both endpoints",
+			"paper shape: leaf mutations commit in H; hub mutations take L; O carries the middle",
+			fmt.Sprintf("routing thresholds scaled for laptop streams: H ≤ %d < O ≤ %d < L",
+				streamConfig().HMaxHint, streamConfig().OMaxHint),
+		},
+	}
+	for _, wl := range streamWorkloads() {
+		sp, st, ops := streamSetup(o, wl)
+		tf := core.New(sp, st.NumVertices(), streamConfig())
+		tps := runStream(st, ops, tf, o.Threads, 4096)
+		snap := tf.Metrics().Snapshot()
+		t.AddRow(wl.name, len(ops), tps,
+			snap.Modes["H"].Commits, snap.Modes["O"].Commits, snap.Modes["O+"].Commits,
+			snap.Modes["O2L"].Commits, snap.Modes["L"].Commits, st.LiveArcs())
+	}
+	return []Table{*t}
+}
+
+// StreamSnapshot runs the streaming workloads and collects throughput
+// plus the full per-mode observability snapshot — the machine-readable
+// companion to FigStream that make bench-stream archives.
+func StreamSnapshot(o Options) PerfReport {
+	o = o.normalize()
+	rep := PerfReport{Dataset: "twitter-mpi", Threads: o.Threads, Scale: o.Scale}
+	for _, wl := range streamWorkloads() {
+		sp, st, ops := streamSetup(o, wl)
+		tf := core.New(sp, st.NumVertices(), streamConfig())
+		tps := runStream(st, ops, tf, o.Threads, 4096)
+		snap := tf.Metrics().Snapshot()
+		snap.Gauges = map[string]int64{"adaptive_period": int64(tf.CurrentPeriod())}
+		rep.Txns += len(ops)
+		rep.Entries = append(rep.Entries, PerfEntry{
+			Workload:  wl.name,
+			TxnPerSec: tps,
+			Metrics:   snap,
+		})
+		trace.Logf("stream snapshot %s: %d ops, %.0f ops/s, %d commits",
+			wl.name, len(ops), tps, snap.Commits())
+	}
+	return rep
+}
+
+// WriteStreamSnapshot writes the streaming performance snapshot as
+// indented JSON to path (make bench-stream → BENCH_pr4.json).
+func WriteStreamSnapshot(o Options, path string) error {
+	rep := StreamSnapshot(o)
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

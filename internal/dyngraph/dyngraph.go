@@ -1,0 +1,387 @@
+// Package dyngraph layers a transactional, mutable edge overlay on top
+// of an immutable graph.CSR base.
+//
+// The base adjacency stays frozen; every mutation is recorded in a
+// per-vertex chain of fixed-size edge blocks living inside the shared
+// mem.Space. Overlay words are read and written through the same
+// sched.Tx interface — and therefore the same per-vertex locks, HTM
+// subscriptions and O-mode validation — as vertex property words, so a
+// mutation transaction routed by live degree behaves exactly like the
+// paper's property transactions: a leaf-vertex edge insert is a tiny
+// H-mode transaction, a hub mutation is the large contended transaction
+// L mode exists for. Nothing in the TM core knows this package exists.
+//
+// Layout. Store allocates two line-aligned vertex arrays: head[v] (word
+// address of v's first overlay block, 0 = none) and deg[v] (live
+// out-degree, seeded from the base). Each block is one emulated cache
+// line of mem.WordsPerLine words: [next, used, slot0..slot5]. A slot
+// holds target<<2|flags, with bit 0 marking a valid entry and bit 1 a
+// tombstone:
+//
+//	entry, no tombstone   arc u→target is live (added, or re-added)
+//	entry, tombstone      arc u→target is dead (deleted)
+//	no entry              the base adjacency decides
+//
+// A chain holds at most one entry per target: mutators flip the
+// tombstone bit in place instead of appending duplicates, so chains
+// grow with the number of distinct targets touched, not with the
+// mutation count. Every word of vertex u's chain (and its head and deg
+// words) is owned by u, which makes u the lock and conflict granule for
+// topology exactly as for properties.
+//
+// Blocks are allocated from the Space and never freed. A block
+// allocated by an attempt that later aborts is leaked — it was never
+// linked, so it stays unreachable and zeroed; SpaceWords budgets for
+// that. The link word is written last and transactionally, so a block
+// becomes reachable only when the allocating transaction commits.
+package dyngraph
+
+import (
+	"fmt"
+	"sort"
+
+	"tufast/internal/graph"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+)
+
+const (
+	// blockWords is the size of one overlay block: exactly one emulated
+	// cache line, so a block never shares line versions with another
+	// vertex's data.
+	blockWords = mem.WordsPerLine
+	// slotBase is the index of the first entry slot within a block
+	// (word 0 = next link, word 1 = used count).
+	slotBase      = 2
+	slotsPerBlock = blockWords - slotBase
+
+	entryValid = 1 << 0
+	entryTomb  = 1 << 1
+	entryShift = 2
+)
+
+// reader is the read capability the scan paths need: sched.Tx satisfies
+// it, and the quiescent helpers substitute a Space-backed implementation
+// so transactional and non-transactional scans share one code path.
+type reader interface {
+	Read(v uint32, addr mem.Addr) uint64
+}
+
+// quiescent reads the space directly, bypassing the TM. Only valid when
+// no mutator can be mid-commit (after workers drained), or for
+// advisory uses like size hints that tolerate torn chains.
+type quiescent struct{ sp *mem.Space }
+
+func (q quiescent) Read(_ uint32, a mem.Addr) uint64 { return q.sp.Load(a) }
+
+// Store is a mutable graph: an immutable CSR base plus a transactional
+// delta overlay. Concurrent use is safe exactly insofar as all access
+// goes through transactions; the *Now/Compact helpers are quiescent.
+type Store struct {
+	sp   *mem.Space
+	base *graph.CSR
+	n    int
+	head mem.Addr // n words: head[v] = address of v's first block, 0 = none
+	deg  mem.Addr // n words: deg[v] = live out-degree of v
+}
+
+// New creates an overlay store over base, allocating its head and
+// degree arrays (and later its blocks) from sp. Size sp with
+// SpaceWords headroom beyond the caller's own allocations.
+func New(sp *mem.Space, base *graph.CSR) *Store {
+	n := base.NumVertices()
+	s := &Store{sp: sp, base: base, n: n}
+	// The head array is allocated before any block, so a real block
+	// address can never be 0 and 0 can mean "no chain".
+	s.head = sp.AllocLineAligned(n)
+	s.deg = sp.AllocLineAligned(n)
+	for v := uint32(0); int(v) < n; v++ {
+		sp.Store(s.deg+mem.Addr(v), uint64(base.Degree(v)))
+	}
+	return s
+}
+
+// SpaceWords returns the extra space (in words) a Store over n vertices
+// needs for arcMutations AddArc/RemoveArc calls: the head and degree
+// arrays plus a generous block budget that also covers blocks leaked by
+// aborted attempts. An undirected edge mutation is two arc mutations.
+func SpaceWords(n, arcMutations int) int {
+	return 2*(n+2*blockWords) + 24*arcMutations + 64
+}
+
+// Base returns the frozen CSR underneath the overlay.
+func (s *Store) Base() *graph.CSR { return s.base }
+
+// NumVertices returns |V| (fixed: the overlay mutates edges, not the
+// vertex set).
+func (s *Store) NumVertices() int { return s.n }
+
+// Undirected reports whether the base was symmetrized. Undirected
+// stores must be mutated symmetrically (both arcs in one transaction),
+// as tufast.Tx.AddEdge/RemoveEdge do.
+func (s *Store) Undirected() bool { return s.base.Undirected() }
+
+func (s *Store) check(v uint32) {
+	if int(v) >= s.n {
+		panic(fmt.Sprintf("dyngraph: vertex %d out of range [0,%d)", v, s.n))
+	}
+}
+
+func (s *Store) headOf(v uint32) mem.Addr { return s.head + mem.Addr(v) }
+func (s *Store) degOf(v uint32) mem.Addr  { return s.deg + mem.Addr(v) }
+
+// baseHas reports whether the frozen base holds arc u→v (binary search
+// of the sorted base adjacency; no shared state touched).
+func (s *Store) baseHas(u, v uint32) bool {
+	nb := s.base.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// findEntry scans u's chain for an entry targeting w. If found it
+// returns the slot's address (and zeros for the rest); otherwise slot
+// is 0 and last/lastUsed describe the chain's final block (0 when the
+// chain is empty) so an appender need not rescan.
+func (s *Store) findEntry(r reader, u, w uint32) (slot, last mem.Addr, lastUsed uint64) {
+	b := mem.Addr(r.Read(u, s.headOf(u)))
+	for b != 0 {
+		used := r.Read(u, b+1)
+		if used > slotsPerBlock {
+			used = slotsPerBlock
+		}
+		for i := mem.Addr(0); i < mem.Addr(used); i++ {
+			e := r.Read(u, b+slotBase+i)
+			if e&entryValid != 0 && uint32(e>>entryShift) == w {
+				return b + slotBase + i, 0, 0
+			}
+		}
+		next := mem.Addr(r.Read(u, b))
+		if next == 0 {
+			return 0, b, used
+		}
+		b = next
+	}
+	return 0, 0, 0
+}
+
+// bumpDeg adjusts u's live degree by delta.
+func (s *Store) bumpDeg(tx sched.Tx, u uint32, delta int64) {
+	d := tx.Read(u, s.degOf(u))
+	tx.Write(u, s.degOf(u), uint64(int64(d)+delta))
+}
+
+// appendEntry adds a new entry to u's chain: into the last block's free
+// slot when there is one, else into a freshly allocated block linked at
+// the tail (or at head for an empty chain). All writes go through tx,
+// so an abort rolls the chain back; a fresh block allocated by an
+// aborted attempt is simply leaked, still zeroed and unreachable.
+func (s *Store) appendEntry(tx sched.Tx, u uint32, entry uint64, last mem.Addr, used uint64) {
+	if last != 0 && used < slotsPerBlock {
+		free := last + slotBase + mem.Addr(used)
+		tx.Write(u, free, entry)
+		tx.Write(u, last+1, used+1)
+		return
+	}
+	b := s.sp.AllocLineAligned(blockWords)
+	tx.Write(u, b+slotBase, entry)
+	tx.Write(u, b+1, 1)
+	// Link last: the block (and its entry) becomes visible atomically
+	// with the transaction's commit.
+	if last == 0 {
+		tx.Write(u, s.headOf(u), uint64(b))
+	} else {
+		tx.Write(u, last, uint64(b))
+	}
+}
+
+// AddArc inserts arc u→v within tx, reporting whether the arc was
+// actually added (false when it is already live, or when u == v:
+// self-loops are dropped to match graph.Build). All touched words are
+// owned by u.
+func (s *Store) AddArc(tx sched.Tx, u, v uint32) bool {
+	s.check(u)
+	s.check(v)
+	if u == v {
+		return false
+	}
+	slot, last, used := s.findEntry(tx, u, v)
+	if slot != 0 {
+		e := tx.Read(u, slot)
+		if e&entryTomb == 0 {
+			return false // already live in the overlay
+		}
+		tx.Write(u, slot, e&^uint64(entryTomb))
+		s.bumpDeg(tx, u, 1)
+		return true
+	}
+	if s.baseHas(u, v) {
+		return false // live in the base with no override
+	}
+	s.appendEntry(tx, u, uint64(v)<<entryShift|entryValid, last, used)
+	s.bumpDeg(tx, u, 1)
+	return true
+}
+
+// RemoveArc deletes arc u→v within tx, reporting whether the arc was
+// actually removed (false when it is not live).
+func (s *Store) RemoveArc(tx sched.Tx, u, v uint32) bool {
+	s.check(u)
+	s.check(v)
+	if u == v {
+		return false
+	}
+	slot, last, used := s.findEntry(tx, u, v)
+	if slot != 0 {
+		e := tx.Read(u, slot)
+		if e&entryTomb != 0 {
+			return false // already dead
+		}
+		tx.Write(u, slot, e|entryTomb)
+		s.bumpDeg(tx, u, -1)
+		return true
+	}
+	if s.baseHas(u, v) {
+		s.appendEntry(tx, u, uint64(v)<<entryShift|entryValid|entryTomb, last, used)
+		s.bumpDeg(tx, u, -1)
+		return true
+	}
+	return false
+}
+
+// HasArc reports whether arc u→v is live within the transaction (or
+// quiescent reader) r.
+func (s *Store) HasArc(r reader, u, v uint32) bool {
+	s.check(u)
+	s.check(v)
+	slot, _, _ := s.findEntry(r, u, v)
+	if slot != 0 {
+		return r.Read(u, slot)&entryTomb == 0
+	}
+	return s.baseHas(u, v)
+}
+
+// Degree returns u's live out-degree within the transaction (or
+// quiescent reader) r.
+func (s *Store) Degree(r reader, u uint32) int {
+	s.check(u)
+	return int(r.Read(u, s.degOf(u)))
+}
+
+// Neighbors returns u's live out-neighbors, sorted ascending, appended
+// into buf[:0]. The scan reads the overlay through r (pass the
+// transaction) and merges it with the sorted base adjacency.
+func (s *Store) Neighbors(r reader, u uint32, buf []uint32) []uint32 {
+	s.check(u)
+	out := buf[:0]
+	var adds, dels []uint32
+	b := mem.Addr(r.Read(u, s.headOf(u)))
+	for b != 0 {
+		used := r.Read(u, b+1)
+		if used > slotsPerBlock {
+			used = slotsPerBlock
+		}
+		for i := mem.Addr(0); i < mem.Addr(used); i++ {
+			e := r.Read(u, b+slotBase+i)
+			if e&entryValid == 0 {
+				continue
+			}
+			t := uint32(e >> entryShift)
+			if e&entryTomb != 0 {
+				dels = append(dels, t)
+			} else {
+				adds = append(adds, t)
+			}
+		}
+		b = mem.Addr(r.Read(u, b))
+	}
+	base := s.base.Neighbors(u)
+	if len(adds) == 0 && len(dels) == 0 {
+		return append(out, base...)
+	}
+	sortU32(adds)
+	sortU32(dels)
+	ai, di := 0, 0
+	for _, v := range base {
+		for ai < len(adds) && adds[ai] < v {
+			out = append(out, adds[ai])
+			ai++
+		}
+		if ai < len(adds) && adds[ai] == v {
+			ai++ // re-added base arc: keep the base copy below
+		}
+		for di < len(dels) && dels[di] < v {
+			di++
+		}
+		if di < len(dels) && dels[di] == v {
+			di++
+			continue // tombstoned base arc
+		}
+		out = append(out, v)
+	}
+	for ; ai < len(adds); ai++ {
+		out = append(out, adds[ai])
+	}
+	return out
+}
+
+func sortU32(a []uint32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// LiveDegree is the quiescent Degree: exact once mutators have drained,
+// advisory (a single racy word read) while they run — which is all a
+// routing size hint needs.
+func (s *Store) LiveDegree(u uint32) int {
+	return s.Degree(quiescent{s.sp}, u)
+}
+
+// NeighborsNow is the quiescent Neighbors. Unlike LiveDegree it walks
+// the chain unprotected, so it must only run when no mutator is active.
+func (s *Store) NeighborsNow(u uint32, buf []uint32) []uint32 {
+	return s.Neighbors(quiescent{s.sp}, u, buf)
+}
+
+// HasArcNow is the quiescent HasArc.
+func (s *Store) HasArcNow(u, v uint32) bool {
+	return s.HasArc(quiescent{s.sp}, u, v)
+}
+
+// LiveArcs returns the quiescent total of live out-arcs (twice the edge
+// count for undirected stores).
+func (s *Store) LiveArcs() int {
+	q := quiescent{s.sp}
+	total := 0
+	for v := uint32(0); int(v) < s.n; v++ {
+		total += s.Degree(q, v)
+	}
+	return total
+}
+
+// Hint returns the routing size hint for a mutation of edge (u, v): the
+// paper's BEGIN(size) estimate covering the chain scans plus an
+// incremental fix-up over both endpoints' adjacencies, proportional to
+// live degree — which is what routes leaf mutations to H mode and hub
+// mutations to L mode.
+func (s *Store) Hint(u, v uint32) int {
+	return 2*(s.LiveDegree(u)+s.LiveDegree(v)) + 16
+}
+
+// Compact freezes the overlay into a fresh CSR (the paper-shaped
+// structure scan-heavy phases want), reusing graph.Build so adjacency
+// is sorted, de-duplicated and validated exactly like a loaded graph.
+// Quiescent: all mutators must have drained.
+func (s *Store) Compact() (*graph.CSR, error) {
+	q := quiescent{s.sp}
+	edges := make([]graph.Edge, 0, s.base.NumEdges())
+	var buf []uint32
+	for u := uint32(0); int(u) < s.n; u++ {
+		buf = s.Neighbors(q, u, buf[:0])
+		for _, v := range buf {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	// For an undirected base the live arc set already holds both
+	// directions; Symmetrize re-asserts that and sets the flag on the
+	// result (Build de-duplicates the mirrored copies).
+	return graph.Build(s.n, edges, graph.BuildOptions{Symmetrize: s.base.Undirected()})
+}

@@ -1,0 +1,308 @@
+package dyngraph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tufast/internal/graph"
+	"tufast/internal/mem"
+	"tufast/internal/sched"
+)
+
+// directTx is a trivial sched.Tx for single-threaded unit tests: every
+// read and write goes straight to the space.
+type directTx struct{ sp *mem.Space }
+
+func (t directTx) Read(_ uint32, a mem.Addr) uint64 { return t.sp.Load(a) }
+func (t directTx) Write(_ uint32, a mem.Addr, v uint64) {
+	t.sp.Store(a, v)
+}
+
+var _ sched.Tx = directTx{}
+
+func newTestStore(t *testing.T, n int, edges []graph.Edge, undirected bool) (*Store, directTx) {
+	t.Helper()
+	base, err := graph.Build(n, edges, graph.BuildOptions{Symmetrize: undirected})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sp := mem.NewSpace(SpaceWords(n, 4096))
+	return New(sp, base), directTx{sp}
+}
+
+func TestAddRemoveSemantics(t *testing.T) {
+	s, tx := newTestStore(t, 8, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}}, false)
+
+	if s.Degree(tx, 0) != 2 {
+		t.Fatalf("seed degree = %d, want 2", s.Degree(tx, 0))
+	}
+	// Duplicate of a base arc is a no-op.
+	if s.AddArc(tx, 0, 1) {
+		t.Error("AddArc(0,1) on base arc should be a no-op")
+	}
+	// Fresh insert.
+	if !s.AddArc(tx, 0, 5) {
+		t.Error("AddArc(0,5) should insert")
+	}
+	if s.AddArc(tx, 0, 5) {
+		t.Error("AddArc(0,5) twice should be a no-op")
+	}
+	if got := s.Degree(tx, 0); got != 3 {
+		t.Errorf("degree after insert = %d, want 3", got)
+	}
+	// Delete a base arc via tombstone.
+	if !s.RemoveArc(tx, 0, 1) {
+		t.Error("RemoveArc(0,1) should delete base arc")
+	}
+	if s.RemoveArc(tx, 0, 1) {
+		t.Error("RemoveArc(0,1) twice should be a no-op")
+	}
+	// Delete an overlay insert.
+	if !s.RemoveArc(tx, 0, 5) {
+		t.Error("RemoveArc(0,5) should delete overlay arc")
+	}
+	// Re-add a tombstoned base arc.
+	if !s.AddArc(tx, 0, 1) {
+		t.Error("AddArc(0,1) after delete should re-add")
+	}
+	// Self-loops are dropped, matching graph.Build.
+	if s.AddArc(tx, 3, 3) {
+		t.Error("AddArc(3,3) self-loop should be a no-op")
+	}
+	if !s.HasArc(tx, 0, 1) || !s.HasArc(tx, 0, 2) || s.HasArc(tx, 0, 5) {
+		t.Errorf("membership wrong: has(0,1)=%v has(0,2)=%v has(0,5)=%v",
+			s.HasArc(tx, 0, 1), s.HasArc(tx, 0, 2), s.HasArc(tx, 0, 5))
+	}
+	if got := s.Degree(tx, 0); got != 2 {
+		t.Errorf("final degree = %d, want 2", got)
+	}
+	want := []uint32{1, 2}
+	if got := s.Neighbors(tx, 0, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(0) = %v, want %v", got, want)
+	}
+}
+
+func TestNeighborsMerge(t *testing.T) {
+	s, tx := newTestStore(t, 16, []graph.Edge{
+		{U: 1, V: 3}, {U: 1, V: 6}, {U: 1, V: 9},
+	}, false)
+	// Interleave overlay adds before, between and after base arcs,
+	// tombstone a middle base arc, and re-add another.
+	for _, v := range []uint32{0, 4, 12, 15} {
+		if !s.AddArc(tx, 1, v) {
+			t.Fatalf("AddArc(1,%d) failed", v)
+		}
+	}
+	if !s.RemoveArc(tx, 1, 6) {
+		t.Fatal("RemoveArc(1,6) failed")
+	}
+	if !s.RemoveArc(tx, 1, 9) || !s.AddArc(tx, 1, 9) {
+		t.Fatal("remove/re-add of (1,9) failed")
+	}
+	want := []uint32{0, 3, 4, 9, 12, 15}
+	if got := s.Neighbors(tx, 1, nil); !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(1) = %v, want %v", got, want)
+	}
+	if got := s.Degree(tx, 1); got != len(want) {
+		t.Errorf("Degree(1) = %d, want %d", got, len(want))
+	}
+	// Chain spill: push enough inserts through one vertex to cross
+	// several blocks.
+	for v := uint32(2); v < 16; v += 2 {
+		s.AddArc(tx, 7, v)
+	}
+	if got := s.Degree(tx, 7); got != 7 {
+		t.Errorf("Degree(7) = %d, want 7", got)
+	}
+	want7 := []uint32{2, 4, 6, 8, 10, 12, 14}
+	if got := s.Neighbors(tx, 7, nil); !reflect.DeepEqual(got, want7) {
+		t.Errorf("Neighbors(7) = %v, want %v", got, want7)
+	}
+}
+
+// TestCompactOracle drives a random mutation sequence through the
+// overlay (sequentially) and checks that Compact matches graph.Build
+// over an independently maintained edge set.
+func TestCompactOracle(t *testing.T) {
+	const n = 64
+	var seedEdges []graph.Edge
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		seedEdges = append(seedEdges, graph.Edge{
+			U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n)),
+		})
+	}
+	for _, undirected := range []bool{false, true} {
+		s, tx := newTestStore(t, n, seedEdges, undirected)
+
+		key := func(u, v uint32) uint64 {
+			if undirected && u > v {
+				u, v = v, u
+			}
+			return uint64(u)<<32 | uint64(v)
+		}
+		live := map[uint64]bool{}
+		for u := uint32(0); u < n; u++ {
+			for _, v := range s.Base().Neighbors(u) {
+				live[key(u, v)] = true
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if rng.Intn(3) == 0 {
+				s.RemoveArc(tx, u, v)
+				if undirected {
+					s.RemoveArc(tx, v, u)
+				}
+				live[key(u, v)] = false
+			} else {
+				s.AddArc(tx, u, v)
+				if undirected {
+					s.AddArc(tx, v, u)
+				}
+				live[key(u, v)] = true
+			}
+		}
+		var edges []graph.Edge
+		for k, on := range live {
+			if on {
+				edges = append(edges, graph.Edge{U: uint32(k >> 32), V: uint32(k)})
+			}
+		}
+		want := graph.MustBuild(n, edges, graph.BuildOptions{Symmetrize: undirected})
+		got, err := s.Compact()
+		if err != nil {
+			t.Fatalf("undirected=%v: Compact: %v", undirected, err)
+		}
+		if got.NumEdges() != want.NumEdges() {
+			t.Fatalf("undirected=%v: edges = %d, want %d", undirected, got.NumEdges(), want.NumEdges())
+		}
+		for u := uint32(0); u < n; u++ {
+			g, w := got.Neighbors(u), want.Neighbors(u)
+			if len(g) == 0 && len(w) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(g, w) {
+				t.Fatalf("undirected=%v: Neighbors(%d) = %v, want %v", undirected, u, g, w)
+			}
+			if ld := s.LiveDegree(u); ld != len(w) {
+				t.Fatalf("undirected=%v: LiveDegree(%d) = %d, want %d", undirected, u, ld, len(w))
+			}
+		}
+		if got.Undirected() != undirected {
+			t.Fatalf("compact lost Undirected flag: got %v want %v", got.Undirected(), undirected)
+		}
+	}
+}
+
+func TestQuiescentHelpers(t *testing.T) {
+	s, tx := newTestStore(t, 8, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, false)
+	s.AddArc(tx, 0, 4)
+	s.RemoveArc(tx, 2, 3)
+	if !s.HasArcNow(0, 4) || s.HasArcNow(2, 3) || !s.HasArcNow(0, 1) {
+		t.Error("HasArcNow wrong")
+	}
+	if got := s.NeighborsNow(0, nil); !reflect.DeepEqual(got, []uint32{1, 4}) {
+		t.Errorf("NeighborsNow(0) = %v", got)
+	}
+	if got := s.LiveArcs(); got != 2 {
+		t.Errorf("LiveArcs = %d, want 2", got)
+	}
+	if h := s.Hint(0, 2); h <= 0 {
+		t.Errorf("Hint = %d, want positive", h)
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	st := &Stream{
+		N:          10,
+		Undirected: true,
+		Base:       []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}},
+		Ops: []Op{
+			{Time: 1, U: 4, V: 5},
+			{Time: 2, U: 0, V: 1, Del: true},
+			{Time: 3, U: 0, V: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, st); err != nil {
+		t.Fatalf("WriteStream: %v", err)
+	}
+	got, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatalf("ReadStream: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+}
+
+func TestReplayEdges(t *testing.T) {
+	st := &Stream{
+		N:          6,
+		Undirected: true,
+		Base:       []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}},
+		Ops: []Op{
+			{Time: 1, U: 3, V: 4},            // insert
+			{Time: 2, U: 1, V: 0, Del: true}, // delete base (mirrored key)
+			{Time: 3, U: 3, V: 4, Del: true}, // delete the insert
+			{Time: 4, U: 3, V: 4},            // re-insert
+		},
+	}
+	g := graph.MustBuild(st.N, st.ReplayEdges(), graph.BuildOptions{Symmetrize: true})
+	want := graph.MustBuild(st.N, []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}},
+		graph.BuildOptions{Symmetrize: true})
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for u := uint32(0); u < uint32(st.N); u++ {
+		if !reflect.DeepEqual(g.Neighbors(u), want.Neighbors(u)) &&
+			!(len(g.Neighbors(u)) == 0 && len(want.Neighbors(u)) == 0) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", u, g.Neighbors(u), want.Neighbors(u))
+		}
+	}
+}
+
+func TestSynthesizeDeterministicAndConsistent(t *testing.T) {
+	var edges []graph.Edge
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		u, v := uint32(rng.Intn(50)), uint32(rng.Intn(50))
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g := graph.MustBuild(50, edges, graph.BuildOptions{Symmetrize: true})
+
+	a := Synthesize(g, 0.2, 0.1, 42)
+	b := Synthesize(g, 0.2, 0.1, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Synthesize not deterministic for equal seeds")
+	}
+	c := Synthesize(g, 0.2, 0.1, 43)
+	if reflect.DeepEqual(a.Ops, c.Ops) {
+		t.Error("Synthesize identical across different seeds (suspicious)")
+	}
+	if len(a.Ops) == 0 {
+		t.Fatal("Synthesize produced no ops")
+	}
+	// Replaying the synthesized stream must reproduce the source graph:
+	// held-out edges come back as inserts, sampled deletes remove base
+	// edges — so the final set is source minus deletes.
+	replay := graph.MustBuild(a.N, a.ReplayEdges(), graph.BuildOptions{Symmetrize: true})
+	// Each op touches a distinct pair, so: final = (base - dels) + adds.
+	nDel := 0
+	for _, op := range a.Ops {
+		if op.Del {
+			nDel++
+		}
+	}
+	// NumEdges counts stored arcs; an undirected delete removes two.
+	wantEdges := g.NumEdges() - 2*nDel
+	if replay.NumEdges() != wantEdges {
+		t.Errorf("replayed edges = %d, want %d", replay.NumEdges(), wantEdges)
+	}
+}

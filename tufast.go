@@ -101,6 +101,14 @@ type Options struct {
 	StaticPeriod bool
 	// Deadlock selects the L-mode policy.
 	Deadlock DeadlockPolicy
+	// HMaxHint and OMaxHint override the §IV-B routing thresholds: a
+	// transaction with size hint ≤ HMaxHint tries H mode first, one
+	// above OMaxHint goes straight to L mode, and anything between
+	// starts optimistic (defaults: the HTM word capacity and 8× it).
+	// Lowering them makes small graphs exercise the full H/O/L spread,
+	// which streaming workloads use to route mutations by live degree.
+	HMaxHint int
+	OMaxHint int
 }
 
 // System is a TuFast runtime bound to one graph: a shared memory space
@@ -135,6 +143,8 @@ func NewSystem(g *Graph, opt Options) *System {
 		HRetries:       opt.HRetries,
 		PeriodInit:     opt.PeriodInit,
 		AdaptivePeriod: !opt.StaticPeriod,
+		HMaxHint:       opt.HMaxHint,
+		OMaxHint:       opt.OMaxHint,
 	}
 	switch opt.Deadlock {
 	case DeadlockDetect:
@@ -521,7 +531,11 @@ func (q *PQ) Pop() (uint32, bool) {
 // Len returns the approximate size.
 func (q *PQ) Len() int { return (*worklist.PQ)(q).Len() }
 
-// Graph is a read-only compressed-sparse-row graph.
+// Graph is a frozen compressed-sparse-row graph: once built, its
+// topology never changes, so accessors are safe to call from any
+// goroutine with no synchronization. To mutate edges, layer a DynGraph
+// over it with NewDynGraph — the Graph stays intact as the overlay's
+// base (and as everyone else's view).
 type Graph struct {
 	csr *graph.CSR
 }
@@ -529,13 +543,17 @@ type Graph struct {
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.csr.NumVertices() }
 
-// NumEdges returns the number of stored arcs.
+// NumEdges returns the number of stored arcs. An undirected graph
+// stores each edge in both directions, so this is twice the edge
+// count there.
 func (g *Graph) NumEdges() int { return g.csr.NumEdges() }
 
-// Degree returns v's out-degree.
+// Degree returns v's out-degree (arc count, like NumEdges).
 func (g *Graph) Degree(v uint32) int { return g.csr.Degree(v) }
 
-// Neighbors returns v's sorted out-neighbors (do not modify).
+// Neighbors returns v's out-neighbors in ascending id order. The slice
+// aliases the graph's internal storage — it stays valid for the
+// graph's lifetime and must not be modified.
 func (g *Graph) Neighbors(v uint32) []uint32 { return g.csr.Neighbors(v) }
 
 // MaxDegree returns the largest degree.
