@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot bench-stream
+.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-diff loadgen-smoke
 
 build:
 	go build ./...
@@ -30,3 +30,19 @@ bench-snapshot:
 # archived by CI as a non-blocking artifact.
 bench-stream:
 	go run ./cmd/tufast-bench -short -stream-snapshot BENCH_pr4.json
+
+# bench-serve runs the closed-loop load generator against an
+# in-process tufastd (mixed reads/writes) and writes the serving
+# throughput + latency-percentile snapshot CI archives.
+bench-serve:
+	go run ./cmd/tufast-loadgen -inprocess -gen-n 5000 -duration 3s -clients 4 -write-frac 0.2 -snapshot BENCH_pr5.json
+
+# bench-diff prints per-workload throughput deltas between the two
+# most recent BENCH_*.json snapshots. Trend report, never a gate.
+bench-diff:
+	./scripts/benchdiff.sh
+
+# loadgen-smoke is the CI smoke: a short, low-rate mixed run that
+# exercises the whole serving path (admission, jobs, cache, drain).
+loadgen-smoke:
+	go run ./cmd/tufast-loadgen -inprocess -gen-n 5000 -duration 2s -clients 4 -rps 50

@@ -78,7 +78,7 @@ func BenchmarkFig16ParameterSensitivity(b *testing.B) { runExperiment(b, "fig16"
 // period over PageRank progress.
 func BenchmarkFig17AdaptivePeriod(b *testing.B) { runExperiment(b, "fig17") }
 
-// BenchmarkAblation runs the design-choice ablations from DESIGN.md §5.
+// BenchmarkAblation runs the design-choice ablations from DESIGN.md §6.
 func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
 
 // BenchmarkLowSkew runs the beyond-the-paper extension: TuFast on a

@@ -1,0 +1,108 @@
+// Command benchdiff compares two benchmark snapshot files
+// (BENCH_*.json, the bench.PerfReport shape) and prints per-workload
+// throughput deltas. It is a trend report, not a gate: parsing is
+// tolerant (unknown fields ignored, disjoint workload sets reported,
+// not failed) and the exit code is 0 unless the files cannot be read
+// at all, so CI can run it on every PR without flaking on figure
+// changes between snapshots.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors just the stable subset of bench.PerfReport; Metrics
+// is deliberately left out so snapshot-format evolution (new counters,
+// new sections) never breaks the diff.
+type report struct {
+	Dataset string  `json:"dataset"`
+	Threads int     `json:"threads"`
+	Scale   float64 `json:"scale"`
+	Entries []entry `json:"entries"`
+}
+
+type entry struct {
+	Workload  string  `json:"workload"`
+	TxnPerSec float64 `json:"txn_per_sec"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newRep, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	oldBy := map[string]float64{}
+	for _, e := range oldRep.Entries {
+		oldBy[e.Workload] = e.TxnPerSec
+	}
+	newBy := map[string]float64{}
+	for _, e := range newRep.Entries {
+		newBy[e.Workload] = e.TxnPerSec
+	}
+
+	fmt.Printf("benchdiff: %s (%s t=%d s=%g)  →  %s (%s t=%d s=%g)\n",
+		os.Args[1], oldRep.Dataset, oldRep.Threads, oldRep.Scale,
+		os.Args[2], newRep.Dataset, newRep.Threads, newRep.Scale)
+	if oldRep.Dataset != newRep.Dataset || oldRep.Threads != newRep.Threads || oldRep.Scale != newRep.Scale {
+		fmt.Println("note: snapshots were taken under different configs; deltas are indicative only")
+	}
+
+	names := map[string]bool{}
+	for w := range oldBy {
+		names[w] = true
+	}
+	for w := range newBy {
+		names[w] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for w := range names {
+		sorted = append(sorted, w)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-16s %14s %14s %9s\n", "workload", "old txn/s", "new txn/s", "delta")
+	for _, w := range sorted {
+		o, haveOld := oldBy[w]
+		n, haveNew := newBy[w]
+		switch {
+		case !haveOld:
+			fmt.Printf("%-16s %14s %14.0f %9s\n", w, "-", n, "new")
+		case !haveNew:
+			fmt.Printf("%-16s %14.0f %14s %9s\n", w, o, "-", "gone")
+		case o == 0:
+			fmt.Printf("%-16s %14.0f %14.0f %9s\n", w, o, n, "n/a")
+		default:
+			fmt.Printf("%-16s %14.0f %14.0f %+8.1f%%\n", w, o, n, (n-o)/o*100)
+		}
+	}
+}

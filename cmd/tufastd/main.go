@@ -1,0 +1,135 @@
+// Command tufastd serves graph analytics over a mutable graph as a
+// long-running HTTP/JSON daemon: a mutation plane applying batched
+// edge updates transactionally and an analytics plane running
+// pagerank/cc/sssp/degree jobs asynchronously with admission control,
+// per-job deadlines, and an epoch-tagged result cache.
+//
+// Usage:
+//
+//	tufastd -addr :8080 -gen-n 100000 -gen-deg 8
+//	tufastd -addr :8080 -graph edges.bin -mutations 2000000
+//
+// Endpoints:
+//
+//	POST /v1/edges      {"ops":[{"u":1,"v":2},{"u":3,"v":4,"del":true}]}
+//	POST /v1/jobs       {"algo":"pagerank","timeout_ms":5000}
+//	GET  /v1/jobs/{id}  job status and result
+//	GET  /v1/graph      topology summary and mutation epoch
+//	GET  /metrics       runtime + serving observability snapshot
+//	GET  /healthz       200 while serving, 503 while draining
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, in-flight jobs
+// finish (or are cancelled after the grace period), and the final
+// metrics snapshot is flushed to stderr.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tufast"
+	"tufast/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		graphIn    = flag.String("graph", "", "binary graph or edge-list file (overrides -gen-*)")
+		genN       = flag.Int("gen-n", 100_000, "generated graph: vertex count")
+		genDeg     = flag.Int("gen-deg", 8, "generated graph: average degree")
+		genAlpha   = flag.Float64("gen-alpha", 2.1, "generated graph: power-law exponent")
+		seed       = flag.Uint64("seed", 1, "generated graph: seed")
+		directed   = flag.Bool("directed", false, "keep the graph directed (cc jobs need undirected)")
+		threads    = flag.Int("threads", 0, "mutation-plane runtime threads (0 = GOMAXPROCS)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent analytics jobs")
+		jobThreads = flag.Int("job-threads", 0, "per-job runtime threads (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "analytics admission queue depth (full = 429)")
+		window     = flag.Int("window", 4096, "mutation batch window (ops applied concurrently)")
+		mutations  = flag.Int("mutations", 1_000_000, "edge-mutation budget the shared space is sized for")
+		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "default per-job deadline")
+		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets jobs finish before cancelling")
+		hMax       = flag.Int("h-max-hint", 0, "route txns with size hint ≤ this to H mode (0 = paper default)")
+		oMax       = flag.Int("o-max-hint", 0, "route txns with size hint > this straight to L mode (0 = paper default)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphIn, *genN, *genDeg, *genAlpha, *seed, !*directed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tufastd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tufastd: graph |V|=%d |E|=%d maxdeg=%d undirected=%v\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.Undirected())
+
+	sys := tufast.NewSystem(g, tufast.Options{
+		Threads:    *threads,
+		SpaceWords: tufast.DynSpaceWords(g, *mutations),
+		HMaxHint:   *hMax,
+		OMaxHint:   *oMax,
+	})
+	dyn := tufast.NewDynGraph(sys)
+
+	srv := server.New(dyn, server.Config{
+		Addr:           *addr,
+		JobWorkers:     *jobWorkers,
+		JobThreads:     *jobThreads,
+		QueueDepth:     *queue,
+		Window:         *window,
+		DefaultTimeout: *jobTimeout,
+		DrainGrace:     *drainGrace,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "tufastd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tufastd: serving on http://%s (POST /v1/edges, POST /v1/jobs, GET /metrics)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "tufastd: draining (finish or cancel in-flight jobs, then exit)")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "tufastd: shutdown:", err)
+	}
+
+	// Flush the final metrics snapshot so a scraped-on-exit deployment
+	// still captures the run's totals.
+	buf, err := json.MarshalIndent(srv.MetricsSnapshot(), "", "  ")
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "tufastd: final metrics: %s\n", buf)
+	}
+}
+
+// loadGraph loads a binary/edge-list graph or generates a power-law
+// one; undirected symmetrizes either way.
+func loadGraph(path string, n, deg int, alpha float64, seed uint64, undirected bool) (*tufast.Graph, error) {
+	if path == "" {
+		g := tufast.GeneratePowerLaw(n, n*deg, alpha, seed)
+		if undirected {
+			g = g.Undirect()
+		}
+		return g, nil
+	}
+	if g, err := tufast.LoadGraphBinary(path); err == nil {
+		if undirected {
+			g = g.Undirect()
+		}
+		return g, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tufast.ReadEdgeListGraph(f, 0, undirected)
+}

@@ -32,6 +32,7 @@ type DynGraph struct {
 	inserted atomic.Uint64
 	removed  atomic.Uint64
 	noops    atomic.Uint64
+	epoch    atomic.Uint64
 }
 
 // NewDynGraph layers a mutable edge overlay over s's graph. The
@@ -103,6 +104,15 @@ func (d *DynGraph) Compact() (*Graph, error) {
 	}
 	return &Graph{csr: csr}, nil
 }
+
+// Epoch returns the graph's mutation epoch: it starts at 0 and
+// increments once per ApplyStream batch that actually changed the
+// topology (no-op-only batches leave it alone). Consumers tag derived
+// results (analytics caches, compacted snapshots) with the epoch they
+// were computed at and treat a bumped epoch as invalidation. Direct
+// Tx.AddEdge/RemoveEdge calls outside ApplyStream do not move the
+// epoch; batch all serving-path mutations through ApplyStream.
+func (d *DynGraph) Epoch() uint64 { return d.epoch.Load() }
 
 // MutationStats returns how many ApplyStream operations actually
 // inserted an edge, actually removed one, and were no-ops (duplicate
@@ -234,6 +244,9 @@ func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt Strea
 	d.inserted.Add(ins.Load())
 	d.removed.Add(rem.Load())
 	d.noops.Add(noop.Load())
+	if ins.Load()+rem.Load() > 0 {
+		d.epoch.Add(1)
+	}
 	return stats, nil
 }
 

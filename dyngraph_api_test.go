@@ -261,3 +261,44 @@ func TestForEachQueuedEmitFlushesPostCommit(t *testing.T) {
 		}
 	}
 }
+
+// TestMutationEpoch pins the epoch contract the serving layer's result
+// cache depends on: ApplyStream bumps the epoch exactly when a batch
+// changed topology, and a pure no-op batch leaves it alone.
+func TestMutationEpoch(t *testing.T) {
+	g, err := tufast.BuildGraph(8, []tufast.EdgePair{{U: 0, V: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d := newDynFixture(t, g, 64, tufast.Options{Threads: 2})
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh graph epoch = %d, want 0", d.Epoch())
+	}
+
+	// Effective batch: one fresh insert.
+	if _, err := d.ApplyStream([]tufast.StreamOp{{Time: 1, U: 2, V: 3}}, tufast.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after effective batch = %d, want 1", d.Epoch())
+	}
+
+	// Pure no-op batch: re-insert a live edge, delete a missing one.
+	if _, err := d.ApplyStream([]tufast.StreamOp{
+		{Time: 2, U: 0, V: 1},
+		{Time: 3, U: 4, V: 5, Del: true},
+	}, tufast.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after no-op batch = %d, want still 1", d.Epoch())
+	}
+
+	// A delete of a live edge is effective again.
+	if _, err := d.ApplyStream([]tufast.StreamOp{{Time: 4, U: 0, V: 1, Del: true}}, tufast.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Epoch() != 2 {
+		t.Fatalf("epoch after effective delete = %d, want 2", d.Epoch())
+	}
+}

@@ -137,7 +137,7 @@ func Fig17(o Options) []Table {
 	return []Table{*t}
 }
 
-// Ablation quantifies the design choices DESIGN.md §5 calls out, on the
+// Ablation quantifies the design choices DESIGN.md §6 calls out, on the
 // RW workload over the twitter stand-in:
 //
 //   - early abort off: O-mode segments stop revalidating mid-flight;

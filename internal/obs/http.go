@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	"time"
 )
 
 // Publish registers src under name in the process-wide expvar registry
@@ -27,6 +28,23 @@ func Handler(src func() Snapshot) http.Handler {
 	})
 }
 
+// NewServer wraps h in an http.Server with conservative timeouts. The
+// bare zero-value server never times a connection out, so one client
+// trickling header bytes (slowloris) pins a connection — and its
+// goroutine — forever. Every HTTP listener in this module (the metrics
+// endpoint here and the tufastd serving daemon) goes through this one
+// constructor so the hardening stays in one place.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // Serve starts an HTTP endpoint on addr exposing
 //
 //	/metrics      the JSON snapshot
@@ -45,7 +63,7 @@ func Serve(addr, name string, src func() Snapshot) (bound string, close func() e
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(src))
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
+	srv := NewServer(mux)
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

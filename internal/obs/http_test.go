@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestNewServerHardened pins the slowloris hardening: every server the
+// repo binds to a socket must carry header/read/write/idle timeouts
+// and a header-size cap.
+func TestNewServerHardened(t *testing.T) {
+	srv := NewServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-header clients can pin connections")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset: slow-body clients can pin connections")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+	if srv.MaxHeaderBytes <= 0 {
+		t.Error("MaxHeaderBytes unset")
+	}
+}
+
+// TestSnapshotMergeServer pins the Server-section merge: counters add,
+// gauges (queue depth/cap, epoch) take the other side's view, and a
+// one-sided section is copied, not aliased.
+func TestSnapshotMergeServer(t *testing.T) {
+	a := Snapshot{Server: &ServerSnapshot{Admitted: 3, Rejected: 1, QueueDepth: 5, Epoch: 2}}
+	b := Snapshot{Server: &ServerSnapshot{Admitted: 4, CacheHits: 2, QueueDepth: 1, Epoch: 7}}
+
+	m := a.Merge(b)
+	if m.Server == nil {
+		t.Fatal("merged snapshot lost the server section")
+	}
+	if m.Server.Admitted != 7 || m.Server.Rejected != 1 || m.Server.CacheHits != 2 {
+		t.Errorf("counters did not add: %+v", m.Server)
+	}
+	if m.Server.Epoch != 7 {
+		t.Errorf("epoch = %d, want the later side's 7", m.Server.Epoch)
+	}
+
+	one := Snapshot{}.Merge(b)
+	if one.Server == b.Server {
+		t.Error("one-sided merge aliased the source section")
+	}
+	if one.Server == nil || one.Server.Admitted != 4 {
+		t.Errorf("one-sided merge dropped data: %+v", one.Server)
+	}
+}

@@ -16,6 +16,66 @@ type Snapshot struct {
 	Gauges map[string]int64 `json:"gauges,omitempty"`
 	// EventsDropped counts ring-buffer evictions since the last reset.
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// Server carries serving-layer counters when the snapshot comes
+	// from a tufastd daemon (nil for bare library runs): admission,
+	// cache, and lifecycle counts for the analytics job plane plus
+	// batch counts for the mutation plane.
+	Server *ServerSnapshot `json:"server,omitempty"`
+}
+
+// ServerSnapshot is the serving-layer slice of a Snapshot, produced by
+// internal/server: request admission and outcome counters for the
+// analytics plane, batch counters for the mutation plane, and latency
+// histograms for both. Counters are cumulative since server start;
+// Epoch, QueueDepth, and QueueCap are gauges.
+type ServerSnapshot struct {
+	// Admitted counts analytics jobs accepted into the run queue;
+	// Rejected counts submissions turned away with 429 (queue full).
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	// CacheHits counts submissions served from the epoch-tagged result
+	// cache without touching the queue.
+	CacheHits uint64 `json:"cache_hits"`
+	// Completed / Failed / DeadlineExceeded / Canceled classify
+	// finished jobs by outcome.
+	Completed        uint64 `json:"completed"`
+	Failed           uint64 `json:"failed"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	Canceled         uint64 `json:"canceled"`
+	// MutationBatches / MutationOps count accepted mutation batches and
+	// the stream operations they carried.
+	MutationBatches uint64 `json:"mutation_batches"`
+	MutationOps     uint64 `json:"mutation_ops"`
+	// Epoch is the graph's mutation epoch at snapshot time.
+	Epoch uint64 `json:"epoch"`
+	// QueueDepth / QueueCap describe the admission queue now.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// JobLatency is the end-to-end job latency histogram (nanoseconds,
+	// admission to terminal state); BatchLatency times mutation batches.
+	JobLatency   HistSnapshot `json:"job_latency_ns"`
+	BatchLatency HistSnapshot `json:"batch_latency_ns"`
+}
+
+// merge folds other into a copy of s: counters add, histograms merge,
+// gauges from other win (matching Snapshot.Merge's gauge rule).
+func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
+	out := s
+	out.Admitted += other.Admitted
+	out.Rejected += other.Rejected
+	out.CacheHits += other.CacheHits
+	out.Completed += other.Completed
+	out.Failed += other.Failed
+	out.DeadlineExceeded += other.DeadlineExceeded
+	out.Canceled += other.Canceled
+	out.MutationBatches += other.MutationBatches
+	out.MutationOps += other.MutationOps
+	out.Epoch = other.Epoch
+	out.QueueDepth = other.QueueDepth
+	out.QueueCap = other.QueueCap
+	out.JobLatency = s.JobLatency.Merge(other.JobLatency)
+	out.BatchLatency = s.BatchLatency.Merge(other.BatchLatency)
+	return out
 }
 
 // ModeSnapshot is the per-mode slice of a Snapshot.
@@ -123,6 +183,17 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	out := Snapshot{
 		Modes:         make(map[string]ModeSnapshot),
 		EventsDropped: s.EventsDropped + other.EventsDropped,
+	}
+	switch {
+	case s.Server != nil && other.Server != nil:
+		sv := s.Server.merge(*other.Server)
+		out.Server = &sv
+	case s.Server != nil:
+		sv := *s.Server
+		out.Server = &sv
+	case other.Server != nil:
+		sv := *other.Server
+		out.Server = &sv
 	}
 	for name, m := range s.Modes {
 		out.Modes[name] = m

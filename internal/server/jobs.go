@@ -1,0 +1,431 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"tufast"
+	"tufast/algorithms"
+)
+
+// Job statuses. A job is terminal once it leaves StatusQueued/
+// StatusRunning; terminal statuses never change again.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusDeadline = "deadline_exceeded"
+	StatusCanceled = "canceled"
+)
+
+// JobRequest is the POST /v1/jobs body: which algorithm to run and its
+// parameters. Zero-valued parameters take server defaults.
+type JobRequest struct {
+	// Algo is one of pagerank, cc, sssp, degree.
+	Algo string `json:"algo"`
+	// Damping and Eps tune pagerank (defaults 0.85, 1e-6).
+	Damping float64 `json:"damping,omitempty"`
+	Eps     float64 `json:"eps,omitempty"`
+	// Source is the sssp source vertex.
+	Source uint32 `json:"source,omitempty"`
+	// TopK bounds ranked result lists (default 10, max 100).
+	TopK int `json:"top_k,omitempty"`
+	// TimeoutMS is the per-job deadline in milliseconds (default and
+	// cap come from the server config). The deadline is propagated as a
+	// context into the runtime's cancellation paths, so an overrunning
+	// job stops mid-sweep and surfaces context.DeadlineExceeded.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize fills defaults and validates; it returns the request ready
+// to key a cache entry.
+func (r *JobRequest) normalize(cfg Config, numVertices int) error {
+	switch r.Algo {
+	case "pagerank":
+		if r.Damping == 0 {
+			r.Damping = 0.85
+		}
+		if r.Damping <= 0 || r.Damping >= 1 {
+			return fmt.Errorf("damping %v out of range (0,1)", r.Damping)
+		}
+		if r.Eps == 0 {
+			r.Eps = 1e-6
+		}
+		if r.Eps <= 0 {
+			return fmt.Errorf("eps %v must be positive", r.Eps)
+		}
+	case "cc", "degree":
+		// no parameters
+	case "sssp":
+		if int(r.Source) >= numVertices {
+			return fmt.Errorf("source %d out of range [0,%d)", r.Source, numVertices)
+		}
+	default:
+		return fmt.Errorf("unknown algo %q (want pagerank|cc|sssp|degree)", r.Algo)
+	}
+	if r.TopK <= 0 {
+		r.TopK = cfg.TopK
+	}
+	if r.TopK > 100 {
+		r.TopK = 100
+	}
+	if r.TimeoutMS <= 0 {
+		r.TimeoutMS = cfg.DefaultTimeout.Milliseconds()
+	}
+	if max := cfg.MaxTimeout.Milliseconds(); r.TimeoutMS > max {
+		r.TimeoutMS = max
+	}
+	return nil
+}
+
+// cacheKey identifies the computation independent of deadline: two
+// submissions asking for the same algorithm with the same parameters
+// share a cache slot.
+func (r JobRequest) cacheKey() string {
+	return fmt.Sprintf("%s|d=%v|e=%v|s=%d|k=%d", r.Algo, r.Damping, r.Eps, r.Source, r.TopK)
+}
+
+// Job is one admitted analytics request and its lifecycle.
+type Job struct {
+	ID  string
+	Req JobRequest
+
+	mu       sync.Mutex
+	status   string
+	err      string
+	result   any
+	epoch    uint64 // snapshot epoch the result was computed at
+	admitted time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// view renders the job for JSON responses.
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		JobID:  j.ID,
+		Algo:   j.Req.Algo,
+		Status: j.status,
+		Error:  j.err,
+		Result: j.result,
+	}
+	if j.status != StatusQueued {
+		e := j.epoch // copy: the view outlives the lock
+		v.Epoch = &e
+	}
+	if !j.started.IsZero() {
+		v.QueuedMS = j.started.Sub(j.admitted).Milliseconds()
+	}
+	if !j.finished.IsZero() {
+		v.RunMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	return v
+}
+
+// jobView is the wire form of a job (also used for cache-served
+// responses, with Cached set and no job id).
+type jobView struct {
+	JobID    string  `json:"job_id,omitempty"`
+	Algo     string  `json:"algo"`
+	Status   string  `json:"status"`
+	Cached   bool    `json:"cached,omitempty"`
+	Epoch    *uint64 `json:"epoch,omitempty"`
+	QueuedMS int64   `json:"queued_ms,omitempty"`
+	RunMS    int64   `json:"run_ms,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Result   any     `json:"result,omitempty"`
+}
+
+// terminal reports whether status is a final state.
+func terminal(status string) bool {
+	return status != StatusQueued && status != StatusRunning
+}
+
+// jobTable is the id → job registry.
+type jobTable struct {
+	mu   sync.RWMutex
+	next uint64
+	jobs map[string]*Job
+}
+
+func (t *jobTable) add(req JobRequest) *Job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jobs == nil {
+		t.jobs = make(map[string]*Job)
+	}
+	t.next++
+	j := &Job{
+		ID:       "j-" + strconv.FormatUint(t.next, 10),
+		Req:      req,
+		status:   StatusQueued,
+		admitted: time.Now(),
+	}
+	t.jobs[j.ID] = j
+	return j
+}
+
+func (t *jobTable) get(id string) *Job {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.jobs[id]
+}
+
+// remove forgets a job that was never admitted (queue-full rejection).
+func (t *jobTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.jobs, id)
+}
+
+// cacheEntry is one epoch-tagged result.
+type cacheEntry struct {
+	epoch  uint64
+	result any
+}
+
+// resultCache maps cacheKey → the most recent result. Lookups hit only
+// when the stored epoch matches the graph's current mutation epoch, so
+// a mutation batch invalidates the whole cache implicitly; stale
+// entries are swept on store to bound growth.
+type resultCache struct {
+	mu sync.Mutex
+	m  map[string]cacheEntry
+}
+
+func (c *resultCache) lookup(key string, epoch uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok || e.epoch != epoch {
+		return nil, false
+	}
+	return e.result, true
+}
+
+func (c *resultCache) store(key string, epoch uint64, result any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]cacheEntry)
+	}
+	for k, e := range c.m {
+		if e.epoch != epoch {
+			delete(c.m, k)
+		}
+	}
+	c.m[key] = cacheEntry{epoch: epoch, result: result}
+}
+
+// worker is one slot of the bounded analytics pool: it drains the
+// admission queue until the queue closes (drain) and runs each job
+// under its own deadline context parented to the server's base context
+// (so drain-time cancellation reaches in-flight sweeps).
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(j.Req.TimeoutMS)*time.Millisecond)
+	defer cancel()
+
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	if s.cfg.jobGate != nil {
+		s.cfg.jobGate(ctx, j)
+	}
+	result, epoch, err := s.execute(ctx, j.Req)
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.epoch = epoch
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = result
+		s.met.completed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusDeadline
+		j.err = err.Error()
+		s.met.deadline.Add(1)
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+		j.err = err.Error()
+		s.met.canceled.Add(1)
+	default:
+		j.status = StatusFailed
+		j.err = err.Error()
+		s.met.failed.Add(1)
+	}
+	latency := j.finished.Sub(j.admitted)
+	j.mu.Unlock()
+
+	s.met.jobLatency.Record(uint64(latency.Nanoseconds()))
+	if err == nil {
+		s.cache.store(j.Req.cacheKey(), epoch, result)
+	}
+}
+
+// execute runs the requested algorithm against an epoch-consistent
+// frozen snapshot of the dynamic graph. Each job gets its own System
+// over the snapshot so concurrent jobs never share transactional
+// state; the deadline context flows into the runtime's cancellation
+// paths (sweeps, retries, lock waits).
+func (s *Server) execute(ctx context.Context, req JobRequest) (any, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, s.dyn.Epoch(), err
+	}
+	g, epoch, err := s.snapshot()
+	if err != nil {
+		return nil, epoch, err
+	}
+	switch req.Algo {
+	case "degree":
+		res := degreeSummary(g, req.TopK)
+		return res, epoch, nil
+	case "pagerank":
+		sys := tufast.NewSystem(g, s.jobSysOptions())
+		ranks, err := algorithms.PageRankCtx(ctx, sys, req.Damping, req.Eps)
+		if err != nil {
+			return nil, epoch, err
+		}
+		return pagerankSummary(ranks, req.TopK), epoch, nil
+	case "cc":
+		if !g.Undirected() {
+			return nil, epoch, errors.New("cc requires an undirected graph")
+		}
+		sys := tufast.NewSystem(g, s.jobSysOptions())
+		comp, err := algorithms.ConnectedComponentsCtx(ctx, sys)
+		if err != nil {
+			return nil, epoch, err
+		}
+		return ccSummary(comp), epoch, nil
+	case "sssp":
+		sys := tufast.NewSystem(g, s.jobSysOptions())
+		dist, err := algorithms.ShortestPathsSPFACtx(ctx, sys, req.Source)
+		if err != nil {
+			return nil, epoch, err
+		}
+		return ssspSummary(req.Source, dist), epoch, nil
+	default:
+		return nil, epoch, fmt.Errorf("unknown algo %q", req.Algo)
+	}
+}
+
+// jobSysOptions builds per-job runtime options: analytics parallelism
+// is bounded separately from HTTP concurrency so a wide client fan-out
+// cannot multiply into threads × jobs goroutines.
+func (s *Server) jobSysOptions() tufast.Options {
+	return tufast.Options{Threads: s.cfg.JobThreads}
+}
+
+// rankedVertex is one entry of a top-k list.
+type rankedVertex struct {
+	V     uint32  `json:"v"`
+	Score float64 `json:"score"`
+}
+
+func pagerankSummary(ranks []float64, k int) any {
+	var sum float64
+	for _, r := range ranks {
+		sum += r
+	}
+	return struct {
+		Vertices int            `json:"vertices"`
+		Sum      float64        `json:"sum"`
+		Top      []rankedVertex `json:"top"`
+	}{len(ranks), sum, topBy(len(ranks), k, func(v int) float64 { return ranks[v] })}
+}
+
+func ccSummary(comp []uint64) any {
+	sizes := make(map[uint64]int)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	largest := 0
+	for _, n := range sizes {
+		if n > largest {
+			largest = n
+		}
+	}
+	return struct {
+		Vertices   int `json:"vertices"`
+		Components int `json:"components"`
+		Largest    int `json:"largest"`
+	}{len(comp), len(sizes), largest}
+}
+
+func ssspSummary(source uint32, dist []uint64) any {
+	reached := 0
+	var max uint64
+	for _, d := range dist {
+		if d != tufast.None {
+			reached++
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return struct {
+		Source  uint32 `json:"source"`
+		Reached int    `json:"reached"`
+		MaxDist uint64 `json:"max_dist"`
+	}{source, reached, max}
+}
+
+func degreeSummary(g *tufast.Graph, k int) any {
+	n := g.NumVertices()
+	var arcs uint64
+	for v := 0; v < n; v++ {
+		arcs += uint64(g.Degree(uint32(v)))
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = float64(arcs) / float64(n)
+	}
+	return struct {
+		Vertices  int            `json:"vertices"`
+		Arcs      uint64         `json:"arcs"`
+		MaxDegree int            `json:"max_degree"`
+		AvgDegree float64        `json:"avg_degree"`
+		Top       []rankedVertex `json:"top"`
+	}{n, arcs, g.MaxDegree(), avg, topBy(n, k, func(v int) float64 { return float64(g.Degree(uint32(v))) })}
+}
+
+// topBy returns the k highest-scoring vertices of [0,n), ties broken
+// by lower id.
+func topBy(n, k int, score func(v int) float64) []rankedVertex {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		sa, sb := score(ids[a]), score(ids[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return ids[a] < ids[b]
+	})
+	if k > n {
+		k = n
+	}
+	out := make([]rankedVertex, k)
+	for i := 0; i < k; i++ {
+		out[i] = rankedVertex{V: uint32(ids[i]), Score: score(ids[i])}
+	}
+	return out
+}

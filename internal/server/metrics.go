@@ -1,0 +1,48 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"tufast/internal/obs"
+)
+
+// metrics holds the serving-layer counters: lock-free atomics on the
+// hot paths, folded into an obs.ServerSnapshot (and from there into the
+// system MetricsSnapshot and the /metrics endpoint) on demand.
+type metrics struct {
+	admitted  atomic.Uint64
+	rejected  atomic.Uint64
+	cacheHits atomic.Uint64
+
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	deadline  atomic.Uint64
+	canceled  atomic.Uint64
+
+	mutBatches atomic.Uint64
+	mutOps     atomic.Uint64
+
+	jobLatency   obs.Histogram
+	batchLatency obs.Histogram
+}
+
+// snapshot captures the counters plus the gauges the caller supplies
+// (queue state and the graph's current mutation epoch).
+func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64) *obs.ServerSnapshot {
+	return &obs.ServerSnapshot{
+		Admitted:         m.admitted.Load(),
+		Rejected:         m.rejected.Load(),
+		CacheHits:        m.cacheHits.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		DeadlineExceeded: m.deadline.Load(),
+		Canceled:         m.canceled.Load(),
+		MutationBatches:  m.mutBatches.Load(),
+		MutationOps:      m.mutOps.Load(),
+		Epoch:            epoch,
+		QueueDepth:       queueDepth,
+		QueueCap:         queueCap,
+		JobLatency:       m.jobLatency.Snapshot(),
+		BatchLatency:     m.batchLatency.Snapshot(),
+	}
+}

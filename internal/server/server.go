@@ -1,0 +1,427 @@
+// Package server is tufastd's serving layer: a long-running HTTP/JSON
+// service over one DynGraph and its transactional runtime, with two
+// planes.
+//
+// The mutation plane (POST /v1/edges) applies batched edge mutations
+// through DynGraph.ApplyStream — windowed, routed H/O/L by live degree
+// like every other transaction — and bumps the graph's mutation epoch.
+//
+// The analytics plane (POST /v1/jobs, GET /v1/jobs/{id}) runs
+// pagerank/cc/sssp/degree asynchronously: a bounded worker pool drains
+// a bounded admission queue (a full queue sheds load with 429 and
+// Retry-After instead of queueing unboundedly), every job carries a
+// deadline propagated as a context into the runtime's cancellation
+// paths, and finished results are cached tagged with the mutation
+// epoch they were computed at — repeated queries between mutations are
+// served from cache, and any effective mutation batch invalidates it
+// by bumping the epoch.
+//
+// Analytics reads are epoch-consistent: jobs run against a compacted
+// immutable snapshot taken at a quiescent point (mutation batches hold
+// a shared topology lock; compaction takes it exclusively), so a job
+// never observes a half-applied batch while mutations keep committing
+// concurrently against the live overlay.
+//
+// Shutdown drains gracefully: admission stops (503), queued and
+// running jobs get a grace period to finish, stragglers are cancelled
+// through the same context plumbing, and the HTTP listener closes
+// last so status polls keep working while jobs wind down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast"
+	"tufast/internal/obs"
+)
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Addr is the listen address (default ":8080"; use ":0" in tests).
+	Addr string
+	// JobWorkers is the analytics pool size: at most this many jobs
+	// run concurrently (default 2).
+	JobWorkers int
+	// JobThreads is the per-job runtime parallelism (default
+	// GOMAXPROCS); total analytics parallelism is bounded by
+	// JobWorkers × JobThreads.
+	JobThreads int
+	// QueueDepth bounds the admission queue; a submission finding it
+	// full is rejected with 429 + Retry-After (default 64).
+	QueueDepth int
+	// DefaultTimeout is the per-job deadline when the request names
+	// none (default 30s); MaxTimeout caps requested deadlines
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Window is the ApplyStream window for mutation batches
+	// (default 4096).
+	Window int
+	// MaxBatch bounds ops per mutation batch (default 65536).
+	MaxBatch int
+	// DrainGrace is how long Shutdown lets queued and in-flight jobs
+	// finish before cancelling them (default 10s).
+	DrainGrace time.Duration
+	// TopK is the default ranked-list length in results (default 10).
+	TopK int
+
+	// jobGate, when non-nil, runs at job start before the algorithm —
+	// a test hook to hold workers deterministically (block the pool,
+	// force deadlines).
+	jobGate func(ctx context.Context, j *Job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobThreads <= 0 {
+		c.JobThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Window <= 0 {
+		c.Window = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	return c
+}
+
+// Server serves one DynGraph. Create with New, start with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+	sys *tufast.System
+	dyn *tufast.DynGraph
+
+	// topo orders mutation batches (shared) against snapshot
+	// compaction (exclusive): Compact requires quiescence.
+	topo sync.RWMutex
+
+	// snapMu guards the epoch-tagged compacted snapshot jobs run on.
+	snapMu    sync.Mutex
+	snapEpoch uint64
+	snapGraph *tufast.Graph
+
+	jobs  jobTable
+	cache resultCache
+	queue chan *Job
+
+	// admitMu makes "check draining, then send" atomic against
+	// Shutdown's "set draining, then close(queue)" — without it a
+	// racing submission could send on a closed channel.
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+
+	baseCtx    context.Context
+	cancelJobs context.CancelFunc
+	workerWG   sync.WaitGroup
+
+	met  metrics
+	hsrv *http.Server
+	ln   net.Listener
+}
+
+// New builds a server over d (the runtime comes from d.System()).
+func New(d *tufast.DynGraph, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		sys:        d.System(),
+		dyn:        d,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+	}
+	s.hsrv = obs.NewServer(s.mux())
+	return s
+}
+
+// Start binds the listener, starts the worker pool, and serves HTTP on
+// a background goroutine. It returns once the address is bound.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for i := 0; i < s.cfg.JobWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	go func() { _ = s.hsrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server: admission stops immediately (new
+// submissions and mutation batches get 503), queued and in-flight jobs
+// get DrainGrace to finish, stragglers are cancelled through the job
+// contexts, and finally the HTTP server shuts down under ctx. Safe to
+// call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	first := !s.draining.Swap(true)
+	if first {
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.workerWG.Wait(); close(done) }()
+	grace := time.NewTimer(s.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+		s.cancelJobs()
+		<-done
+	case <-ctx.Done():
+		s.cancelJobs()
+		<-done
+	}
+	s.cancelJobs()
+	return s.hsrv.Shutdown(ctx)
+}
+
+// MetricsSnapshot returns the runtime's observability snapshot with
+// the serving-layer section filled in — the same document /metrics
+// serves.
+func (s *Server) MetricsSnapshot() tufast.MetricsSnapshot {
+	snap := s.sys.MetricsSnapshot()
+	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), s.dyn.Epoch())
+	return snap
+}
+
+// mux wires the two planes plus health and observability endpoints.
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/edges", s.handleEdges)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	}))
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// edgeOp is one mutation of a POST /v1/edges batch.
+type edgeOp struct {
+	U    uint32 `json:"u"`
+	V    uint32 `json:"v"`
+	Del  bool   `json:"del,omitempty"`
+	Time uint64 `json:"time,omitempty"`
+}
+
+// edgeBatch is the POST /v1/edges body.
+type edgeBatch struct {
+	Ops []edgeOp `json:"ops"`
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var batch edgeBatch
+	if err := json.NewDecoder(r.Body).Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: "+err.Error())
+		return
+	}
+	if len(batch.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Ops) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d ops exceeds max %d", len(batch.Ops), s.cfg.MaxBatch))
+		return
+	}
+	n := uint32(s.dyn.NumVertices())
+	ops := make([]tufast.StreamOp, len(batch.Ops))
+	for i, op := range batch.Ops {
+		if op.U >= n || op.V >= n {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("op %d: vertex out of range [0,%d)", i, n))
+			return
+		}
+		// A zero Time keeps request order: ApplyStream sorts stably.
+		ops[i] = tufast.StreamOp{Time: op.Time, U: op.U, V: op.V, Del: op.Del}
+	}
+
+	start := time.Now()
+	s.topo.RLock()
+	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{Window: s.cfg.Window})
+	s.topo.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "apply: "+err.Error())
+		return
+	}
+	s.met.mutBatches.Add(1)
+	s.met.mutOps.Add(uint64(stats.Applied))
+	s.met.batchLatency.Record(uint64(time.Since(start).Nanoseconds()))
+	writeJSON(w, http.StatusOK, struct {
+		Applied  int    `json:"applied"`
+		Inserted int    `json:"inserted"`
+		Removed  int    `json:"removed"`
+		NoOps    int    `json:"noops"`
+		Epoch    uint64 `json:"epoch"`
+	}{stats.Applied, stats.Inserted, stats.Removed, stats.NoOps, s.dyn.Epoch()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if err := req.normalize(s.cfg, s.dyn.NumVertices()); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Epoch-tagged cache: a hit is served inline, consuming no queue
+	// capacity. Any effective mutation batch since the entry was
+	// stored moved the epoch, so staleness is impossible by key match.
+	epoch := s.dyn.Epoch()
+	if result, ok := s.cache.lookup(req.cacheKey(), epoch); ok {
+		s.met.cacheHits.Add(1)
+		writeJSON(w, http.StatusOK, jobView{
+			Algo: req.Algo, Status: StatusDone, Cached: true,
+			Epoch: &epoch, Result: result,
+		})
+		return
+	}
+
+	s.admitMu.RLock()
+	if s.draining.Load() {
+		s.admitMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	j := s.jobs.add(req)
+	select {
+	case s.queue <- j:
+		s.met.admitted.Add(1)
+		s.admitMu.RUnlock()
+		writeJSON(w, http.StatusAccepted, j.view())
+	default:
+		s.admitMu.RUnlock()
+		s.jobs.remove(j.ID)
+		s.met.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	ins, rem, noops := s.dyn.MutationStats()
+	writeJSON(w, http.StatusOK, struct {
+		Vertices   int    `json:"vertices"`
+		BaseArcs   int    `json:"base_arcs"`
+		LiveArcs   int    `json:"live_arcs"`
+		Undirected bool   `json:"undirected"`
+		Epoch      uint64 `json:"epoch"`
+		Inserted   uint64 `json:"inserted"`
+		Removed    uint64 `json:"removed"`
+		NoOps      uint64 `json:"noops"`
+	}{
+		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), s.dyn.LiveArcs(),
+		s.dyn.Undirected(), s.dyn.Epoch(), ins, rem, noops,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// snapshot returns the frozen graph at the current mutation epoch,
+// compacting lazily: repeated jobs between mutations share one
+// snapshot; the first job after a mutation batch pays for compaction.
+// Compaction excludes mutators via the topology lock, which is exactly
+// the quiescence Compact requires.
+func (s *Server) snapshot() (*tufast.Graph, uint64, error) {
+	cur := s.dyn.Epoch()
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapGraph != nil && s.snapEpoch == cur {
+		return s.snapGraph, cur, nil
+	}
+	s.topo.Lock()
+	cur = s.dyn.Epoch()
+	g, err := s.dyn.Compact()
+	s.topo.Unlock()
+	if err != nil {
+		return nil, cur, err
+	}
+	s.snapGraph, s.snapEpoch = g, cur
+	return g, cur, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

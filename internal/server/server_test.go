@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tufast"
+	"tufast/internal/obs"
+)
+
+// newTestDyn builds a small undirected graph with a runtime sized for
+// streaming mutations and routing thresholds that spread the H/O/L mix
+// at laptop scale.
+func newTestDyn(t *testing.T, n, deg int) *tufast.DynGraph {
+	t.Helper()
+	g := tufast.GenerateUniform(n, deg, 42).Undirect()
+	sys := tufast.NewSystem(g, tufast.Options{
+		Threads:    4,
+		SpaceWords: tufast.DynSpaceWords(g, 200_000),
+		HMaxHint:   64,
+		OMaxHint:   256,
+	})
+	return tufast.NewDynGraph(sys)
+}
+
+// startServer starts a server on a loopback port and registers a
+// cleanup shutdown.
+func startServer(t *testing.T, d *tufast.DynGraph, cfg Config) *Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	s := New(d, cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) (int, map[string]any, http.Header) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, out, resp.Header
+}
+
+func getJSON(t *testing.T, client *http.Client, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, out
+}
+
+// pollJob polls a job to a terminal state.
+func pollJob(t *testing.T, client *http.Client, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		code, view := getJSON(t, client, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s: status %d", id, code)
+		}
+		if st, _ := view["status"].(string); terminal(st) {
+			return view
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return nil
+}
+
+// waitStatus polls until the job reports the wanted status.
+func waitStatus(t *testing.T, client *http.Client, base, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, view := getJSON(t, client, base+"/v1/jobs/"+id)
+		if st, _ := view["status"].(string); st == want {
+			return
+		}
+		time.Sleep(1 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached status %q", id, want)
+}
+
+// waitGoroutines waits for the goroutine count to return to (near) the
+// baseline, dumping stacks on failure.
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+func serverMetrics(t *testing.T, client *http.Client, base string) *obs.ServerSnapshot {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode metrics: %v", err)
+	}
+	if snap.Server == nil {
+		t.Fatal("metrics snapshot has no server section")
+	}
+	return snap.Server
+}
+
+// TestServeConcurrentMixed is the end-to-end serving test: concurrent
+// mutation batches and analytics jobs against one daemon, all under
+// the race detector. Mutations must commit while jobs run, jobs must
+// all reach terminal states, and the serving metrics must account for
+// the traffic.
+func TestServeConcurrentMixed(t *testing.T) {
+	n, jobsEach := 2_000, 6
+	if testing.Short() {
+		n, jobsEach = 600, 3 // race-detected analytics dominate; keep -short fast
+	}
+	d := newTestDyn(t, n, 6)
+	s := startServer(t, d, Config{JobWorkers: 2, JobThreads: 2, QueueDepth: 64})
+	base := "http://" + s.Addr()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 8}}
+	defer client.CloseIdleConnections()
+
+	const mutators, batches, batchOps = 3, 8, 50
+	const readers = 3
+	algos := []string{"degree", "pagerank", "cc", "sssp"}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, mutators*batches+readers*jobsEach)
+	for m := 0; m < mutators; m++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 131))
+			for b := 0; b < batches; b++ {
+				ops := make([]map[string]any, batchOps)
+				for i := range ops {
+					ops[i] = map[string]any{
+						"u": rng.Intn(n), "v": rng.Intn(n),
+						"del": rng.Float64() < 0.25,
+					}
+				}
+				code, body, _ := postJSON(t, client, base+"/v1/edges", map[string]any{"ops": ops})
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("mutator %d: batch got %d: %v", id, code, body)
+					return
+				}
+			}
+		}(m)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < jobsEach; j++ {
+				req := map[string]any{"algo": algos[(id+j)%len(algos)], "timeout_ms": 20_000}
+				code, view, _ := postJSON(t, client, base+"/v1/jobs", req)
+				switch code {
+				case http.StatusOK: // cache hit, done inline
+					if cached, _ := view["cached"].(bool); !cached {
+						errs <- fmt.Sprintf("reader %d: 200 without cached flag: %v", id, view)
+					}
+				case http.StatusAccepted:
+					idStr, _ := view["job_id"].(string)
+					final := pollJob(t, client, base, idStr)
+					if st := final["status"]; st != StatusDone {
+						errs <- fmt.Sprintf("reader %d: job %s finished %v: %v", id, idStr, st, final["error"])
+					}
+				default:
+					errs <- fmt.Sprintf("reader %d: submit got %d: %v", id, code, view)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	sm := serverMetrics(t, client, base)
+	if sm.MutationBatches != mutators*batches {
+		t.Errorf("mutation batches = %d, want %d", sm.MutationBatches, mutators*batches)
+	}
+	if sm.MutationOps != mutators*batches*batchOps {
+		t.Errorf("mutation ops = %d, want %d", sm.MutationOps, mutators*batches*batchOps)
+	}
+	if sm.Admitted == 0 {
+		t.Error("no jobs admitted")
+	}
+	if got := sm.Completed + sm.CacheHits; got < uint64(readers*jobsEach) {
+		t.Errorf("completed+cached = %d, want ≥ %d", got, readers*jobsEach)
+	}
+	if sm.Epoch == 0 {
+		t.Error("mutation epoch never moved")
+	}
+	if sm.JobLatency.Count() == 0 {
+		t.Error("job latency histogram empty")
+	}
+
+	// The mutation plane must have routed real transactions: the TM
+	// snapshot in the same document carries per-mode commits.
+	snap := s.MetricsSnapshot()
+	if snap.Commits() == 0 {
+		t.Error("no transactional commits recorded during serving")
+	}
+}
+
+// TestCacheEpochInvalidation pins the epoch-tagged cache behavior: a
+// repeated query between mutations is served from cache; an effective
+// mutation batch bumps the epoch and invalidates it.
+func TestCacheEpochInvalidation(t *testing.T) {
+	d := newTestDyn(t, 500, 4)
+	s := startServer(t, d, Config{JobWorkers: 1, QueueDepth: 8})
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	submit := func() (int, map[string]any) {
+		code, view, _ := postJSON(t, client, base+"/v1/jobs",
+			map[string]any{"algo": "degree", "timeout_ms": 10_000})
+		return code, view
+	}
+
+	code, view := submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", code, view)
+	}
+	id, _ := view["job_id"].(string)
+	final := pollJob(t, client, base, id)
+	if final["status"] != StatusDone {
+		t.Fatalf("first job: %v", final)
+	}
+
+	code, view = submit()
+	if code != http.StatusOK {
+		t.Fatalf("repeat submit: got %d %v, want 200 cache hit", code, view)
+	}
+	if cached, _ := view["cached"].(bool); !cached {
+		t.Fatalf("repeat submit not served from cache: %v", view)
+	}
+
+	// An effective insert (an edge not currently live) must bump the
+	// epoch and invalidate the cache.
+	u, v := findNonEdge(t, d)
+	_, g0 := getJSON(t, client, base+"/v1/graph")
+	code, body, _ := postJSON(t, client, base+"/v1/edges",
+		map[string]any{"ops": []map[string]any{{"u": u, "v": v}}})
+	if code != http.StatusOK {
+		t.Fatalf("mutation: %d %v", code, body)
+	}
+	if ins, _ := body["inserted"].(float64); ins != 1 {
+		t.Fatalf("mutation was a no-op: %v", body)
+	}
+	_, g1 := getJSON(t, client, base+"/v1/graph")
+	if g1["epoch"].(float64) <= g0["epoch"].(float64) {
+		t.Fatalf("epoch did not advance: %v -> %v", g0["epoch"], g1["epoch"])
+	}
+
+	code, view = submit()
+	if code != http.StatusAccepted {
+		t.Fatalf("post-mutation submit: got %d %v, want 202 (cache invalidated)", code, view)
+	}
+	pollJob(t, client, base, view["job_id"].(string))
+
+	sm := serverMetrics(t, client, base)
+	if sm.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", sm.CacheHits)
+	}
+}
+
+// findNonEdge returns a vertex pair with no live edge.
+func findNonEdge(t *testing.T, d *tufast.DynGraph) (uint32, uint32) {
+	t.Helper()
+	n := uint32(d.NumVertices())
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !d.HasEdgeNow(u, v) {
+				return u, v
+			}
+		}
+	}
+	t.Fatal("graph is complete")
+	return 0, 0
+}
+
+// TestQueueFullSheds429 saturates a one-worker, one-slot queue and
+// checks backpressure: the overflow submission gets 429 with
+// Retry-After, repeated rejections do not grow goroutines, and the
+// held jobs complete once released.
+func TestQueueFullSheds429(t *testing.T) {
+	gate := make(chan struct{})
+	d := newTestDyn(t, 300, 4)
+	s := startServer(t, d, Config{
+		JobWorkers: 1, QueueDepth: 1,
+		jobGate: func(ctx context.Context, _ *Job) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		},
+	})
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	submit := func(algo string) (int, map[string]any, http.Header) {
+		return postJSON(t, client, base+"/v1/jobs",
+			map[string]any{"algo": algo, "timeout_ms": 30_000})
+	}
+
+	// Job A occupies the single worker (blocked in the gate)...
+	code, a, _ := submit("degree")
+	if code != http.StatusAccepted {
+		t.Fatalf("job A: %d %v", code, a)
+	}
+	waitStatus(t, client, base, a["job_id"].(string), StatusRunning)
+	// ...job B fills the single queue slot (different params so the
+	// cache cannot serve it)...
+	code, b, _ := submit("cc")
+	if code != http.StatusAccepted {
+		t.Fatalf("job B: %d %v", code, b)
+	}
+
+	// ...and every further submission is shed with 429 + Retry-After,
+	// without goroutine growth.
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		code, body, hdr := submit("pagerank")
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("saturated submit %d: got %d %v, want 429", i, code, body)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After header")
+		}
+	}
+	client.CloseIdleConnections()
+	if grown := runtime.NumGoroutine() - baseline; grown > 5 {
+		t.Errorf("goroutines grew by %d under saturation", grown)
+	}
+
+	close(gate)
+	if final := pollJob(t, client, base, a["job_id"].(string)); final["status"] != StatusDone {
+		t.Errorf("job A after release: %v", final)
+	}
+	if final := pollJob(t, client, base, b["job_id"].(string)); final["status"] != StatusDone {
+		t.Errorf("job B after release: %v", final)
+	}
+
+	sm := serverMetrics(t, client, base)
+	if sm.Rejected != 20 {
+		t.Errorf("rejected = %d, want 20", sm.Rejected)
+	}
+	if sm.QueueCap != 1 {
+		t.Errorf("queue cap = %d, want 1", sm.QueueCap)
+	}
+}
+
+// TestJobDeadlineExceeded pins deadline propagation: a job whose
+// deadline fires mid-run surfaces context.DeadlineExceeded and is
+// classified as deadline_exceeded, feeding the matching counter.
+func TestJobDeadlineExceeded(t *testing.T) {
+	d := newTestDyn(t, 300, 4)
+	s := startServer(t, d, Config{
+		JobWorkers: 1, QueueDepth: 4,
+		// Hold every job until its deadline context fires, so the
+		// outcome is deterministic regardless of machine speed.
+		jobGate: func(ctx context.Context, _ *Job) { <-ctx.Done() },
+	})
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+
+	code, view, _ := postJSON(t, client, base+"/v1/jobs",
+		map[string]any{"algo": "pagerank", "timeout_ms": 50})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, view)
+	}
+	final := pollJob(t, client, base, view["job_id"].(string))
+	if final["status"] != StatusDeadline {
+		t.Fatalf("status = %v, want %s (%v)", final["status"], StatusDeadline, final["error"])
+	}
+	if errStr, _ := final["error"].(string); !strings.Contains(errStr, context.DeadlineExceeded.Error()) {
+		t.Errorf("error %q does not surface context.DeadlineExceeded", errStr)
+	}
+	sm := serverMetrics(t, client, base)
+	if sm.DeadlineExceeded == 0 {
+		t.Error("deadline_exceeded counter did not move")
+	}
+}
+
+// TestDrainClean pins graceful shutdown: admission flips to 503,
+// in-flight jobs are finished or cancelled within the grace period,
+// and no goroutine survives the drain.
+func TestDrainClean(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	gate := make(chan struct{})
+	d := newTestDyn(t, 300, 4)
+	cfg := Config{
+		Addr:       "127.0.0.1:0",
+		JobWorkers: 1, QueueDepth: 4,
+		DrainGrace: 200 * time.Millisecond,
+		jobGate: func(ctx context.Context, _ *Job) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		},
+	}
+	s := New(d, cfg)
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	base := "http://" + s.Addr()
+	client := &http.Client{}
+
+	// One running job (held at the gate) and one queued job.
+	code, a, _ := postJSON(t, client, base+"/v1/jobs", map[string]any{"algo": "degree", "timeout_ms": 60_000})
+	if code != http.StatusAccepted {
+		t.Fatalf("job A: %d %v", code, a)
+	}
+	waitStatus(t, client, base, a["job_id"].(string), StatusRunning)
+	code, b, _ := postJSON(t, client, base+"/v1/jobs", map[string]any{"algo": "cc", "timeout_ms": 60_000})
+	if code != http.StatusAccepted {
+		t.Fatalf("job B: %d %v", code, b)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// While draining (before the HTTP listener closes), new work is
+	// refused and health reports draining.
+	waitDraining := time.Now().Add(5 * time.Second)
+	for !s.draining.Load() && time.Now().Before(waitDraining) {
+		time.Sleep(time.Millisecond)
+	}
+	if code, _, _ := postJSON(t, client, base+"/v1/jobs", map[string]any{"algo": "degree"}); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: got %d, want 503", code)
+	}
+	if code, _, _ := postJSON(t, client, base+"/v1/edges",
+		map[string]any{"ops": []map[string]any{{"u": 0, "v": 1}}}); code != http.StatusServiceUnavailable {
+		t.Errorf("mutation while draining: got %d, want 503", code)
+	}
+	if code, _ := getJSON(t, client, base+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: got %d, want 503", code)
+	}
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The grace period (200ms) elapsed with the gate held, so both
+	// jobs must have been cancelled — visible as terminal states.
+	for _, j := range []map[string]any{a, b} {
+		job := s.jobs.get(j["job_id"].(string))
+		if job == nil {
+			t.Fatal("job vanished during drain")
+		}
+		if v := job.view(); v.Status != StatusCanceled {
+			t.Errorf("job %s after drain: %q, want %s", v.JobID, v.Status, StatusCanceled)
+		}
+	}
+	if sm := s.MetricsSnapshot().Server; sm.Canceled != 2 {
+		t.Errorf("canceled = %d, want 2", sm.Canceled)
+	}
+
+	client.CloseIdleConnections()
+	waitGoroutines(t, baseline)
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Compare the two most recent benchmark snapshots (BENCH_*.json) and
+# print per-workload throughput deltas. Non-blocking: exits 0 when
+# fewer than two snapshots exist, so CI can run it unconditionally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t snaps < <(ls BENCH_*.json 2>/dev/null | sort -V | tail -2)
+if [ "${#snaps[@]}" -lt 2 ]; then
+  echo "benchdiff: need two BENCH_*.json snapshots, found ${#snaps[@]} — nothing to compare"
+  exit 0
+fi
+
+exec go run ./cmd/benchdiff "${snaps[0]}" "${snaps[1]}"

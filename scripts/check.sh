@@ -44,6 +44,14 @@ begin "tufastcheck"
 go run ./cmd/tufastcheck ./...
 end
 
+# The serving path (daemon, load generator, server package) is covered
+# by ./... above; this stage re-runs vet + the contract analyzers over
+# it by name so a failure points straight at the serving subsystem.
+begin "serving path (vet + tufastcheck)"
+go vet ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen
+go run ./cmd/tufastcheck ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen
+end
+
 begin "go test -race (short)"
 go test -race -short ./...
 end
