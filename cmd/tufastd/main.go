@@ -53,6 +53,7 @@ func main() {
 		window     = flag.Int("window", 4096, "mutation batch window (ops applied concurrently)")
 		mutations  = flag.Int("mutations", 1_000_000, "edge-mutation budget the shared space is sized for")
 		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "default per-job deadline")
+		maxJobs    = flag.Int("max-jobs", 1024, "retained terminal jobs (older results evicted, ids answer 404)")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets jobs finish before cancelling")
 		hMax       = flag.Int("h-max-hint", 0, "route txns with size hint ≤ this to H mode (0 = paper default)")
 		oMax       = flag.Int("o-max-hint", 0, "route txns with size hint > this straight to L mode (0 = paper default)")
@@ -83,6 +84,7 @@ func main() {
 		Window:         *window,
 		DefaultTimeout: *jobTimeout,
 		DrainGrace:     *drainGrace,
+		MaxJobs:        *maxJobs,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "tufastd:", err)

@@ -107,7 +107,10 @@ func (d *DynGraph) Compact() (*Graph, error) {
 
 // Epoch returns the graph's mutation epoch: it starts at 0 and
 // increments once per ApplyStream batch that actually changed the
-// topology (no-op-only batches leave it alone). Consumers tag derived
+// topology (no-op-only batches leave it alone). A batch that fails
+// partway — cancellation mid-stream, an OnEdge error — still bumps the
+// epoch when any of its transactions committed a change, so partial
+// application invalidates epoch-keyed consumers too. Consumers tag derived
 // results (analytics caches, compacted snapshots) with the epoch they
 // were computed at and treat a bumped epoch as invalidation. Direct
 // Tx.AddEdge/RemoveEdge calls outside ApplyStream do not move the
@@ -176,7 +179,8 @@ type StreamOp = dyngraph.Op
 
 // StreamStats summarizes one ApplyStream run.
 type StreamStats struct {
-	// Applied counts operations applied (= len(ops) on success).
+	// Applied counts operations whose transaction committed (= len(ops)
+	// on success; on error, the ops that committed before the failure).
 	Applied int
 	// Inserted / Removed count operations that changed the graph.
 	Inserted int
@@ -224,30 +228,35 @@ func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt Strea
 	if window <= 0 {
 		window = 4096
 	}
-	var stats StreamStats
 	var ins, rem, noop atomic.Uint64
+	var applyErr error
 	for lo := 0; lo < len(ops); lo += window {
 		hi := lo + window
 		if hi > len(ops) {
 			hi = len(ops)
 		}
-		win := ops[lo:hi]
-		err := d.applyWindow(ctx, win, opt, &ins, &rem, &noop)
-		if err != nil {
-			return stats, err
+		if err := d.applyWindow(ctx, ops[lo:hi], opt, &ins, &rem, &noop); err != nil {
+			applyErr = err
+			break
 		}
-		stats.Applied += len(win)
 	}
+	// Accounting and the epoch bump run on the error path too: a window
+	// that fails (cancellation, OnEdge error) after earlier windows —
+	// or some of its own transactions — committed has still changed the
+	// topology, and any committed change must invalidate epoch-keyed
+	// consumers (result caches, lazy snapshots).
+	var stats StreamStats
 	stats.Inserted = int(ins.Load())
 	stats.Removed = int(rem.Load())
 	stats.NoOps = int(noop.Load())
+	stats.Applied = stats.Inserted + stats.Removed + stats.NoOps
 	d.inserted.Add(ins.Load())
 	d.removed.Add(rem.Load())
 	d.noops.Add(noop.Load())
 	if ins.Load()+rem.Load() > 0 {
 		d.epoch.Add(1)
 	}
-	return stats, nil
+	return stats, applyErr
 }
 
 // applyWindow runs one window of ops concurrently and barriers.

@@ -6,6 +6,7 @@
 package tufast_test
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -300,5 +301,61 @@ func TestMutationEpoch(t *testing.T) {
 	}
 	if d.Epoch() != 2 {
 		t.Fatalf("epoch after effective delete = %d, want 2", d.Epoch())
+	}
+}
+
+// TestPartialBatchBumpsEpoch pins the error-path half of the epoch
+// contract: a batch that fails after some windows committed (client
+// disconnect mid-stream, OnEdge error) has still mutated the topology,
+// so the epoch must move — otherwise epoch-keyed consumers (the serving
+// layer's result cache, lazy snapshots) would keep treating
+// pre-mutation state as current. A failing batch that committed
+// nothing must still leave the epoch alone.
+func TestPartialBatchBumpsEpoch(t *testing.T) {
+	g, err := tufast.BuildGraph(8, []tufast.EdgePair{{U: 0, V: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d := newDynFixture(t, g, 64, tufast.Options{Threads: 2})
+
+	boom := errors.New("boom")
+	failAt := func(at uint64) func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error {
+		return func(_ tufast.Tx, op tufast.StreamOp, _ bool, _ func(uint32)) error {
+			if op.Time >= at {
+				return boom
+			}
+			return nil
+		}
+	}
+
+	// Window 1 commits a fresh insert; window 2's transaction aborts.
+	stats, err := d.ApplyStream([]tufast.StreamOp{
+		{Time: 1, U: 2, V: 3},
+		{Time: 2, U: 4, V: 5},
+	}, tufast.StreamOptions{Window: 1, OnEdge: failAt(2)})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ApplyStream err = %v, want %v", err, boom)
+	}
+	if stats.Applied != 1 || stats.Inserted != 1 {
+		t.Fatalf("partial stats = %+v, want Applied=1 Inserted=1", stats)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after partially-applied batch = %d, want 1", d.Epoch())
+	}
+	if ins, _, _ := d.MutationStats(); ins != 1 {
+		t.Fatalf("MutationStats inserted = %d, want 1", ins)
+	}
+
+	// A batch whose every transaction aborted changed nothing: no bump.
+	stats, err = d.ApplyStream([]tufast.StreamOp{{Time: 1, U: 6, V: 7}},
+		tufast.StreamOptions{Window: 1, OnEdge: failAt(0)})
+	if !errors.Is(err, boom) {
+		t.Fatalf("ApplyStream err = %v, want %v", err, boom)
+	}
+	if stats.Applied != 0 {
+		t.Fatalf("aborted-batch stats = %+v, want Applied=0", stats)
+	}
+	if d.Epoch() != 1 {
+		t.Fatalf("epoch after fully-aborted batch = %d, want still 1", d.Epoch())
 	}
 }

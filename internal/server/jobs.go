@@ -46,6 +46,9 @@ type JobRequest struct {
 // normalize fills defaults and validates; it returns the request ready
 // to key a cache entry.
 func (r *JobRequest) normalize(cfg Config, numVertices int) error {
+	// Fields the selected algo ignores are zeroed so equivalent
+	// requests (e.g. two cc submissions differing in a stray damping
+	// value) normalize to the same cache key.
 	switch r.Algo {
 	case "pagerank":
 		if r.Damping == 0 {
@@ -60,12 +63,14 @@ func (r *JobRequest) normalize(cfg Config, numVertices int) error {
 		if r.Eps <= 0 {
 			return fmt.Errorf("eps %v must be positive", r.Eps)
 		}
+		r.Source = 0
 	case "cc", "degree":
-		// no parameters
+		r.Damping, r.Eps, r.Source = 0, 0, 0
 	case "sssp":
 		if int(r.Source) >= numVertices {
 			return fmt.Errorf("source %d out of range [0,%d)", r.Source, numVertices)
 		}
+		r.Damping, r.Eps = 0, 0
 	default:
 		return fmt.Errorf("unknown algo %q (want pagerank|cc|sssp|degree)", r.Algo)
 	}
@@ -117,7 +122,9 @@ func (j *Job) view() jobView {
 		Error:  j.err,
 		Result: j.result,
 	}
-	if j.status != StatusQueued {
+	// j.epoch is only assigned at completion, so expose it for terminal
+	// statuses only — a running job has no meaningful epoch yet.
+	if terminal(j.status) {
 		e := j.epoch // copy: the view outlives the lock
 		v.Epoch = &e
 	}
@@ -149,11 +156,14 @@ func terminal(status string) bool {
 	return status != StatusQueued && status != StatusRunning
 }
 
-// jobTable is the id → job registry.
+// jobTable is the id → job registry. Terminal jobs are retained only
+// up to a bound (Config.MaxJobs): retire evicts the oldest finished
+// jobs, so sustained submission cannot grow the table without limit.
 type jobTable struct {
 	mu   sync.RWMutex
 	next uint64
 	jobs map[string]*Job
+	done []string // terminal job ids, oldest first
 }
 
 func (t *jobTable) add(req JobRequest) *Job {
@@ -184,6 +194,18 @@ func (t *jobTable) remove(id string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.jobs, id)
+}
+
+// retire records that id reached a terminal status and evicts the
+// oldest terminal jobs beyond keep; evicted ids answer 404.
+func (t *jobTable) retire(id string, keep int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done = append(t.done, id)
+	for len(t.done) > keep {
+		delete(t.jobs, t.done[0])
+		t.done = t.done[1:]
+	}
 }
 
 // cacheEntry is one epoch-tagged result.
@@ -278,6 +300,7 @@ func (s *Server) runJob(j *Job) {
 	if err == nil {
 		s.cache.store(j.Req.cacheKey(), epoch, result)
 	}
+	s.jobs.retire(j.ID, s.cfg.MaxJobs)
 }
 
 // execute runs the requested algorithm against an epoch-consistent

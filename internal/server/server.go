@@ -71,6 +71,11 @@ type Config struct {
 	// DrainGrace is how long Shutdown lets queued and in-flight jobs
 	// finish before cancelling them (default 10s).
 	DrainGrace time.Duration
+	// MaxJobs bounds how many terminal (done/failed/…) jobs the job
+	// table retains (default 1024). The oldest finished jobs beyond the
+	// bound are evicted and their ids answer 404, keeping a long-running
+	// daemon's memory flat under sustained submission.
+	MaxJobs int
 	// TopK is the default ranked-list length in results (default 10).
 	TopK int
 
@@ -107,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
 	}
 	if c.TopK <= 0 {
 		c.TopK = 10

@@ -516,3 +516,73 @@ func TestDrainClean(t *testing.T) {
 	client.CloseIdleConnections()
 	waitGoroutines(t, baseline)
 }
+
+// TestJobTableRetention pins the bounded-retention contract: terminal
+// jobs beyond the MaxJobs bound are evicted oldest-first, so sustained
+// submission cannot grow a long-running daemon's job table without
+// limit; evicted ids answer as unknown (404 at the handler).
+func TestJobTableRetention(t *testing.T) {
+	var tbl jobTable
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j := tbl.add(JobRequest{Algo: "degree"})
+		ids = append(ids, j.ID)
+		tbl.retire(j.ID, 3)
+	}
+	for i, id := range ids {
+		got := tbl.get(id)
+		if i < 5 && got != nil {
+			t.Errorf("job %s (finished #%d) survived retention with keep=3", id, i)
+		}
+		if i >= 5 && got == nil {
+			t.Errorf("job %s (finished #%d) evicted despite being within keep=3", id, i)
+		}
+	}
+}
+
+// TestNormalizeCanonicalizesCacheKey pins that normalize zeroes the
+// parameters the selected algo ignores, so equivalent requests share
+// one cache slot (a stray damping on a cc request must not split the
+// cache).
+func TestNormalizeCanonicalizesCacheKey(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	key := func(req JobRequest) string {
+		t.Helper()
+		if err := req.normalize(cfg, 100); err != nil {
+			t.Fatalf("normalize %+v: %v", req, err)
+		}
+		return req.cacheKey()
+	}
+	if a, b := key(JobRequest{Algo: "cc"}), key(JobRequest{Algo: "cc", Damping: 0.5, Eps: 1, Source: 7}); a != b {
+		t.Errorf("cc keys differ: %q vs %q", a, b)
+	}
+	if a, b := key(JobRequest{Algo: "sssp", Source: 3}), key(JobRequest{Algo: "sssp", Source: 3, Damping: 0.5}); a != b {
+		t.Errorf("sssp keys differ: %q vs %q", a, b)
+	}
+	if a, b := key(JobRequest{Algo: "pagerank"}), key(JobRequest{Algo: "pagerank", Source: 9}); a != b {
+		t.Errorf("pagerank keys differ: %q vs %q", a, b)
+	}
+	// Parameters the algo does use still distinguish keys.
+	if a, b := key(JobRequest{Algo: "sssp", Source: 3}), key(JobRequest{Algo: "sssp", Source: 4}); a == b {
+		t.Errorf("distinct sssp sources share key %q", a)
+	}
+}
+
+// TestViewEpochOnlyWhenTerminal pins that a job view exposes its epoch
+// only once the job is terminal: j.epoch is assigned at completion, so
+// reporting it earlier would surface a misleading 0 (a valid epoch).
+func TestViewEpochOnlyWhenTerminal(t *testing.T) {
+	j := &Job{ID: "j-1", Req: JobRequest{Algo: "degree"}, status: StatusQueued}
+	for _, st := range []string{StatusQueued, StatusRunning} {
+		j.status = st
+		if v := j.view(); v.Epoch != nil {
+			t.Errorf("status %s: view exposes epoch %d", st, *v.Epoch)
+		}
+	}
+	for _, st := range []string{StatusDone, StatusFailed, StatusDeadline, StatusCanceled} {
+		j.status = st
+		if v := j.view(); v.Epoch == nil {
+			t.Errorf("status %s: view hides epoch", st)
+		}
+	}
+}
