@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-diff loadgen-smoke
+.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-diff loadgen-smoke
 
 build:
 	go build ./...
@@ -36,6 +36,18 @@ bench-stream:
 # throughput + latency-percentile snapshot CI archives.
 bench-serve:
 	go run ./cmd/tufast-loadgen -inprocess -gen-n 5000 -duration 3s -clients 4 -write-frac 0.2 -snapshot BENCH_pr5.json
+
+# bench-standing runs the standing-vs-recompute comparison: two equal
+# phases against one in-process daemon under the same mixed
+# insert/delete write stream — per-epoch pagerank recompute jobs, then
+# the same queries standing, served from the resident delta-maintained
+# result — and writes both figures (plus repair-lag and standing-hit
+# counters) to the snapshot CI archives. PageRank is the figure's
+# algorithm because its repairs stay O(delta) under deletes; standing
+# cc degrades to recompute-per-batch on delete-heavy streams (the
+# label-propagation asymmetry, measured separately in EXPERIMENTS.md).
+bench-standing:
+	go run ./cmd/tufast-loadgen -compare-standing -gen-n 5000 -duration 8s -clients 8 -write-frac 0.1 -algos pagerank -snapshot BENCH_pr6.json
 
 # bench-diff prints per-workload throughput deltas between the two
 # most recent BENCH_*.json snapshots. Trend report, never a gate.

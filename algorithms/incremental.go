@@ -143,13 +143,28 @@ func (cc *IncrementalCC) StabilizeCtx(ctx context.Context) error {
 
 // Components returns the current labels (quiescent read).
 func (cc *IncrementalCC) Components() []uint64 {
-	n := cc.dyn.NumVertices()
-	out := make([]uint64, n)
-	for v := 0; v < n; v++ {
-		out[v] = cc.comp.Get(uint32(v))
-	}
-	return out
+	return cc.ComponentsInto(nil)
 }
+
+// ComponentsInto appends the current labels into buf[:0]. Each label
+// is one atomic word read, so calling it while a Stabilize drain or
+// mutation stream runs is memory-safe (no torn words, race-detector
+// clean) — but the values are then advisory: different vertices may be
+// read at different repair states. For an exact snapshot, call at
+// quiescence (no drain, no mutators in flight).
+func (cc *IncrementalCC) ComponentsInto(buf []uint64) []uint64 {
+	n := cc.dyn.NumVertices()
+	buf = buf[:0]
+	for v := 0; v < n; v++ {
+		buf = append(buf, cc.comp.Get(uint32(v)))
+	}
+	return buf
+}
+
+// Pending returns how many vertices are queued for repair: zero means
+// the computation is stable for every mutation whose emits have been
+// delivered. Safe to call concurrently with drains and streams.
+func (cc *IncrementalCC) Pending() int { return cc.sink.Len() }
 
 // DeltaPageRank maintains PageRank on a mutable graph by residual
 // propagation, exactly for both inserts and deletes. Three words per
@@ -301,13 +316,27 @@ func (pr *DeltaPageRank) StabilizeCtx(ctx context.Context) error {
 
 // Ranks returns the current estimates (quiescent read).
 func (pr *DeltaPageRank) Ranks() []float64 {
-	n := pr.dyn.NumVertices()
-	out := make([]float64, n)
-	for v := 0; v < n; v++ {
-		out[v] = pr.rank.GetFloat(uint32(v))
-	}
-	return out
+	return pr.RanksInto(nil)
 }
+
+// RanksInto appends the current estimates into buf[:0]. Each rank is
+// one atomic word read, so calling it while a Stabilize drain or
+// mutation stream runs is memory-safe — but the values are then
+// advisory (mid-push mass can be in a residual rather than a rank).
+// For an exact snapshot, call at quiescence.
+func (pr *DeltaPageRank) RanksInto(buf []float64) []float64 {
+	n := pr.dyn.NumVertices()
+	buf = buf[:0]
+	for v := 0; v < n; v++ {
+		buf = append(buf, pr.rank.GetFloat(uint32(v)))
+	}
+	return buf
+}
+
+// Pending returns how many vertices are queued for repair: zero means
+// all residuals known to the sink are below tolerance. Safe to call
+// concurrently with drains and streams.
+func (pr *DeltaPageRank) Pending() int { return pr.sink.Len() }
 
 // streamResult carries ApplyStream's outcome across the driver
 // goroutine boundary.
@@ -318,9 +347,12 @@ type streamResult struct {
 
 // runStreaming applies ops with the given hooks while repeatedly
 // draining stabilize concurrently, then returns the stream stats.
+// The drain only runs while pending reports queued repair work — an
+// empty sink sleeps with exponential backoff instead of spinning a
+// core through stabilize's quiesce protocol for the whole stream.
 func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp,
 	window int, onEdge func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error,
-	emit func(uint32), stabilize func(context.Context) error) (tufast.StreamStats, error) {
+	emit func(uint32), pending func() int, stabilize func(context.Context) error) (tufast.StreamStats, error) {
 
 	done := make(chan streamResult, 1)
 	go func() {
@@ -329,6 +361,8 @@ func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp
 		})
 		done <- streamResult{st, err}
 	}()
+	const minSleep, maxSleep = 50 * time.Microsecond, 2 * time.Millisecond
+	sleep := minSleep
 	for {
 		select {
 		case r := <-done:
@@ -337,6 +371,17 @@ func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp
 			}
 			return r.stats, nil
 		default:
+			if pending() == 0 {
+				// An emit landing between the check and the sleep just
+				// waits one backoff step; the caller's final drain after
+				// the stream returns catches any tail.
+				time.Sleep(sleep)
+				if sleep *= 2; sleep > maxSleep {
+					sleep = maxSleep
+				}
+				continue
+			}
+			sleep = minSleep
 			if err := stabilize(ctx); err != nil {
 				r := <-done // let the stream driver finish before reporting
 				if r.err != nil {
@@ -344,7 +389,6 @@ func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp
 				}
 				return r.stats, err
 			}
-			time.Sleep(200 * time.Microsecond)
 		}
 	}
 }
@@ -363,7 +407,7 @@ func StreamingCC(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp,
 	if err := cc.RecomputeCtx(ctx); err != nil {
 		return nil, tufast.StreamStats{}, err
 	}
-	stats, err := runStreaming(ctx, d, ops, window, cc.OnEdge, cc.Emit, cc.StabilizeCtx)
+	stats, err := runStreaming(ctx, d, ops, window, cc.OnEdge, cc.Emit, cc.Pending, cc.StabilizeCtx)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -387,7 +431,7 @@ func StreamingPageRank(ctx context.Context, d *tufast.DynGraph, ops []tufast.Str
 	if err := pr.StabilizeCtx(ctx); err != nil {
 		return nil, tufast.StreamStats{}, err
 	}
-	stats, err := runStreaming(ctx, d, ops, window, pr.OnEdge, pr.Emit, pr.StabilizeCtx)
+	stats, err := runStreaming(ctx, d, ops, window, pr.OnEdge, pr.Emit, pr.Pending, pr.StabilizeCtx)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -48,11 +48,14 @@ type options struct {
 	duration  time.Duration
 	rps       float64
 	writeFrac float64
+	delFrac   float64
 	batch     int
 	algos     []string
 	timeoutMS int64
 	queue     int
 	workers   int
+	standing  bool
+	compare   bool
 	snapshot  string
 }
 
@@ -68,14 +71,24 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 10*time.Second, "run length")
 	flag.Float64Var(&o.rps, "rps", 0, "target aggregate request rate (0 = closed loop, as fast as responses return)")
 	flag.Float64Var(&o.writeFrac, "write-frac", 0.2, "fraction of requests that are mutation batches")
+	flag.Float64Var(&o.delFrac, "del-frac", 0.3, "fraction of mutation ops that are deletes")
 	flag.IntVar(&o.batch, "batch", 64, "edge ops per mutation batch")
 	flag.StringVar(&algoList, "algos", "degree,pagerank,cc,sssp", "comma-separated analytics mix, cycled per read")
 	flag.Int64Var(&o.timeoutMS, "job-timeout-ms", 10_000, "per-job deadline sent with each submission")
 	flag.IntVar(&o.queue, "queue", 64, "in-process server: admission queue depth")
 	flag.IntVar(&o.workers, "job-workers", 2, "in-process server: concurrent analytics jobs")
+	flag.BoolVar(&o.standing, "standing", false, "submit analytics jobs as standing queries (restricts -algos to pagerank,cc)")
+	flag.BoolVar(&o.compare, "compare-standing", false, "run two phases over one in-process daemon — per-epoch recompute, then standing — and write both to -snapshot")
 	flag.StringVar(&o.snapshot, "snapshot", "", "write a serving-throughput snapshot (BENCH_*.json shape) to this file")
 	flag.Parse()
 	o.algos = strings.Split(algoList, ",")
+	if o.standing || o.compare {
+		o.algos = standingAlgos(o.algos)
+	}
+	if o.compare {
+		runCompare(o)
+		return
+	}
 
 	var srv *server.Server
 	if o.inprocess {
@@ -118,6 +131,74 @@ func main() {
 	}
 }
 
+// standingAlgos filters an algo mix down to the delta-maintainable
+// pair standing queries support.
+func standingAlgos(algos []string) []string {
+	var out []string
+	for _, a := range algos {
+		if a == "pagerank" || a == "cc" {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"pagerank", "cc"}
+	}
+	return out
+}
+
+// runCompare runs the standing-vs-recompute figure: two equal phases
+// over one in-process daemon and write stream — phase one submits
+// plain jobs (every read pays a per-epoch recompute or cache probe),
+// phase two the same mix as standing queries served from resident
+// delta-maintained results.
+func runCompare(o options) {
+	o.inprocess = true
+	srv, err := startInProcess(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+		os.Exit(1)
+	}
+	o.addr = srv.Addr()
+	fmt.Printf("loadgen: in-process tufastd on %s (compare: recompute vs standing)\n", o.addr)
+
+	base := o
+	base.standing = false
+	fmt.Printf("loadgen: phase 1/2 per-epoch recompute (%v)\n", o.duration)
+	baseRep := run(base)
+	baseRep.print()
+
+	stand := o
+	stand.standing = true
+	fmt.Printf("loadgen: phase 2/2 standing (%v)\n", o.duration)
+	standRep := run(stand)
+	standRep.print()
+
+	var snap obs.Snapshot
+	if o.snapshot != "" {
+		if err := fetchJSON("http://"+o.addr+"/metrics", &snap); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
+	}
+	if o.snapshot != "" {
+		if err := writeCompareSnapshot(o, baseRep, standRep, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", o.snapshot)
+	}
+	baseRate := float64(baseRep.readsDone) / baseRep.duration.Seconds()
+	standRate := float64(standRep.readsDone) / standRep.duration.Seconds()
+	if baseRate > 0 {
+		fmt.Printf("loadgen: standing speedup %.1fx (%.1f/s vs %.1f/s)\n",
+			standRate/baseRate, standRate, baseRate)
+	}
+}
+
 // startInProcess builds a generated-graph daemon in this process,
 // with the routing thresholds the streaming benchmarks use so laptop
 // graphs still spread mutations across H/O/L.
@@ -127,8 +208,11 @@ func startInProcess(o options) (*server.Server, error) {
 	if budget < 1_000_000 {
 		budget = 1_000_000
 	}
+	// Eight standing slots at up to four vertex arrays each, matching
+	// tufastd's sizing.
+	standingWords := 8 * 4 * (g.NumVertices() + 8)
 	sys := tufast.NewSystem(g, tufast.Options{
-		SpaceWords: tufast.DynSpaceWords(g, budget),
+		SpaceWords: tufast.DynSpaceWords(g, budget) + standingWords,
 		HMaxHint:   64,
 		OMaxHint:   256,
 	})
@@ -149,9 +233,9 @@ type report struct {
 	mu       sync.Mutex
 	duration time.Duration
 
-	readsDone, cacheHits, rejected, deadlines, canceled, failed int
-	writes, writeOps                                            int
-	httpErrors                                                  int
+	readsDone, cacheHits, standingHits, rejected, deadlines, canceled, failed int
+	writes, writeOps                                                          int
+	httpErrors                                                                int
 
 	readLat  []time.Duration
 	writeLat []time.Duration
@@ -183,8 +267,8 @@ func (r *report) print() {
 	sort.Slice(r.writeLat, func(i, j int) bool { return r.writeLat[i] < r.writeLat[j] })
 	secs := r.duration.Seconds()
 	fmt.Printf("loadgen: %v run\n", r.duration.Round(time.Millisecond))
-	fmt.Printf("reads:  %d jobs done (%.1f/s), %d cache hits, %d rejected(429), %d deadline, %d canceled, %d failed\n",
-		r.readsDone, float64(r.readsDone)/secs, r.cacheHits, r.rejected, r.deadlines, r.canceled, r.failed)
+	fmt.Printf("reads:  %d jobs done (%.1f/s), %d cache hits, %d standing hits, %d rejected(429), %d deadline, %d canceled, %d failed\n",
+		r.readsDone, float64(r.readsDone)/secs, r.cacheHits, r.standingHits, r.rejected, r.deadlines, r.canceled, r.failed)
 	fmt.Printf("        latency p50=%v p90=%v p99=%v max=%v\n",
 		pct(r.readLat, 0.50).Round(time.Microsecond), pct(r.readLat, 0.90).Round(time.Microsecond),
 		pct(r.readLat, 0.99).Round(time.Microsecond), pct(r.readLat, 1).Round(time.Microsecond))
@@ -256,7 +340,7 @@ func doWrite(o options, client *http.Client, rng *rand.Rand, n int, rep *report)
 		ops[i] = op{
 			U:   uint32(rng.Intn(n)),
 			V:   uint32(rng.Intn(n)),
-			Del: rng.Float64() < 0.3,
+			Del: rng.Float64() < o.delFrac,
 		}
 	}
 	body, _ := json.Marshal(struct {
@@ -290,6 +374,9 @@ func doRead(o options, client *http.Client, rng *rand.Rand, n int, rep *report, 
 	if algo == "sssp" {
 		req["source"] = rng.Intn(n)
 	}
+	if o.standing {
+		req["standing"] = true
+	}
 	body, _ := json.Marshal(req)
 	start := time.Now()
 	resp, err := client.Post("http://"+o.addr+"/v1/jobs", "application/json", bytes.NewReader(body))
@@ -300,9 +387,10 @@ func doRead(o options, client *http.Client, rng *rand.Rand, n int, rep *report, 
 		return
 	}
 	var view struct {
-		JobID  string `json:"job_id"`
-		Status string `json:"status"`
-		Cached bool   `json:"cached"`
+		JobID    string `json:"job_id"`
+		Status   string `json:"status"`
+		Cached   bool   `json:"cached"`
+		Standing bool   `json:"standing"`
 	}
 	dec := json.NewDecoder(resp.Body)
 	decErr := dec.Decode(&view)
@@ -316,10 +404,14 @@ func doRead(o options, client *http.Client, rng *rand.Rand, n int, rep *report, 
 		rep.mu.Unlock()
 		time.Sleep(10 * time.Millisecond) // honor backpressure
 		return
-	case resp.StatusCode == http.StatusOK && view.Cached:
+	case resp.StatusCode == http.StatusOK && (view.Cached || view.Standing):
 		rep.mu.Lock()
 		rep.readsDone++
-		rep.cacheHits++
+		if view.Standing {
+			rep.standingHits++
+		} else {
+			rep.cacheHits++
+		}
 		rep.mu.Unlock()
 		rep.record(true, time.Since(start))
 		return
@@ -412,6 +504,37 @@ func writeSnapshot(o options, rep *report, snap obs.Snapshot) error {
 		Entries: []bench.PerfEntry{
 			{Workload: "serve-read", TxnPerSec: float64(rep.readsDone) / secs, Metrics: snap},
 			{Workload: "serve-write", TxnPerSec: float64(rep.writeOps) / secs},
+		},
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(o.snapshot, append(buf, '\n'), 0o644)
+}
+
+// writeCompareSnapshot emits the standing-vs-recompute figure: one
+// entry per phase in the PerfReport shape, with both phases' read
+// latency percentiles and the daemon's cumulative metrics (standing
+// hits, repair lag) riding along.
+func writeCompareSnapshot(o options, base, stand *report, snap obs.Snapshot) error {
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]int64)
+	}
+	snap.Gauges["recompute_read_p50_us"] = pct(base.readLat, 0.50).Microseconds()
+	snap.Gauges["recompute_read_p99_us"] = pct(base.readLat, 0.99).Microseconds()
+	snap.Gauges["standing_read_p50_us"] = pct(stand.readLat, 0.50).Microseconds()
+	snap.Gauges["standing_read_p99_us"] = pct(stand.readLat, 0.99).Microseconds()
+
+	out := bench.PerfReport{
+		Dataset: "serving-powerlaw",
+		Threads: o.clients,
+		Scale:   1,
+		Txns:    base.readsDone + stand.readsDone + base.writes + stand.writes,
+		Entries: []bench.PerfEntry{
+			{Workload: "serve-read-recompute", TxnPerSec: float64(base.readsDone) / base.duration.Seconds()},
+			{Workload: "serve-read-standing", TxnPerSec: float64(stand.readsDone) / stand.duration.Seconds(), Metrics: snap},
+			{Workload: "serve-write", TxnPerSec: float64(base.writeOps+stand.writeOps) / (base.duration.Seconds() + stand.duration.Seconds())},
 		},
 	}
 	buf, err := json.MarshalIndent(out, "", "  ")

@@ -13,7 +13,9 @@
 //
 //	POST /v1/edges      {"ops":[{"u":1,"v":2},{"u":3,"v":4,"del":true}]}
 //	POST /v1/jobs       {"algo":"pagerank","timeout_ms":5000}
+//	POST /v1/jobs       {"algo":"pagerank","standing":true}  (resident, delta-maintained)
 //	GET  /v1/jobs/{id}  job status and result
+//	GET  /v1/standing   resident standing queries and repair state
 //	GET  /v1/graph      topology summary and mutation epoch
 //	GET  /metrics       runtime + serving observability snapshot
 //	GET  /healthz       200 while serving, 503 while draining
@@ -54,6 +56,7 @@ func main() {
 		mutations  = flag.Int("mutations", 1_000_000, "edge-mutation budget the shared space is sized for")
 		jobTimeout = flag.Duration("job-timeout", 30*time.Second, "default per-job deadline")
 		maxJobs    = flag.Int("max-jobs", 1024, "retained terminal jobs (older results evicted, ids answer 404)")
+		maxStand   = flag.Int("max-standing", 8, "resident standing queries (further registrations = 429)")
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets jobs finish before cancelling")
 		hMax       = flag.Int("h-max-hint", 0, "route txns with size hint ≤ this to H mode (0 = paper default)")
 		oMax       = flag.Int("o-max-hint", 0, "route txns with size hint > this straight to L mode (0 = paper default)")
@@ -68,9 +71,13 @@ func main() {
 	fmt.Printf("tufastd: graph |V|=%d |E|=%d maxdeg=%d undirected=%v\n",
 		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.Undirected())
 
+	// Each resident standing query owns vertex arrays in the shared
+	// space (3 for delta pagerank, 1 for incremental cc); budget four
+	// per slot on top of the mutation-overlay sizing.
+	standingWords := *maxStand * 4 * (g.NumVertices() + 8)
 	sys := tufast.NewSystem(g, tufast.Options{
 		Threads:    *threads,
-		SpaceWords: tufast.DynSpaceWords(g, *mutations),
+		SpaceWords: tufast.DynSpaceWords(g, *mutations) + standingWords,
 		HMaxHint:   *hMax,
 		OMaxHint:   *oMax,
 	})
@@ -85,6 +92,7 @@ func main() {
 		DefaultTimeout: *jobTimeout,
 		DrainGrace:     *drainGrace,
 		MaxJobs:        *maxJobs,
+		MaxStanding:    *maxStand,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "tufastd:", err)

@@ -188,6 +188,13 @@ type StreamStats struct {
 	Removed int
 	// NoOps counts duplicate inserts and deletes of absent edges.
 	NoOps int
+	// Epoch is the mutation epoch at which this batch's effect is
+	// visible: for an effective batch, the exact value this batch's
+	// epoch bump produced (any snapshot taken at Epoch or later
+	// includes the batch); for a no-op batch, the epoch observed after
+	// application. Unlike reading DynGraph.Epoch() after ApplyStream
+	// returns, this cannot reflect a later concurrent batch's bump.
+	Epoch uint64
 }
 
 // StreamOptions tunes ApplyStream.
@@ -254,9 +261,66 @@ func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt Strea
 	d.removed.Add(rem.Load())
 	d.noops.Add(noop.Load())
 	if ins.Load()+rem.Load() > 0 {
-		d.epoch.Add(1)
+		stats.Epoch = d.epoch.Add(1)
+	} else {
+		stats.Epoch = d.epoch.Load()
 	}
 	return stats, applyErr
+}
+
+// ComposeOnEdge chains OnEdge hooks: the returned hook runs each
+// non-nil hook in order inside the mutation transaction, stopping at
+// the first error. Nil (and all-nil) inputs collapse to nil, so
+// composition never adds per-op overhead when nothing is attached.
+// Multiple incremental computations share one stream this way: each
+// hook sees the same op and the same emit callback, and every emitted
+// vertex reaches every Emit consumer (see ComposeEmit) — spurious
+// wakeups for computations that did not emit a vertex are benign
+// because their drain bodies are no-ops on converged vertices.
+func ComposeOnEdge(hooks ...func(tx Tx, op StreamOp, changed bool, emit func(u uint32)) error) func(Tx, StreamOp, bool, func(uint32)) error {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(tx Tx, op StreamOp, changed bool, emit func(u uint32)) error {
+		for _, h := range live {
+			if err := h(tx, op, changed, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ComposeEmit chains Emit hooks: every post-commit emitted vertex is
+// delivered to each non-nil hook in order. Nil inputs collapse as in
+// ComposeOnEdge.
+func ComposeEmit(hooks ...func(u uint32)) func(u uint32) {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(u uint32) {
+		for _, h := range live {
+			h(u)
+		}
+	}
 }
 
 // applyWindow runs one window of ops concurrently and barriers.

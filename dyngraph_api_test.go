@@ -9,6 +9,8 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tufast"
@@ -357,5 +359,158 @@ func TestPartialBatchBumpsEpoch(t *testing.T) {
 	}
 	if d.Epoch() != 1 {
 		t.Fatalf("epoch after fully-aborted batch = %d, want still 1", d.Epoch())
+	}
+}
+
+// TestStreamStatsEpoch pins the per-batch epoch capture: an effective
+// batch's StreamStats.Epoch is the exact value its own bump produced —
+// even when other batches commit concurrently — and a no-op batch
+// reports the unchanged current epoch. Re-reading Epoch() after the
+// batch returns would instead leak a later concurrent batch's value.
+func TestStreamStatsEpoch(t *testing.T) {
+	g, err := tufast.BuildGraph(64, []tufast.EdgePair{{U: 0, V: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d := newDynFixture(t, g, 4096, tufast.Options{Threads: 4})
+
+	// Sequential: each effective batch reports its own bump.
+	stats, err := d.ApplyStream([]tufast.StreamOp{{Time: 1, U: 2, V: 3}}, tufast.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 1 || d.Epoch() != 1 {
+		t.Fatalf("effective batch: stats.Epoch=%d Epoch()=%d, want 1,1", stats.Epoch, d.Epoch())
+	}
+	// No-op batch: current epoch, no bump.
+	stats, err = d.ApplyStream([]tufast.StreamOp{{Time: 2, U: 0, V: 1}}, tufast.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 1 || d.Epoch() != 1 {
+		t.Fatalf("no-op batch: stats.Epoch=%d Epoch()=%d, want 1,1", stats.Epoch, d.Epoch())
+	}
+
+	// Concurrent effective batches on disjoint vertices: every batch
+	// must observe a distinct epoch (its own bump), covering 2..K+1.
+	const k = 8
+	epochs := make([]uint64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := uint32(8 + 2*i)
+			st, err := d.ApplyStream([]tufast.StreamOp{{Time: 1, U: u, V: u + 1}}, tufast.StreamOptions{})
+			if err != nil {
+				t.Errorf("batch %d: %v", i, err)
+				return
+			}
+			epochs[i] = st.Epoch
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for i, e := range epochs {
+		if e < 2 || e > k+1 {
+			t.Errorf("batch %d: epoch %d outside [2,%d]", i, e, k+1)
+		}
+		if seen[e] {
+			t.Errorf("epoch %d reported by two concurrent batches", e)
+		}
+		seen[e] = true
+	}
+	if d.Epoch() != k+1 {
+		t.Fatalf("final epoch = %d, want %d", d.Epoch(), k+1)
+	}
+}
+
+// TestComposeHooks pins the hook-composition helpers the serving layer
+// uses to fan mutation-stream callbacks out to standing queries: nil
+// hooks are dropped, order is preserved, and a failing OnEdge hook
+// stops the chain.
+func TestComposeHooks(t *testing.T) {
+	if tufast.ComposeOnEdge() != nil || tufast.ComposeOnEdge(nil, nil) != nil {
+		t.Error("ComposeOnEdge of no live hooks should be nil (stream fast path)")
+	}
+	if tufast.ComposeEmit() != nil || tufast.ComposeEmit(nil) != nil {
+		t.Error("ComposeEmit of no live hooks should be nil")
+	}
+
+	var order []string
+	mk := func(name string, fail error) func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error {
+		return func(_ tufast.Tx, _ tufast.StreamOp, _ bool, _ func(uint32)) error {
+			order = append(order, name)
+			return fail
+		}
+	}
+	h := tufast.ComposeOnEdge(nil, mk("a", nil), nil, mk("b", nil))
+	if h == nil {
+		t.Fatal("composed OnEdge is nil")
+	}
+	if err := h(tufast.Tx{}, tufast.StreamOp{}, true, nil); err != nil {
+		t.Fatalf("composed OnEdge: %v", err)
+	}
+	if !reflect.DeepEqual(order, []string{"a", "b"}) {
+		t.Fatalf("OnEdge order = %v, want [a b]", order)
+	}
+
+	boom := errors.New("boom")
+	order = nil
+	h = tufast.ComposeOnEdge(mk("a", boom), mk("b", nil))
+	if err := h(tufast.Tx{}, tufast.StreamOp{}, true, nil); !errors.Is(err, boom) {
+		t.Fatalf("composed OnEdge err = %v, want %v", err, boom)
+	}
+	if !reflect.DeepEqual(order, []string{"a"}) {
+		t.Fatalf("failing hook did not stop the chain: %v", order)
+	}
+
+	var got []uint32
+	e := tufast.ComposeEmit(nil, func(u uint32) { got = append(got, u) }, func(u uint32) { got = append(got, u+100) })
+	e(7)
+	if !reflect.DeepEqual(got, []uint32{7, 107}) {
+		t.Fatalf("composed Emit = %v, want [7 107]", got)
+	}
+
+	// Composed hooks ride a real stream: both hooks observe every
+	// effective op, emits reach both sinks.
+	g, err := tufast.BuildGraph(8, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d := newDynFixture(t, g, 64, tufast.Options{Threads: 2})
+	var aOps, bOps int32
+	onEdge := tufast.ComposeOnEdge(
+		func(_ tufast.Tx, _ tufast.StreamOp, changed bool, emit func(uint32)) error {
+			if changed {
+				atomic.AddInt32(&aOps, 1)
+				emit(1)
+			}
+			return nil
+		},
+		func(_ tufast.Tx, _ tufast.StreamOp, changed bool, _ func(uint32)) error {
+			if changed {
+				atomic.AddInt32(&bOps, 1)
+			}
+			return nil
+		},
+	)
+	var emitted int32
+	emit := tufast.ComposeEmit(func(_ uint32) { atomic.AddInt32(&emitted, 1) },
+		func(_ uint32) { atomic.AddInt32(&emitted, 1) })
+	stats, err := d.ApplyStream([]tufast.StreamOp{
+		{Time: 1, U: 0, V: 1}, {Time: 2, U: 2, V: 3},
+	}, tufast.StreamOptions{OnEdge: onEdge, Emit: emit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 {
+		t.Fatalf("stats = %+v, want Inserted=2", stats)
+	}
+	if aOps != 2 || bOps != 2 {
+		t.Fatalf("hook counts a=%d b=%d, want 2,2", aOps, bOps)
+	}
+	if emitted != 4 { // 2 emits × 2 composed sinks
+		t.Fatalf("emitted = %d, want 4", emitted)
 	}
 }

@@ -51,10 +51,24 @@ type ServerSnapshot struct {
 	// QueueDepth / QueueCap describe the admission queue now.
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
+	// StandingQueries / StandingRepairing gauge the standing-query
+	// registry: resident delta-maintained computations, and how many
+	// of them are currently stale (initializing or mid-repair).
+	StandingQueries   int `json:"standing_queries,omitempty"`
+	StandingRepairing int `json:"standing_repairing,omitempty"`
+	// StandingHits counts reads served inline from a resident standing
+	// result; StandingRepairs counts completed repair cycles, of which
+	// StandingRecomputes were delete-triggered full CC recomputes.
+	StandingHits       uint64 `json:"standing_hits,omitempty"`
+	StandingRepairs    uint64 `json:"standing_repairs,omitempty"`
+	StandingRecomputes uint64 `json:"standing_recomputes,omitempty"`
 	// JobLatency is the end-to-end job latency histogram (nanoseconds,
 	// admission to terminal state); BatchLatency times mutation batches.
 	JobLatency   HistSnapshot `json:"job_latency_ns"`
 	BatchLatency HistSnapshot `json:"batch_latency_ns"`
+	// RepairLag times standing-query repair: effective-batch commit to
+	// the repaired result being published.
+	RepairLag HistSnapshot `json:"repair_lag_ns,omitempty"`
 }
 
 // merge folds other into a copy of s: counters add, histograms merge,
@@ -70,11 +84,17 @@ func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
 	out.Canceled += other.Canceled
 	out.MutationBatches += other.MutationBatches
 	out.MutationOps += other.MutationOps
+	out.StandingHits += other.StandingHits
+	out.StandingRepairs += other.StandingRepairs
+	out.StandingRecomputes += other.StandingRecomputes
 	out.Epoch = other.Epoch
 	out.QueueDepth = other.QueueDepth
 	out.QueueCap = other.QueueCap
+	out.StandingQueries = other.StandingQueries
+	out.StandingRepairing = other.StandingRepairing
 	out.JobLatency = s.JobLatency.Merge(other.JobLatency)
 	out.BatchLatency = s.BatchLatency.Merge(other.BatchLatency)
+	out.RepairLag = s.RepairLag.Merge(other.RepairLag)
 	return out
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -36,6 +35,13 @@ type JobRequest struct {
 	Source uint32 `json:"source,omitempty"`
 	// TopK bounds ranked result lists (default 10, max 100).
 	TopK int `json:"top_k,omitempty"`
+	// Standing requests a materialized standing query (pagerank and cc
+	// only): the first submission registers a resident delta-maintained
+	// computation repaired under the mutation stream, and every later
+	// submission with the same parameters is served inline from the
+	// maintained result — O(1) between mutations, O(delta) behind them
+	// — instead of recomputing from a snapshot.
+	Standing bool `json:"standing,omitempty"`
 	// TimeoutMS is the per-job deadline in milliseconds (default and
 	// cap come from the server config). The deadline is propagated as a
 	// context into the runtime's cancellation paths, so an overrunning
@@ -73,6 +79,9 @@ func (r *JobRequest) normalize(cfg Config, numVertices int) error {
 		r.Damping, r.Eps = 0, 0
 	default:
 		return fmt.Errorf("unknown algo %q (want pagerank|cc|sssp|degree)", r.Algo)
+	}
+	if r.Standing && r.Algo != "pagerank" && r.Algo != "cc" {
+		return fmt.Errorf("standing mode supports pagerank|cc, not %q", r.Algo)
 	}
 	if r.TopK <= 0 {
 		r.TopK = cfg.TopK
@@ -116,11 +125,12 @@ func (j *Job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		JobID:  j.ID,
-		Algo:   j.Req.Algo,
-		Status: j.status,
-		Error:  j.err,
-		Result: j.result,
+		JobID:    j.ID,
+		Algo:     j.Req.Algo,
+		Status:   j.status,
+		Standing: j.Req.Standing,
+		Error:    j.err,
+		Result:   j.result,
 	}
 	// j.epoch is only assigned at completion, so expose it for terminal
 	// statuses only — a running job has no meaningful epoch yet.
@@ -140,15 +150,22 @@ func (j *Job) view() jobView {
 // jobView is the wire form of a job (also used for cache-served
 // responses, with Cached set and no job id).
 type jobView struct {
-	JobID    string  `json:"job_id,omitempty"`
-	Algo     string  `json:"algo"`
-	Status   string  `json:"status"`
-	Cached   bool    `json:"cached,omitempty"`
-	Epoch    *uint64 `json:"epoch,omitempty"`
-	QueuedMS int64   `json:"queued_ms,omitempty"`
-	RunMS    int64   `json:"run_ms,omitempty"`
-	Error    string  `json:"error,omitempty"`
-	Result   any     `json:"result,omitempty"`
+	JobID  string `json:"job_id,omitempty"`
+	Algo   string `json:"algo"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	// Standing marks a standing-query response (or registration job);
+	// Repairing, only meaningful with Standing, reports that the
+	// served result is the last stable one while a repair or
+	// delete-triggered recompute is still in flight — Epoch then names
+	// the older epoch the result is exact at.
+	Standing  bool    `json:"standing,omitempty"`
+	Repairing bool    `json:"repairing,omitempty"`
+	Epoch     *uint64 `json:"epoch,omitempty"`
+	QueuedMS  int64   `json:"queued_ms,omitempty"`
+	RunMS     int64   `json:"run_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Result    any     `json:"result,omitempty"`
 }
 
 // terminal reports whether status is a final state.
@@ -163,7 +180,13 @@ type jobTable struct {
 	mu   sync.RWMutex
 	next uint64
 	jobs map[string]*Job
-	done []string // terminal job ids, oldest first
+	// done is a head-indexed queue of terminal job ids, oldest at
+	// done[head]. Evicted slots are zeroed (so the backing array does
+	// not retain evicted id strings) and the live window is copied
+	// down once head outgrows it, keeping capacity proportional to the
+	// retention bound instead of growing with total submissions.
+	done []string
+	head int
 }
 
 func (t *jobTable) add(req JobRequest) *Job {
@@ -202,9 +225,20 @@ func (t *jobTable) retire(id string, keep int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.done = append(t.done, id)
-	for len(t.done) > keep {
-		delete(t.jobs, t.done[0])
-		t.done = t.done[1:]
+	for len(t.done)-t.head > keep {
+		delete(t.jobs, t.done[t.head])
+		t.done[t.head] = "" // release the evicted id string
+		t.head++
+	}
+	// Compact once the dead prefix dominates: amortized O(1) per
+	// retire, and the backing array stays O(keep) under sustained
+	// submission (front-slicing instead would pin every evicted id in
+	// the growing backing array forever).
+	if t.head > keep && t.head > len(t.done)/2 {
+		n := copy(t.done, t.done[t.head:])
+		clear(t.done[n:])
+		t.done = t.done[:n]
+		t.head = 0
 	}
 }
 
@@ -270,7 +304,19 @@ func (s *Server) runJob(j *Job) {
 	if s.cfg.jobGate != nil {
 		s.cfg.jobGate(ctx, j)
 	}
-	result, epoch, err := s.execute(ctx, j.Req)
+	var (
+		result any
+		epoch  uint64
+		err    error
+	)
+	if j.Req.Standing {
+		// Registration job: seed the resident computation and return
+		// its first published result; later standing submissions are
+		// served inline by handleStandingSubmit.
+		result, epoch, err = s.executeStanding(ctx, j)
+	} else {
+		result, epoch, err = s.execute(ctx, j.Req)
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -297,7 +343,8 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 
 	s.met.jobLatency.Record(uint64(latency.Nanoseconds()))
-	if err == nil {
+	if err == nil && !j.Req.Standing {
+		// Standing results live in the manager, not the epoch cache.
 		s.cache.store(j.Req.cacheKey(), epoch, result)
 	}
 	s.jobs.retire(j.ID, s.cfg.MaxJobs)
@@ -430,25 +477,71 @@ func degreeSummary(g *tufast.Graph, k int) any {
 }
 
 // topBy returns the k highest-scoring vertices of [0,n), ties broken
-// by lower id.
+// by lower id. Bounded-heap selection: a size-k min-heap rooted at the
+// worst retained entry costs O(n log k) instead of materializing and
+// fully sorting all n vertices (k ≤ 100 while n is the whole graph).
 func topBy(n, k int, score func(v int) float64) []rankedVertex {
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		sa, sb := score(ids[a]), score(ids[b])
-		if sa != sb {
-			return sa > sb
-		}
-		return ids[a] < ids[b]
-	})
 	if k > n {
 		k = n
 	}
-	out := make([]rankedVertex, k)
-	for i := 0; i < k; i++ {
-		out[i] = rankedVertex{V: uint32(ids[i]), Score: score(ids[i])}
+	if k <= 0 {
+		return []rankedVertex{}
+	}
+	// worse reports whether a ranks below b in the final order (lower
+	// score, or equal score and higher id) — the heap keeps the worst
+	// retained entry at the root so it can be displaced first.
+	worse := func(a, b rankedVertex) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.V > b.V
+	}
+	h := make([]rankedVertex, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			min := i
+			if l < len(h) && worse(h[l], h[min]) {
+				min = l
+			}
+			if r < len(h) && worse(h[r], h[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			h[i], h[min] = h[min], h[i]
+			i = min
+		}
+	}
+	for v := 0; v < n; v++ {
+		e := rankedVertex{V: uint32(v), Score: score(v)}
+		if len(h) < k {
+			h = append(h, e)
+			for i := len(h) - 1; i > 0; { // sift up
+				p := (i - 1) / 2
+				if !worse(h[i], h[p]) {
+					break
+				}
+				h[i], h[p] = h[p], h[i]
+				i = p
+			}
+			continue
+		}
+		if worse(e, h[0]) {
+			continue // not better than the worst retained entry
+		}
+		h[0] = e
+		siftDown(0)
+	}
+	// Pop the heap into descending final order.
+	out := make([]rankedVertex, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		siftDown(0)
 	}
 	return out
 }

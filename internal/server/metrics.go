@@ -22,27 +22,42 @@ type metrics struct {
 	mutBatches atomic.Uint64
 	mutOps     atomic.Uint64
 
+	// Standing-query plane: reads served from resident results, repair
+	// cycles completed, and delete-triggered CC recomputes.
+	standingHits       atomic.Uint64
+	standingRepairs    atomic.Uint64
+	standingRecomputes atomic.Uint64
+
 	jobLatency   obs.Histogram
 	batchLatency obs.Histogram
+	// repairLag times batch-commit → standing-result-published.
+	repairLag obs.Histogram
 }
 
 // snapshot captures the counters plus the gauges the caller supplies
-// (queue state and the graph's current mutation epoch).
-func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64) *obs.ServerSnapshot {
+// (queue state, the graph's current mutation epoch, and the standing
+// registry's population).
+func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64, standing, standingRepairing int) *obs.ServerSnapshot {
 	return &obs.ServerSnapshot{
-		Admitted:         m.admitted.Load(),
-		Rejected:         m.rejected.Load(),
-		CacheHits:        m.cacheHits.Load(),
-		Completed:        m.completed.Load(),
-		Failed:           m.failed.Load(),
-		DeadlineExceeded: m.deadline.Load(),
-		Canceled:         m.canceled.Load(),
-		MutationBatches:  m.mutBatches.Load(),
-		MutationOps:      m.mutOps.Load(),
-		Epoch:            epoch,
-		QueueDepth:       queueDepth,
-		QueueCap:         queueCap,
-		JobLatency:       m.jobLatency.Snapshot(),
-		BatchLatency:     m.batchLatency.Snapshot(),
+		Admitted:           m.admitted.Load(),
+		Rejected:           m.rejected.Load(),
+		CacheHits:          m.cacheHits.Load(),
+		Completed:          m.completed.Load(),
+		Failed:             m.failed.Load(),
+		DeadlineExceeded:   m.deadline.Load(),
+		Canceled:           m.canceled.Load(),
+		MutationBatches:    m.mutBatches.Load(),
+		MutationOps:        m.mutOps.Load(),
+		Epoch:              epoch,
+		QueueDepth:         queueDepth,
+		QueueCap:           queueCap,
+		StandingQueries:    standing,
+		StandingRepairing:  standingRepairing,
+		StandingHits:       m.standingHits.Load(),
+		StandingRepairs:    m.standingRepairs.Load(),
+		StandingRecomputes: m.standingRecomputes.Load(),
+		JobLatency:         m.jobLatency.Snapshot(),
+		BatchLatency:       m.batchLatency.Snapshot(),
+		RepairLag:          m.repairLag.Snapshot(),
 	}
 }

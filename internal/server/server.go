@@ -22,6 +22,14 @@
 // never observes a half-applied batch while mutations keep committing
 // concurrently against the live overlay.
 //
+// Standing queries ("standing": true on POST /v1/jobs) skip the
+// per-epoch recompute entirely: a resident delta-maintained
+// computation (DeltaPageRank / IncrementalCC) rides the mutation
+// plane's stream hooks and a repair worker re-stabilizes it after
+// each effective batch, so reads are O(1) hits on the maintained
+// result — exact between repairs, last-stable (flagged repairing)
+// immediately after a mutation. See standing.go.
+//
 // Shutdown drains gracefully: admission stops (503), queued and
 // running jobs get a grace period to finish, stragglers are cancelled
 // through the same context plumbing, and the HTTP listener closes
@@ -78,6 +86,11 @@ type Config struct {
 	MaxJobs int
 	// TopK is the default ranked-list length in results (default 10).
 	TopK int
+	// MaxStanding bounds how many standing queries (resident
+	// delta-maintained computations) may be registered (default 8).
+	// Each query allocates per-vertex state from the runtime's shared
+	// space and holds it for the daemon's lifetime.
+	MaxStanding int
 
 	// jobGate, when non-nil, runs at job start before the algorithm —
 	// a test hook to hold workers deterministically (block the pool,
@@ -119,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.TopK <= 0 {
 		c.TopK = 10
 	}
+	if c.MaxStanding <= 0 {
+		c.MaxStanding = 8
+	}
 	return c
 }
 
@@ -141,6 +157,13 @@ type Server struct {
 	jobs  jobTable
 	cache resultCache
 	queue chan *Job
+
+	// standing hosts the resident delta-maintained queries; its hooks
+	// (precomposed once into streamOnEdge/streamEmit) ride every
+	// mutation batch.
+	standing     *standingManager
+	streamOnEdge func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error
+	streamEmit   func(uint32)
 
 	// admitMu makes "check draining, then send" atomic against
 	// Shutdown's "set draining, then close(queue)" — without it a
@@ -169,6 +192,11 @@ func New(d *tufast.DynGraph, cfg Config) *Server {
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 	}
+	s.standing = newStandingManager(s)
+	// Compose the standing fan-out into the stream hooks once; with no
+	// queries registered the fan-out is one atomic load per op.
+	s.streamOnEdge = tufast.ComposeOnEdge(s.standing.onEdge)
+	s.streamEmit = tufast.ComposeEmit(s.standing.emit)
 	s.hsrv = obs.NewServer(s.mux())
 	return s
 }
@@ -224,6 +252,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancelJobs()
+	// Repair workers exit on baseCtx cancellation (a mid-drain
+	// stabilize aborts at the next transaction boundary).
+	s.standing.stop()
 	return s.hsrv.Shutdown(ctx)
 }
 
@@ -232,7 +263,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // serves.
 func (s *Server) MetricsSnapshot() tufast.MetricsSnapshot {
 	snap := s.sys.MetricsSnapshot()
-	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), s.dyn.Epoch())
+	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), s.dyn.Epoch(),
+		s.standing.count(), s.standing.repairingCount())
 	return snap
 }
 
@@ -242,6 +274,7 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/edges", s.handleEdges)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/standing", s.handleStandingList)
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -297,8 +330,17 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	s.topo.RLock()
-	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{Window: s.cfg.Window})
+	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{
+		Window: s.cfg.Window,
+		OnEdge: s.streamOnEdge,
+		Emit:   s.streamEmit,
+	})
 	s.topo.RUnlock()
+	if stats.Inserted+stats.Removed > 0 {
+		// Even a batch that failed partway committed changes; standing
+		// queries must repair over them like any other effective batch.
+		s.standing.batchCommitted(stats)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "apply: "+err.Error())
 		return
@@ -306,13 +348,16 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.met.mutBatches.Add(1)
 	s.met.mutOps.Add(uint64(stats.Applied))
 	s.met.batchLatency.Record(uint64(time.Since(start).Nanoseconds()))
+	// stats.Epoch is captured at this batch's own bump, not re-read
+	// after the lock drops — a concurrent batch committing right after
+	// ours cannot leak its later epoch into this response.
 	writeJSON(w, http.StatusOK, struct {
 		Applied  int    `json:"applied"`
 		Inserted int    `json:"inserted"`
 		Removed  int    `json:"removed"`
 		NoOps    int    `json:"noops"`
 		Epoch    uint64 `json:"epoch"`
-	}{stats.Applied, stats.Inserted, stats.Removed, stats.NoOps, s.dyn.Epoch()})
+	}{stats.Applied, stats.Inserted, stats.Removed, stats.NoOps, stats.Epoch})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +374,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Standing {
+		s.handleStandingSubmit(w, req)
+		return
+	}
 
 	// Epoch-tagged cache: a hit is served inline, consuming no queue
 	// capacity. Any effective mutation batch since the entry was
@@ -343,6 +392,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.admitJob(w, req)
+}
+
+// admitJob runs the admission-controlled path shared by regular and
+// standing-registration submissions: add to the table, try the queue,
+// shed 429 when full.
+func (s *Server) admitJob(w http.ResponseWriter, req JobRequest) {
 	s.admitMu.RLock()
 	if s.draining.Load() {
 		s.admitMu.RUnlock()
@@ -364,6 +420,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStandingSubmit serves the standing-query read path: a
+// registered, ready query answers inline from its resident result
+// (O(1), no queue, no snapshot); an unregistered one admits a
+// registration job through the normal analytics queue; a query still
+// initializing points the caller at its registration job.
+func (s *Server) handleStandingSubmit(w http.ResponseWriter, req JobRequest) {
+	if req.Algo == "cc" && !s.dyn.Undirected() {
+		writeError(w, http.StatusBadRequest, "standing cc requires an undirected graph")
+		return
+	}
+	if q := s.standing.lookup(req.cacheKey()); q != nil {
+		if view, ok := q.serve(); ok {
+			s.met.standingHits.Add(1)
+			writeJSON(w, http.StatusOK, view)
+			return
+		}
+		// Still initializing: report the registration job so the
+		// caller can poll it to the first result.
+		if j := s.jobs.get(q.regJobID); j != nil {
+			writeJSON(w, http.StatusAccepted, j.view())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, jobView{
+			Algo: req.Algo, Status: StatusQueued, Standing: true,
+		})
+		return
+	}
+	if s.standing.count() >= s.cfg.MaxStanding {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("standing query limit (%d) reached", s.cfg.MaxStanding))
+		return
+	}
+	s.admitJob(w, req)
+}
+
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
@@ -371,6 +462,12 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleStandingList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Queries []standingView `json:"queries"`
+	}{s.standing.views()})
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,465 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast"
+	"tufast/algorithms"
+)
+
+// The standing-query plane keeps analytics results *resident* instead
+// of recomputing them per epoch: a job submitted with "standing": true
+// registers a delta-maintained computation (algorithms.DeltaPageRank
+// or algorithms.IncrementalCC) whose OnEdge/Emit hooks ride every
+// mutation batch the server applies. After each effective batch a
+// per-query repair worker drains the pending delta under the topology
+// lock and publishes a fresh (result, epoch) pair, so standing reads
+// between mutations are O(1) map hits and reads immediately after a
+// mutation see either the last stable result (tagged with its epoch
+// and repairing=true) or the already-repaired one — never a torn mix.
+//
+// The two computations are asymmetric: DeltaPageRank is exact under
+// inserts and deletes, so every repair is an O(delta) StabilizeCtx.
+// IncrementalCC's min-label propagation cannot split components, so a
+// batch containing an effective delete schedules a full RecomputeCtx
+// instead; until it lands, reads serve the last stable labels flagged
+// repairing.
+type standingManager struct {
+	s *Server
+
+	// mu guards registry mutations (register/remove); the hook fan-out
+	// reads the copy-on-write active list instead, so the per-op cost
+	// with no standing queries is one atomic load.
+	mu    sync.Mutex
+	byKey map[string]*standingQuery
+
+	active atomic.Pointer[[]*standingQuery]
+
+	wg sync.WaitGroup
+}
+
+func newStandingManager(s *Server) *standingManager {
+	return &standingManager{s: s, byKey: make(map[string]*standingQuery)}
+}
+
+// standingQuery is one resident computation and its published state.
+type standingQuery struct {
+	key      string
+	req      JobRequest
+	regJobID string
+
+	// Exactly one of pr/cc is set once seeded; both nil while the
+	// registration job is still constructing the computation (the
+	// hooks skip unseeded queries).
+	pr *algorithms.DeltaPageRank
+	cc *algorithms.IncrementalCC
+
+	// gen counts effective batches delivered to this query; a publish
+	// that observed gen == current marks the result stable.
+	gen           atomic.Uint64
+	needRecompute atomic.Bool
+	// dirtySince is the unix-nano commit time of the oldest batch not
+	// yet covered by a publish (0 = none); it feeds the repair-lag
+	// histogram.
+	dirtySince atomic.Int64
+	notify     chan struct{} // buffered(1): coalesced repair wakeups
+
+	mu        sync.Mutex
+	ready     bool
+	repairing bool
+	result    any
+	epoch     uint64
+	failErr   error
+
+	readyCh chan struct{} // closed on first publish or failure
+}
+
+// onEdge runs inside the mutation transaction; it must be retry-safe,
+// which holds because the underlying hooks are.
+func (q *standingQuery) onEdge(tx tufast.Tx, op tufast.StreamOp, changed bool, emit func(u uint32)) error {
+	switch {
+	case q.pr != nil:
+		return q.pr.OnEdge(tx, op, changed, emit)
+	case q.cc != nil:
+		return q.cc.OnEdge(tx, op, changed, emit)
+	}
+	return nil
+}
+
+// emit receives post-commit emissions. Every registered query sees
+// every emitted vertex (the stream has one emit channel); a vertex
+// another query emitted is a spurious wakeup here, which both drains
+// treat as a no-op.
+func (q *standingQuery) emit(u uint32) {
+	switch {
+	case q.pr != nil:
+		q.pr.Emit(u)
+	case q.cc != nil:
+		q.cc.Emit(u)
+	}
+}
+
+func (q *standingQuery) pending() int {
+	switch {
+	case q.pr != nil:
+		return q.pr.Pending()
+	case q.cc != nil:
+		return q.cc.Pending()
+	}
+	return 0
+}
+
+// serve returns the published view when the query is ready.
+func (q *standingQuery) serve() (jobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.ready || q.failErr != nil {
+		return jobView{}, false
+	}
+	e := q.epoch
+	return jobView{
+		Algo: q.req.Algo, Status: StatusDone,
+		Standing: true, Repairing: q.repairing,
+		Epoch: &e, Result: q.result,
+	}, true
+}
+
+// current returns the published result for the registration job.
+func (q *standingQuery) current() (any, uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.failErr != nil {
+		return nil, 0, q.failErr
+	}
+	return q.result, q.epoch, nil
+}
+
+// onEdge is the StreamOptions.OnEdge fan-out the server installs on
+// every mutation batch.
+func (m *standingManager) onEdge(tx tufast.Tx, op tufast.StreamOp, changed bool, emit func(u uint32)) error {
+	qs := m.active.Load()
+	if qs == nil {
+		return nil
+	}
+	for _, q := range *qs {
+		if err := q.onEdge(tx, op, changed, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit is the StreamOptions.Emit fan-out.
+func (m *standingManager) emit(u uint32) {
+	qs := m.active.Load()
+	if qs == nil {
+		return
+	}
+	for _, q := range *qs {
+		q.emit(u)
+	}
+}
+
+// batchCommitted is called by the mutation plane after every effective
+// batch (post topo.RLock release): it marks each query stale and wakes
+// its repair worker. Deletes flip IncrementalCC queries into
+// recompute-needed, the known label-propagation asymmetry.
+func (m *standingManager) batchCommitted(stats tufast.StreamStats) {
+	qs := m.active.Load()
+	if qs == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, q := range *qs {
+		q.gen.Add(1)
+		if stats.Removed > 0 && q.cc != nil {
+			q.needRecompute.Store(true)
+		}
+		q.dirtySince.CompareAndSwap(0, now)
+		q.mu.Lock()
+		q.repairing = true
+		q.mu.Unlock()
+		select {
+		case q.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// lookup returns the registered query for key, nil if none.
+func (m *standingManager) lookup(key string) *standingQuery {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byKey[key]
+}
+
+func (m *standingManager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byKey)
+}
+
+// repairingCount reports how many registered queries are currently
+// stale (initializing or mid-repair), a /metrics gauge.
+func (m *standingManager) repairingCount() int {
+	qs := m.active.Load()
+	if qs == nil {
+		return 0
+	}
+	n := 0
+	for _, q := range *qs {
+		q.mu.Lock()
+		if !q.ready || q.repairing {
+			n++
+		}
+		q.mu.Unlock()
+	}
+	return n
+}
+
+// ensure registers (or finds) the standing query for req, returning it
+// with its repair worker running. Called from job workers: the O(graph)
+// seeding cost is paid once, under the job's admission slot.
+func (m *standingManager) ensure(req JobRequest, jobID string) (*standingQuery, error) {
+	key := req.cacheKey()
+	m.mu.Lock()
+	if q, ok := m.byKey[key]; ok {
+		m.mu.Unlock()
+		return q, nil
+	}
+	if len(m.byKey) >= m.s.cfg.MaxStanding {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("standing query limit (%d) reached", m.s.cfg.MaxStanding)
+	}
+	q := &standingQuery{
+		key: key, req: req, regJobID: jobID,
+		notify:  make(chan struct{}, 1),
+		readyCh: make(chan struct{}),
+	}
+	m.byKey[key] = q
+	m.mu.Unlock()
+
+	if err := m.seed(q); err != nil {
+		m.remove(q)
+		return nil, err
+	}
+	m.wg.Add(1)
+	go m.worker(q)
+	q.dirtySince.CompareAndSwap(0, time.Now().UnixNano())
+	q.notify <- struct{}{} // first repair publishes the initial result
+	return q, nil
+}
+
+// seed constructs the resident computation at a quiescent point and
+// makes it visible to the mutation hooks. Holding topo exclusively is
+// what guarantees no batch commits between "initial state read" and
+// "hooks active" — a batch in that gap would be invisible to both.
+func (m *standingManager) seed(q *standingQuery) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Most likely shared-space exhaustion (each query allocates
+			// per-vertex arrays); surface it as a job failure instead of
+			// killing the daemon.
+			err = fmt.Errorf("standing %s: seed failed: %v", q.req.Algo, r)
+		}
+	}()
+	m.s.topo.Lock()
+	defer m.s.topo.Unlock()
+	switch q.req.Algo {
+	case "pagerank":
+		q.pr = algorithms.NewDeltaPageRank(m.s.dyn, q.req.Damping, q.req.Eps)
+	case "cc":
+		cc, cerr := algorithms.NewIncrementalCC(m.s.dyn)
+		if cerr != nil {
+			return cerr
+		}
+		q.cc = cc
+		q.needRecompute.Store(true) // initial labels come from a full recompute
+	default:
+		return fmt.Errorf("standing mode supports pagerank|cc, not %q", q.req.Algo)
+	}
+	m.publishActive()
+	return nil
+}
+
+// publishActive rebuilds the copy-on-write hook list.
+func (m *standingManager) publishActive() {
+	m.mu.Lock()
+	qs := make([]*standingQuery, 0, len(m.byKey))
+	for _, q := range m.byKey {
+		if q.pr != nil || q.cc != nil {
+			qs = append(qs, q)
+		}
+	}
+	m.mu.Unlock()
+	m.active.Store(&qs)
+}
+
+// remove unregisters a query that failed to seed or repair, so a later
+// submission can retry registration.
+func (m *standingManager) remove(q *standingQuery) {
+	m.mu.Lock()
+	delete(m.byKey, q.key)
+	m.mu.Unlock()
+	m.publishActive()
+}
+
+// fail marks q broken, releases waiters, and unregisters it.
+func (m *standingManager) fail(q *standingQuery, err error) {
+	q.mu.Lock()
+	q.failErr = err
+	wasReady := q.ready
+	q.ready = true
+	q.mu.Unlock()
+	if !wasReady {
+		close(q.readyCh)
+	}
+	m.remove(q)
+}
+
+// worker is q's repair loop: one cycle per coalesced batch of
+// notifications, exiting when the server's base context dies (drain).
+func (m *standingManager) worker(q *standingQuery) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.s.baseCtx.Done():
+			return
+		case <-q.notify:
+		}
+		if err := m.repairOnce(q); err != nil {
+			if m.s.baseCtx.Err() != nil {
+				return
+			}
+			m.fail(q, err)
+			return
+		}
+	}
+}
+
+// repairOnce brings q up to date and publishes. The drain runs under
+// the exclusive topology lock: mutation batches wait for the O(delta)
+// stabilize (or, for CC after deletes, the O(graph) recompute — the
+// price of the label-propagation asymmetry), and in exchange the
+// published (result, epoch) pair is exact: no mutator is in flight
+// when the epoch is read and the summary is built.
+func (m *standingManager) repairOnce(q *standingQuery) error {
+	s := m.s
+	dirty := q.dirtySince.Swap(0)
+	start := time.Now()
+
+	s.topo.Lock()
+	gen := q.gen.Load()
+	recompute := q.cc != nil && q.needRecompute.Swap(false)
+	var err error
+	if recompute {
+		err = q.cc.RecomputeCtx(s.baseCtx)
+	} else if q.pr != nil {
+		err = q.pr.StabilizeCtx(s.baseCtx)
+	} else {
+		err = q.cc.StabilizeCtx(s.baseCtx)
+	}
+	if err != nil {
+		if recompute {
+			q.needRecompute.Store(true) // retry the recompute next cycle
+		}
+		s.topo.Unlock()
+		return err
+	}
+	epoch := s.dyn.Epoch()
+	var result any
+	if q.pr != nil {
+		result = pagerankSummary(q.pr.RanksInto(nil), q.req.TopK)
+	} else {
+		result = ccSummary(q.cc.ComponentsInto(nil))
+	}
+	s.topo.Unlock()
+
+	q.mu.Lock()
+	q.result, q.epoch = result, epoch
+	// A batch that slipped in after the gen read has its own pending
+	// notification; flag the published result stale until that cycle
+	// lands.
+	q.repairing = q.gen.Load() != gen
+	wasReady := q.ready
+	q.ready = true
+	q.mu.Unlock()
+	if !wasReady {
+		close(q.readyCh)
+	}
+
+	s.met.standingRepairs.Add(1)
+	if recompute {
+		s.met.standingRecomputes.Add(1)
+	}
+	if dirty > 0 {
+		s.met.repairLag.Record(uint64(time.Since(time.Unix(0, dirty)).Nanoseconds()))
+	} else {
+		s.met.repairLag.Record(uint64(time.Since(start).Nanoseconds()))
+	}
+	return nil
+}
+
+// stop waits for all repair workers; callers cancel baseCtx first.
+func (m *standingManager) stop() {
+	m.wg.Wait()
+}
+
+// standingView is the GET /v1/standing wire form of one query.
+type standingView struct {
+	Key        string  `json:"key"`
+	Algo       string  `json:"algo"`
+	Status     string  `json:"status"` // initializing | ready
+	Epoch      *uint64 `json:"epoch,omitempty"`
+	Repairing  bool    `json:"repairing"`
+	PendingLen int     `json:"pending"`
+}
+
+func (m *standingManager) views() []standingView {
+	m.mu.Lock()
+	qs := make([]*standingQuery, 0, len(m.byKey))
+	for _, q := range m.byKey {
+		qs = append(qs, q)
+	}
+	m.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].key < qs[j].key })
+	out := make([]standingView, 0, len(qs))
+	for _, q := range qs {
+		q.mu.Lock()
+		v := standingView{
+			Key: q.key, Algo: q.req.Algo,
+			Status: "initializing", Repairing: !q.ready || q.repairing,
+		}
+		if q.ready && q.failErr == nil {
+			e := q.epoch
+			v.Status, v.Epoch = "ready", &e
+		}
+		q.mu.Unlock()
+		v.PendingLen = q.pending()
+		out = append(out, v)
+	}
+	return out
+}
+
+// executeStanding is runJob's standing branch: register (or join) the
+// resident query and wait for its first published result under the
+// job's deadline. The query outlives the job — a deadline here only
+// fails the registration job; the background seed still completes and
+// later reads hit it.
+func (s *Server) executeStanding(ctx context.Context, j *Job) (any, uint64, error) {
+	q, err := s.standing.ensure(j.Req, j.ID)
+	if err != nil {
+		return nil, s.dyn.Epoch(), err
+	}
+	select {
+	case <-q.readyCh:
+		return q.current()
+	case <-ctx.Done():
+		return nil, s.dyn.Epoch(), ctx.Err()
+	}
+}

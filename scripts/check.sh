@@ -48,8 +48,8 @@ end
 # by ./... above; this stage re-runs vet + the contract analyzers over
 # it by name so a failure points straight at the serving subsystem.
 begin "serving path (vet + tufastcheck)"
-go vet ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen
-go run ./cmd/tufastcheck ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen
+go vet ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen ./algorithms
+go run ./cmd/tufastcheck ./internal/server ./cmd/tufastd ./cmd/tufast-loadgen ./algorithms
 end
 
 begin "go test -race (short)"
