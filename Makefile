@@ -8,8 +8,9 @@ build:
 test:
 	go test ./...
 
-# lint runs the transaction-contract analyzers alone; the full gate
-# (make check) includes them after go vet.
+# lint runs the contract analyzers (transaction + concurrency) alone;
+# the full gate (make check) includes them, with -strict-ignores,
+# after go vet.
 lint:
 	go run ./cmd/tufastcheck ./...
 

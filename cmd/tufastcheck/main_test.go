@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module and chdirs into it, since
+// run() resolves packages relative to the working directory.
+func writeModule(t *testing.T, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module m\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const cleanSrc = `package p
+
+import "sync"
+
+type s struct{ mu sync.Mutex; n int }
+
+func (x *s) get() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.n
+}
+`
+
+const leakySrc = `package p
+
+import "sync"
+
+type s struct{ mu sync.Mutex; n int }
+
+func (x *s) get(fail bool) int {
+	x.mu.Lock()
+	if fail {
+		return -1
+	}
+	x.mu.Unlock()
+	return x.n
+}
+`
+
+// TestExitCodeClean pins exit 0: no findings, no output.
+func TestExitCodeClean(t *testing.T) {
+	writeModule(t, map[string]string{"p.go": cleanSrc})
+	code, stdout, _ := runCLI(t)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stdout: %s)", code, stdout)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run printed: %s", stdout)
+	}
+}
+
+// TestExitCodeFindings pins exit 1 when a diagnostic survives.
+func TestExitCodeFindings(t *testing.T) {
+	writeModule(t, map[string]string{"p.go": leakySrc})
+	code, stdout, stderr := runCLI(t)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "[unlockpath]") {
+		t.Fatalf("stdout missing the finding: %s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("stderr missing the summary: %s", stderr)
+	}
+}
+
+// TestExitCodeLoadError pins exit 2 on unparseable input.
+func TestExitCodeLoadError(t *testing.T) {
+	writeModule(t, map[string]string{"p.go": "package p\n\nfunc broken( {\n"})
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestExitCodeUsageError pins exit 2 for bad flags and analyzer names,
+// before any packages load.
+func TestExitCodeUsageError(t *testing.T) {
+	writeModule(t, map[string]string{"p.go": cleanSrc})
+	for _, args := range [][]string{
+		{"-enable", "nosuch"},
+		{"-nosuchflag"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Fatalf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestStrictIgnores covers the -strict-ignores matrix: a directive that
+// suppresses a live finding passes, a stale one fails with exit 1, and
+// combining with -enable is a usage error.
+func TestStrictIgnores(t *testing.T) {
+	used := strings.Replace(leakySrc, "x.mu.Lock()\n", "x.mu.Lock() //tufast:ignore unlockpath handed off\n", 1)
+	writeModule(t, map[string]string{"p.go": used})
+	if code, stdout, _ := runCLI(t, "-strict-ignores"); code != 0 {
+		t.Fatalf("used ignore: exit = %d, want 0 (stdout: %s)", code, stdout)
+	}
+
+	stale := strings.Replace(cleanSrc, "return x.n\n", "return x.n //tufast:ignore unlockpath nothing to suppress\n", 1)
+	writeModule(t, map[string]string{"p.go": stale})
+	code, stdout, _ := runCLI(t, "-strict-ignores")
+	if code != 1 {
+		t.Fatalf("stale ignore: exit = %d, want 1 (stdout: %s)", code, stdout)
+	}
+	if !strings.Contains(stdout, "stale //tufast:ignore") {
+		t.Fatalf("stdout missing stale report: %s", stdout)
+	}
+	// Without the flag the stale directive is tolerated.
+	if code, _, _ := runCLI(t); code != 0 {
+		t.Fatalf("stale ignore without -strict-ignores: exit = %d, want 0", code)
+	}
+
+	if code, _, stderr := runCLI(t, "-strict-ignores", "-enable", "unlockpath"); code != 2 {
+		t.Fatalf("-strict-ignores with -enable: exit = %d, want 2 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestJSONIncludesStale pins the JSON shape used by CI artifacts.
+func TestJSONIncludesStale(t *testing.T) {
+	stale := strings.Replace(cleanSrc, "return x.n\n", "return x.n //tufast:ignore unlockpath nothing to suppress\n", 1)
+	writeModule(t, map[string]string{"p.go": stale})
+	code, stdout, _ := runCLI(t, "-strict-ignores", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout, `"analyzer": "staleignore"`) {
+		t.Fatalf("JSON missing staleignore entry: %s", stdout)
+	}
+}
+
+// TestUsageListsExitCodes keeps the -h text documenting the contract.
+func TestUsageListsExitCodes(t *testing.T) {
+	writeModule(t, map[string]string{"p.go": cleanSrc})
+	code, _, stderr := runCLI(t, "-h")
+	if code != 2 {
+		t.Fatalf("-h exit = %d, want 2", code)
+	}
+	for _, want := range []string{"exit status", "strict-ignores", "lockorder", "atomicmix"} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("usage missing %q:\n%s", want, stderr)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -63,11 +64,40 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
+// StaleIgnore is a //tufast:ignore directive that suppressed nothing
+// during a run: either the diagnostic it once silenced is gone or the
+// named analyzer does not exist. Stale directives hide nothing today
+// and would silently swallow a future regression on their line, so the
+// CLI's -strict-ignores mode fails on them.
+type StaleIgnore struct {
+	Pos   token.Position
+	Names []string // nil = the bare all-analyzer form
+}
+
+// String formats the stale directive for diagnostics output.
+func (s StaleIgnore) String() string {
+	names := "all analyzers"
+	if len(s.Names) > 0 {
+		names = strings.Join(s.Names, ",")
+	}
+	return fmt.Sprintf("%s: stale //tufast:ignore (%s): suppresses no diagnostic", s.Pos, names)
+}
+
 // Run applies each analyzer to each package and returns the surviving
 // diagnostics: findings suppressed by a //tufast:ignore comment (same
 // line or the line directly above) are dropped, the rest are sorted by
 // position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunChecked(pkgs, analyzers)
+	return diags
+}
+
+// RunChecked is Run plus stale-suppression detection: the second result
+// lists //tufast:ignore directives that suppressed nothing. Staleness
+// is only meaningful when the full analyzer suite ran — with a subset
+// enabled a directive naming a disabled analyzer looks spuriously stale
+// — so callers combining the two must run every analyzer.
+func RunChecked(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []StaleIgnore) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -102,5 +132,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	stale := ignores.stale()
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return kept, stale
 }

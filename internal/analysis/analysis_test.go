@@ -141,11 +141,16 @@ func TestRunAppliesIgnores(t *testing.T) {
 }
 
 func TestIgnoreSetMatching(t *testing.T) {
-	set := ignoreSet{
-		"f.go": {
-			3: nil,                     // bare ignore: everything
-			7: []string{"retryunsafe"}, // named ignore
+	bare := &ignoreDirective{}                                // bare ignore: everything
+	named := &ignoreDirective{names: []string{"retryunsafe"}} // named ignore
+	set := &ignoreSet{
+		byLine: map[string]map[int][]*ignoreDirective{
+			"f.go": {
+				3: {bare},
+				7: {named},
+			},
 		},
+		all: []*ignoreDirective{bare, named},
 	}
 	mk := func(line int, analyzer string) Diagnostic {
 		d := Diagnostic{Analyzer: analyzer}
@@ -164,6 +169,16 @@ func TestIgnoreSetMatching(t *testing.T) {
 	}
 	if set.match(mk(9, "retryunsafe")) {
 		t.Error("uncovered line must not match")
+	}
+	if stale := set.stale(); len(stale) != 0 {
+		t.Errorf("both directives matched; stale = %v", stale)
+	}
+
+	// An unmatched directive is stale.
+	unused := &ignoreDirective{names: []string{"lockorder"}}
+	set.all = append(set.all, unused)
+	if stale := set.stale(); len(stale) != 1 || len(stale[0].Names) != 1 || stale[0].Names[0] != "lockorder" {
+		t.Errorf("stale = %v, want the unused lockorder directive", set.stale())
 	}
 }
 

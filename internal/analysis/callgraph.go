@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Per-function-body call-graph utilities shared by the
+// concurrency-contract checkers: lockorder summarizes which locks each
+// package-local function acquires (transitively) and hookpurity walks
+// one call deep from stream hooks. Everything here is package-local —
+// cross-package calls resolve to nil and callers treat them as opaque.
+
+// PackageFuncs maps every function and method declared with a body in
+// the package to its declaration.
+func PackageFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	funcs := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				funcs[fn] = fd
+			}
+		}
+	}
+	return funcs
+}
+
+// FuncOf resolves an expression denoting a function — an identifier, a
+// package-qualified name, or a method value like s.standing.onEdge —
+// to its function object, nil if it denotes none.
+func FuncOf(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok {
+			fn, _ := s.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// StaticCallee resolves the function a call statically invokes, nil
+// for builtins, type conversions, and calls through function values.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return FuncOf(info, call.Fun)
+}
+
+// LocalCallees lists the distinct functions declared in pkg that are
+// called anywhere under root (function literals included), with one
+// sample call site each.
+func LocalCallees(info *types.Info, pkg *types.Package, root ast.Node) map[*types.Func]*ast.CallExpr {
+	out := map[*types.Func]*ast.CallExpr{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(info, call)
+		if fn == nil || fn.Pkg() != pkg {
+			return true
+		}
+		if _, seen := out[fn]; !seen {
+			out[fn] = call
+		}
+		return true
+	})
+	return out
+}

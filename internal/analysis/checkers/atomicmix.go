@@ -1,0 +1,173 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tufast/internal/analysis"
+)
+
+// AtomicMix reports memory locations accessed through sync/atomic in
+// one place and by plain load or store in another: the plain access
+// races with the atomic one, and the atomic call's ordering guarantees
+// silently evaporate. Locations are struct fields and package-level
+// variables; function locals cannot be shared without escaping through
+// one of those. Element accesses are their own location class —
+// atomic.LoadUint64(&s.words[i]) mixes with a plain s.words[j], but not
+// with len(s.words) or an assignment to the slice header itself.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed with sync/atomic must not also be accessed by plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *analysis.Pass) {
+	// First pass: every sync/atomic call whose address argument resolves
+	// to a class claims that class, and its argument subtree is excluded
+	// from the plain-access scan.
+	atomicAt := map[string]token.Position{} // class -> first atomic site
+	inAtomic := map[ast.Node]bool{}         // address args to skip
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			inAtomic[addr] = true
+			if class, ok := accessClass(pass, addr.X); ok {
+				if _, seen := atomicAt[class]; !seen {
+					atomicAt[class] = pass.Fset.Position(call.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return
+	}
+
+	// Second pass: plain accesses to the claimed classes. A classified
+	// selector claims its Sel identifier so a package-qualified variable
+	// is not classified twice; atomic address arguments are skipped
+	// (their direct children return false, so the next post-visit nil
+	// belongs to the argument node itself).
+	for _, file := range pass.Files {
+		skip := 0
+		claimed := map[ast.Node]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				if skip > 0 {
+					skip--
+				}
+				return true
+			}
+			if inAtomic[n] {
+				skip++
+				return true
+			}
+			if skip > 0 {
+				return false // inside an atomic call's address argument
+			}
+			if claimed[n] {
+				return true
+			}
+			class, ok := plainAccessClass(pass, n)
+			if !ok {
+				return true
+			}
+			if sel, isSel := n.(*ast.SelectorExpr); isSel {
+				claimed[sel.Sel] = true
+			}
+			if at, mixed := atomicAt[class]; mixed {
+				pass.Reportf(n.Pos(),
+					"plain access to %s, which is accessed with sync/atomic at %s:%d: mixed access races",
+					class, shortFile(at.Filename), at.Line)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall matches function-style sync/atomic calls (Load*, Store*,
+// Add*, Swap*, CompareAndSwap*). Method-style atomic types carry their
+// own access discipline and are exempt.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := sel.Sel.Name
+	for _, prefix := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// accessClass names the shared location an expression denotes: a struct
+// field ("Type.field"), a package-level variable ("pkg.var"), or an
+// element of either ("Type.field[]"). ok is false for locals and
+// anything else.
+func accessClass(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	suffix := ""
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		suffix = "[]"
+		e = ast.Unparen(idx.X)
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			v := s.Obj().(*types.Var)
+			if named, ok := deref(s.Recv()).(*types.Named); ok {
+				return named.Obj().Name() + "." + v.Name() + suffix, true
+			}
+			return v.Name() + suffix, true
+		}
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name() + suffix, true
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && isPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name() + suffix, true
+		}
+	}
+	return "", false
+}
+
+// plainAccessClass is accessClass restricted to nodes that themselves
+// constitute an access — an index expression over a classed base, or a
+// selector/identifier resolving to one — so walking a tree classifies
+// each access once at its outermost node.
+func plainAccessClass(pass *analysis.Pass, n ast.Node) (string, bool) {
+	switch n := n.(type) {
+	case *ast.IndexExpr, *ast.SelectorExpr:
+		return accessClass(pass, n.(ast.Expr))
+	case *ast.Ident:
+		return accessClass(pass, n)
+	}
+	return "", false
+}
+
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// shortFile trims the filename to its base for compact diagnostics.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

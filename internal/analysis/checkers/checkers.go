@@ -11,9 +11,27 @@
 //   - the owner vertex of an access matches the word it touches
 //     (ownermismatch)
 //
-// Each analyzer inspects function literals and declarations whose first
-// parameter is a transaction handle (tufast.Tx or the internal sched.Tx)
-// — the static shape of a TxFunc.
+// Each of those analyzers inspects function literals and declarations
+// whose first parameter is a transaction handle (tufast.Tx or the
+// internal sched.Tx) — the static shape of a TxFunc.
+//
+// A second family polices the concurrency contract of the serving plane
+// (internal/server and the stream path), where the runtime's guarantees
+// stop and hand-written locking starts:
+//
+//   - mutex acquisitions respect the //tufast:lockorder ranks declared
+//     on struct fields and form no order cycles (lockorder)
+//   - epoch values are captured inside the critical section that bumped
+//     them, never re-read after ApplyStream or after the topology lock
+//     was dropped (epochcapture)
+//   - stream hooks stay non-blocking: no topology locks, no bare
+//     channel operations, no reentrant ApplyStream (hookpurity)
+//   - every Lock is released on all return and panic paths (unlockpath)
+//   - a field accessed through sync/atomic is never also accessed by
+//     plain load/store (atomicmix)
+//
+// These share the lock recognizer and //tufast:lockorder annotations in
+// internal/analysis and a block-structured held-lock walker (lockflow).
 package checkers
 
 import (
@@ -33,6 +51,11 @@ func Analyzers() []*analysis.Analyzer {
 		RetryUnsafe,
 		OrderedIter,
 		OwnerMismatch,
+		LockOrder,
+		EpochCapture,
+		HookPurity,
+		UnlockPath,
+		AtomicMix,
 	}
 }
 

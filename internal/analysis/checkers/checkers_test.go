@@ -33,6 +33,26 @@ func TestOwnerMismatch(t *testing.T) {
 	analysistest.Run(t, "testdata/ownermismatch", checkers.OwnerMismatch)
 }
 
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", checkers.LockOrder)
+}
+
+func TestEpochCapture(t *testing.T) {
+	analysistest.Run(t, "testdata/epochcapture", checkers.EpochCapture)
+}
+
+func TestHookPurity(t *testing.T) {
+	analysistest.Run(t, "testdata/hookpurity", checkers.HookPurity)
+}
+
+func TestUnlockPath(t *testing.T) {
+	analysistest.Run(t, "testdata/unlockpath", checkers.UnlockPath)
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata/atomicmix", checkers.AtomicMix)
+}
+
 // TestSuppression runs the full suite over a corpus whose violations
 // carry //tufast:ignore directives: only the finding whose directive
 // names the wrong analyzer may survive.
@@ -55,6 +75,9 @@ func TestSelfApplication(t *testing.T) {
 		"../../../examples/analytics",
 		"../../../algorithms",
 		"../../algo",
+		"../../server",
+		"../../dyngraph",
+		"../../mem",
 	} {
 		analysistest.Run(t, dir, checkers.Analyzers()...)
 	}

@@ -1,0 +1,186 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tufast/internal/analysis"
+)
+
+// EpochCapture polices how graph epochs reach responses and cache keys.
+// An epoch is only meaningful relative to the critical section that
+// bumped it; re-reading Epoch() after the fact observes concurrent
+// batches. Two patterns are flagged:
+//
+//  1. An Epoch() call positioned after an ApplyStream/ApplyStreamCtx
+//     call in the same function body. The stream's own bump is already
+//     in the returned StreamStats.Epoch; re-reading the graph races
+//     with the next writer (the PR 6 handleEdges bug).
+//  2. An Epoch() call (or a read of an unexported epoch counter field)
+//     reached with no mutex held after the function released a
+//     topology lock — a field named topo or wmu — earlier on. The
+//     value read belongs to nobody's critical section.
+//
+// Deliberately lock-free reads, such as an optimistic cache probe that
+// revalidates under the lock, take //tufast:ignore epochcapture with a
+// reason.
+var EpochCapture = &analysis.Analyzer{
+	Name: "epochcapture",
+	Doc:  "epoch values must be captured inside the critical section that bumped them",
+	Run:  runEpochCapture,
+}
+
+// topoLockNames are the struct fields recognized as topology locks: the
+// serving plane's topo and the embedded runtime's wmu.
+var topoLockNames = map[string]bool{"topo": true, "wmu": true}
+
+func runEpochCapture(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkEpochCapture(pass, body)
+			return true
+		})
+	}
+}
+
+// isEpochCall matches a no-argument method call named Epoch.
+func isEpochCall(call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Epoch" || len(call.Args) != 0 {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isApplyStreamCall matches calls to ApplyStream-family methods.
+func isApplyStreamCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && strings.HasPrefix(sel.Sel.Name, "ApplyStream")
+}
+
+func checkEpochCapture(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Rule 1 is positional within the body — literal interiors excluded,
+	// they run in their own context.
+	var applyPos token.Pos = token.NoPos
+	topoReleased := false
+	walkLocks(pass, body, lockEvents{
+		release: func(op *analysis.LockOp) {
+			if op.Field != nil && topoLockNames[op.Field.Name()] {
+				topoReleased = true
+			}
+		},
+		call: func(held []*heldLock, call *ast.CallExpr) {
+			if isApplyStreamCall(call) {
+				if applyPos == token.NoPos || call.Pos() < applyPos {
+					applyPos = call.Pos()
+				}
+				return
+			}
+			recv, ok := isEpochCall(call)
+			if !ok {
+				return
+			}
+			if applyPos != token.NoPos && call.Pos() > applyPos {
+				pass.Reportf(call.Pos(),
+					"%s.Epoch() read after ApplyStream: use the StreamStats.Epoch captured at the batch's own bump",
+					exprString(recv))
+				return
+			}
+			if topoReleased && len(held) == 0 {
+				pass.Reportf(call.Pos(),
+					"%s.Epoch() read outside the critical section: the topology lock was released earlier in this function",
+					exprString(recv))
+			}
+		},
+	})
+
+	// Reads of an unexported epoch counter field follow rule 2 only; the
+	// blessed StreamStats.Epoch field is exported and so never matches.
+	if !topoReleased {
+		return
+	}
+	checkEpochFieldReads(pass, body)
+}
+
+// checkEpochFieldReads flags accesses to a field named epoch that occur
+// after a topology-lock release with no topology lock covering them.
+// The held-at-position computation is positional (acquires and releases
+// of topo-family locks in source order), which matches the straight-line
+// shape this bug class takes in practice.
+func checkEpochFieldReads(pass *analysis.Pass, body *ast.BlockStmt) {
+	type event struct {
+		pos   token.Pos
+		delta int // +1 acquire, -1 release
+	}
+	var events []event
+	walkLocks(pass, body, lockEvents{
+		acquire: func(_ []*heldLock, op *analysis.LockOp) {
+			if op.Field != nil && topoLockNames[op.Field.Name()] {
+				events = append(events, event{op.Call.Pos(), +1})
+			}
+		},
+		release: func(op *analysis.LockOp) {
+			if op.Field != nil && topoLockNames[op.Field.Name()] {
+				events = append(events, event{op.Call.Pos(), -1})
+			}
+		},
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	// Assignment targets are publishes of an already-captured value, not
+	// reads; only reads leak a stale epoch into a response or cache key.
+	writes := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "epoch" || writes[sel] {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		held, releasedBefore := 0, false
+		for _, e := range events {
+			if e.pos >= sel.Pos() {
+				break
+			}
+			held += e.delta
+			if e.delta < 0 {
+				releasedBefore = true
+			}
+		}
+		if releasedBefore && held <= 0 {
+			pass.Reportf(sel.Pos(),
+				"epoch field read outside the critical section: the topology lock was released earlier in this function")
+		}
+		return true
+	})
+}
+
+// exprString prints the receiver expression for diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,397 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"tufast/internal/analysis"
+)
+
+// lockflow is a small block-structured abstract interpreter over one
+// function body tracking which mutexes are held. It is shared by the
+// concurrency-contract checkers: lockorder derives acquisition-order
+// edges from onAcquire, unlockpath reports held-but-undeferred locks at
+// onExit, and epochcapture watches releases to spot reads that drifted
+// out of their critical section.
+//
+// The model is deliberately simple: statements are interpreted in
+// source order; branches fork the held-set and merge by intersection
+// (a lock counts as held after a branch only if every fall-through arm
+// holds it), terminated arms (return, panic, break/continue) drop out
+// of the merge; loop bodies run once. The result over-approximates
+// release (a lock unlocked on one live arm is treated as unlocked) so
+// ordering checkers do not report inversions on the already-released
+// path, and exit events are path-accurate enough for the all-branches
+// unlock rule.
+
+// heldLock is one currently-held mutex.
+type heldLock struct {
+	op       *analysis.LockOp // the acquiring call
+	deferred bool             // a defer releases it at function exit
+}
+
+// lockEvents are the walker's callbacks; any may be nil.
+type lockEvents struct {
+	// acquire fires before op joins the held set.
+	acquire func(held []*heldLock, op *analysis.LockOp)
+	// release fires when op removes a lock from the held set (not for
+	// deferred releases).
+	release func(op *analysis.LockOp)
+	// exit fires at every return, panic, and the implicit fall-off at
+	// the end of the body. kind is "return", "panic" or "end".
+	exit func(held []*heldLock, pos token.Pos, kind string)
+	// call fires for every non-lock call expression evaluated, with
+	// the current held set.
+	call func(held []*heldLock, call *ast.CallExpr)
+}
+
+type lockWalker struct {
+	info *analysis.Pass
+	ev   lockEvents
+}
+
+// walkLocks interprets body, firing ev's callbacks.
+func walkLocks(pass *analysis.Pass, body *ast.BlockStmt, ev lockEvents) {
+	w := &lockWalker{info: pass, ev: ev}
+	st := &lockState{}
+	if !w.stmts(body.List, st) {
+		if ev.exit != nil {
+			ev.exit(st.held, body.Rbrace, "end")
+		}
+	}
+}
+
+// lockState is the held set along one path.
+type lockState struct {
+	held []*heldLock
+}
+
+func (st *lockState) clone() *lockState {
+	c := &lockState{held: make([]*heldLock, len(st.held))}
+	copy(c.held, st.held)
+	return c
+}
+
+// acquire pushes op.
+func (st *lockState) acquire(op *analysis.LockOp) {
+	st.held = append(st.held, &heldLock{op: op})
+}
+
+// release pops the most recent compatible hold of the same mutex
+// instance (Unlock releases Lock, RUnlock releases RLock); reports
+// whether one was found.
+func (st *lockState) release(op *analysis.LockOp) bool {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		h := st.held[i]
+		if h.op.Key() == op.Key() && h.op.Reader() == op.Reader() {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// markDeferred flags the most recent compatible hold as released at
+// exit.
+func (st *lockState) markDeferred(op *analysis.LockOp) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		h := st.held[i]
+		if h.op.Key() == op.Key() && h.op.Reader() == op.Reader() {
+			h.deferred = true
+			return
+		}
+	}
+}
+
+// merge intersects the fall-through states: a lock stays held only if
+// every live arm holds it (matching by the acquiring call, so a lock
+// taken before the branch matches itself across arms). The deferred
+// flag ORs.
+func mergeStates(states []*lockState) *lockState {
+	if len(states) == 0 {
+		return &lockState{}
+	}
+	out := &lockState{}
+	for _, h := range states[0].held {
+		inAll := true
+		deferred := h.deferred
+		for _, st := range states[1:] {
+			found := false
+			for _, o := range st.held {
+				if o.op == h.op {
+					found = true
+					deferred = deferred || o.deferred
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			out.held = append(out.held, &heldLock{op: h.op, deferred: deferred})
+		}
+	}
+	return out
+}
+
+// scanExpr interprets the lock operations and calls inside one
+// expression, in traversal order. Function literals are skipped: their
+// bodies execute when called, not here, and checkers analyze them as
+// functions in their own right.
+func (w *lockWalker) scanExpr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op := analysis.RecognizeLockOp(w.info.Info, call); op != nil {
+			switch {
+			case op.Acquire():
+				if w.ev.acquire != nil {
+					w.ev.acquire(st.held, op)
+				}
+				st.acquire(op)
+			case op.Release():
+				if st.release(op) && w.ev.release != nil {
+					w.ev.release(op)
+				}
+			}
+			return true
+		}
+		if w.ev.call != nil {
+			w.ev.call(st.held, call)
+		}
+		return true
+	})
+}
+
+// isPanicCall matches a call to the panic builtin.
+func (w *lockWalker) isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj := w.info.Info.Uses[id]
+	return obj != nil && obj.Pkg() == nil
+}
+
+// handleDefer marks locks whose release is scheduled by the defer: a
+// direct defer mu.Unlock(), or a deferred closure whose body unlocks.
+func (w *lockWalker) handleDefer(d *ast.DeferStmt, st *lockState) {
+	if op := analysis.RecognizeLockOp(w.info.Info, d.Call); op != nil && op.Release() {
+		st.markDeferred(op)
+		return
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if op := analysis.RecognizeLockOp(w.info.Info, call); op != nil && op.Release() {
+					st.markDeferred(op)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stmts interprets a statement list; the return value reports whether
+// every path through the list terminated (return/panic/branch).
+func (w *lockWalker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if w.isPanicCall(s.X) {
+			call := ast.Unparen(s.X).(*ast.CallExpr)
+			for _, a := range call.Args {
+				w.scanExpr(a, st)
+			}
+			if w.ev.exit != nil {
+				w.ev.exit(st.held, s.Pos(), "panic")
+			}
+			return true
+		}
+		w.scanExpr(s.X, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExpr(r, st)
+		}
+		if w.ev.exit != nil {
+			w.ev.exit(st.held, s.Pos(), "return")
+		}
+		return true
+	case *ast.DeferStmt:
+		w.handleDefer(s, st)
+	case *ast.GoStmt:
+		// The spawned call runs elsewhere; only its arguments are
+		// evaluated now.
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, st)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.scanExpr(r, st)
+		}
+		for _, l := range s.Lhs {
+			w.scanExpr(l, st)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, st)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, st)
+		w.scanExpr(s.Value, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		var arms []*lockState
+		then := st.clone()
+		if !w.stmts(s.Body.List, then) {
+			arms = append(arms, then)
+		}
+		if s.Else != nil {
+			els := st.clone()
+			if !w.stmt(s.Else, els) {
+				arms = append(arms, els)
+			}
+		} else {
+			arms = append(arms, st.clone()) // condition-false path
+		}
+		if len(arms) == 0 {
+			return true
+		}
+		st.held = mergeStates(arms).held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExpr(s.Cond, st)
+		body := st.clone()
+		bodyTerm := w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+		arms := []*lockState{st.clone()} // zero-iteration path
+		if !bodyTerm {
+			arms = append(arms, body)
+		}
+		if s.Cond == nil && bodyTerm {
+			// for { ... } with every path terminating: nothing follows.
+			return true
+		}
+		st.held = mergeStates(arms).held
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, st)
+		body := st.clone()
+		bodyTerm := w.stmts(s.Body.List, body)
+		arms := []*lockState{st.clone()}
+		if !bodyTerm {
+			arms = append(arms, body)
+		}
+		st.held = mergeStates(arms).held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var bodyList []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				w.stmt(sw.Init, st)
+			}
+			w.scanExpr(sw.Tag, st)
+			bodyList = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			if sw.Init != nil {
+				w.stmt(sw.Init, st)
+			}
+			w.stmt(sw.Assign, st)
+			bodyList = sw.Body.List
+		}
+		var arms []*lockState
+		for _, cs := range bodyList {
+			cc, ok := cs.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				w.scanExpr(e, st)
+			}
+			arm := st.clone()
+			if !w.stmts(cc.Body, arm) {
+				arms = append(arms, arm)
+			}
+		}
+		if !hasDefault {
+			arms = append(arms, st.clone()) // no case matched
+		}
+		if len(arms) == 0 {
+			return true
+		}
+		st.held = mergeStates(arms).held
+	case *ast.SelectStmt:
+		var arms []*lockState
+		any := false
+		for _, cs := range s.Body.List {
+			cc, ok := cs.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			any = true
+			arm := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, arm)
+			}
+			if !w.stmts(cc.Body, arm) {
+				arms = append(arms, arm)
+			}
+		}
+		if any && len(arms) == 0 {
+			return true // every case terminates, and select always picks one
+		}
+		if len(arms) == 0 {
+			arms = append(arms, st.clone())
+		}
+		st.held = mergeStates(arms).held
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; conservatively drop it
+		// from merges rather than modeling the jump target.
+		return true
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"tufast/internal/analysis"
+)
+
+// LockOrder builds the static lock-order graph of the package: every
+// mutex acquisition performed while another mutex is held adds an edge
+// held-class → acquired-class, including acquisitions one or more calls
+// away through same-package functions (a transitive may-acquire
+// summary). Two findings follow:
+//
+//   - rank inversions: //tufast:lockorder annotations on mutex struct
+//     fields declare the package's acquisition order (lower rank =
+//     acquired first, outermost); an edge from an equal- or
+//     higher-ranked lock to a lower-ranked one is a contract violation
+//     even before a matching reverse edge exists in the code.
+//   - order cycles: among unranked locks, a cycle in the acquisition
+//     graph (A taken under B somewhere, B taken under A elsewhere) is
+//     a latent deadlock regardless of annotations.
+//
+// Re-acquiring the very mutex instance already held is reported
+// immediately: sync mutexes are not reentrant.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisitions must respect //tufast:lockorder ranks and be cycle-free",
+	Run:  runLockOrder,
+}
+
+// loEdge is one observed nesting: "to" was acquired (possibly via the
+// named callee) while "from" was held.
+type loEdge struct {
+	from, to string
+	pos      token.Pos
+	via      string // callee name when the acquisition is transitive
+}
+
+func runLockOrder(pass *analysis.Pass) {
+	ranks := map[string]*analysis.LockRank{}
+	for _, r := range analysis.LockOrderAnnotations(pass) {
+		ranks[r.Class()] = r
+	}
+
+	funcs := analysis.PackageFuncs(pass)
+
+	// Per-function may-acquire summaries: the lock classes a call to the
+	// function can take, directly or through same-package callees.
+	// Function-literal interiors are excluded on both sides — the walker
+	// skips them — because a literal's body runs when invoked, often on
+	// another goroutine, where the caller's held set does not apply.
+	acquires := map[*types.Func]map[string]string{} // class -> display name
+	callees := map[*types.Func][]*types.Func{}
+	for fn, decl := range funcs {
+		acq := map[string]string{}
+		var out []*types.Func
+		seen := map[*types.Func]bool{}
+		walkLocks(pass, decl.Body, lockEvents{
+			acquire: func(_ []*heldLock, op *analysis.LockOp) {
+				acq[op.Class()] = op.Name()
+			},
+			call: func(_ []*heldLock, call *ast.CallExpr) {
+				callee := analysis.StaticCallee(pass.Info, call)
+				if callee == nil || callee.Pkg() != pass.Pkg || seen[callee] {
+					return
+				}
+				if _, local := funcs[callee]; local {
+					seen[callee] = true
+					out = append(out, callee)
+				}
+			},
+		})
+		acquires[fn] = acq
+		callees[fn] = out
+	}
+	for changed := true; changed; { // fixpoint over the local call graph
+		changed = false
+		for fn := range funcs {
+			for _, callee := range callees[fn] {
+				for class, name := range acquires[callee] {
+					if _, ok := acquires[fn][class]; !ok {
+						acquires[fn][class] = name
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	rankOf := func(class string) (*analysis.LockRank, bool) {
+		r, ok := ranks[class]
+		return r, ok
+	}
+
+	var edges []loEdge
+	addEdge := func(held *heldLock, toClass, toName string, pos token.Pos, via string) {
+		fromClass := held.op.Class()
+		if fromClass == toClass {
+			return // same-class nesting is handled at the acquire site
+		}
+		edges = append(edges, loEdge{from: fromClass, to: toClass, pos: pos, via: via})
+		fr, fok := rankOf(fromClass)
+		tr, tok := rankOf(toClass)
+		if fok && tok && fr.Rank >= tr.Rank {
+			if via != "" {
+				pass.Reportf(pos, "call to %s may acquire %s (rank %d) while %s (rank %d) is held: lock order inversion",
+					via, toName, tr.Rank, held.op.Name(), fr.Rank)
+			} else {
+				pass.Reportf(pos, "acquires %s (rank %d) while %s (rank %d) is held: lock order inversion",
+					toName, tr.Rank, held.op.Name(), fr.Rank)
+			}
+		}
+	}
+
+	for _, decl := range funcs {
+		walkLocks(pass, decl.Body, lockEvents{
+			acquire: func(held []*heldLock, op *analysis.LockOp) {
+				for _, h := range held {
+					if h.op.Key() == op.Key() {
+						pass.Reportf(op.Call.Pos(), "acquires %s while already holding it: sync mutexes are not reentrant", op.Name())
+						continue
+					}
+					addEdge(h, op.Class(), op.Name(), op.Call.Pos(), "")
+				}
+			},
+			call: func(held []*heldLock, call *ast.CallExpr) {
+				if len(held) == 0 {
+					return
+				}
+				callee := analysis.StaticCallee(pass.Info, call)
+				if callee == nil || callee.Pkg() != pass.Pkg {
+					return
+				}
+				if _, local := funcs[callee]; !local {
+					return
+				}
+				for _, cl := range sortedClasses(acquires[callee]) {
+					for _, h := range held {
+						addEdge(h, cl.class, cl.name, call.Pos(), callee.Name())
+					}
+				}
+			},
+		})
+	}
+
+	reportCycles(pass, edges, ranks)
+}
+
+// sortedClasses flattens a class→name map into class order, so
+// call-site inversion reports come out deterministically.
+func sortedClasses(m map[string]string) []struct{ class, name string } {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct{ class, name string }, len(keys))
+	for i, k := range keys {
+		out[i] = struct{ class, name string }{k, m[k]}
+	}
+	return out
+}
+
+// reportCycles finds acquisition-order cycles. Cycles whose classes are
+// all ranked necessarily contain a rank inversion already reported
+// edge-wise, so only cycles touching at least one unranked class are
+// reported here.
+func reportCycles(pass *analysis.Pass, edges []loEdge, ranks map[string]*analysis.LockRank) {
+	succ := map[string]map[string]loEdge{}
+	for _, e := range edges {
+		if succ[e.from] == nil {
+			succ[e.from] = map[string]loEdge{}
+		}
+		if _, ok := succ[e.from][e.to]; !ok {
+			succ[e.from][e.to] = e
+		}
+	}
+	nodes := make([]string, 0, len(succ))
+	for n := range succ {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	reported := map[string]bool{}
+	var stack []string
+	onStack := map[string]bool{}
+	var visit func(n string)
+	visited := map[string]bool{}
+	visit = func(n string) {
+		stack = append(stack, n)
+		onStack[n] = true
+		next := make([]string, 0, len(succ[n]))
+		for m := range succ[n] {
+			next = append(next, m)
+		}
+		sort.Strings(next)
+		for _, m := range next {
+			if onStack[m] {
+				// stack from m..n closes a cycle through edge n->m.
+				start := 0
+				for i, s := range stack {
+					if s == m {
+						start = i
+						break
+					}
+				}
+				cycle := append(append([]string{}, stack[start:]...), m)
+				key := canonicalCycle(cycle[:len(cycle)-1])
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				allRanked := true
+				for _, c := range cycle[:len(cycle)-1] {
+					if _, ok := ranks[c]; !ok {
+						allRanked = false
+						break
+					}
+				}
+				if allRanked {
+					continue
+				}
+				pass.Reportf(succ[n][m].pos, "lock-order cycle: %s", strings.Join(cycle, " -> "))
+				continue
+			}
+			if !visited[m] {
+				visit(m)
+			}
+		}
+		onStack[n] = false
+		stack = stack[:len(stack)-1]
+		visited[n] = true
+	}
+	for _, n := range nodes {
+		if !visited[n] {
+			visit(n)
+		}
+	}
+}
+
+// canonicalCycle keys a cycle independent of its starting node.
+func canonicalCycle(nodes []string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	min := 0
+	for i, n := range nodes {
+		if n < nodes[min] {
+			min = i
+		}
+	}
+	rot := append(append([]string{}, nodes[min:]...), nodes[:min]...)
+	return strings.Join(rot, "|")
+}

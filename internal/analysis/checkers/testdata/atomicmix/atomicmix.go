@@ -1,0 +1,52 @@
+// Golden corpus for the atomicmix analyzer: a location accessed through
+// sync/atomic anywhere must be accessed that way everywhere. Element
+// accesses are their own location class, so slice-header reads like len
+// do not mix with atomic element loads.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	hits  uint64
+	words []uint64
+	cold  uint64
+}
+
+var generation uint64
+
+func (s *stats) bump() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&generation, 1)
+	atomic.StoreUint64(&s.words[0], 7)
+}
+
+func (s *stats) read() uint64 {
+	return s.hits // want "mixed access races"
+}
+
+func gen() uint64 {
+	return generation // want "mixed access races"
+}
+
+func (s *stats) size() int {
+	return len(s.words) // nowant: slice header, not the atomic elements
+}
+
+func (s *stats) elem(i int) uint64 {
+	return s.words[i] // want "mixed access races"
+}
+
+func (s *stats) coldPath() uint64 {
+	s.cold++ // nowant: never touched atomically
+	return s.cold
+}
+
+func (s *stats) grow() {
+	s.words = make([]uint64, 8) // nowant: header assignment, not elements
+}
+
+// snapshotHits documents a reviewed exception: workers have joined, so
+// the plain read cannot race.
+func (s *stats) snapshotHits() uint64 {
+	return s.hits //tufast:ignore atomicmix quiescent snapshot after workers join
+}

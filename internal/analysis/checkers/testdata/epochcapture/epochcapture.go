@@ -1,0 +1,77 @@
+// Golden corpus for the epochcapture analyzer: epoch values must be
+// captured inside the critical section that bumped them. Re-reading
+// Epoch() after ApplyStream, or after the topology lock was dropped,
+// observes concurrent batches.
+package epochcapture
+
+import (
+	"sync"
+
+	"tufast"
+)
+
+type serv struct {
+	topo sync.RWMutex
+	dyn  *tufast.DynGraph
+}
+
+// stale re-reads the graph epoch after the batch: a concurrent writer
+// may have bumped it again, so the response misattributes the batch.
+func (s *serv) stale(ops []tufast.StreamOp) uint64 {
+	stats, _ := s.dyn.ApplyStream(ops, tufast.StreamOptions{})
+	_ = stats
+	return s.dyn.Epoch() // want "read after ApplyStream"
+}
+
+// captured uses the epoch the batch's own bump produced.
+func (s *serv) captured(ops []tufast.StreamOp) uint64 {
+	stats, _ := s.dyn.ApplyStream(ops, tufast.StreamOptions{})
+	return stats.Epoch // nowant: the batch's own bump
+}
+
+// drifted reads the epoch after releasing the topology lock: the value
+// belongs to nobody's critical section.
+func (s *serv) drifted() uint64 {
+	s.topo.RLock()
+	n := s.dyn.NumVertices()
+	s.topo.RUnlock()
+	_ = n
+	return s.dyn.Epoch() // want "outside the critical section"
+}
+
+// underLock reads under the lock that bounds the epoch.
+func (s *serv) underLock() uint64 {
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	return s.dyn.Epoch() // nowant
+}
+
+// reacquired re-enters the critical section before reading.
+func (s *serv) reacquired() uint64 {
+	s.topo.Lock()
+	s.topo.Unlock()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	return s.dyn.Epoch() // nowant: a topology lock covers the read
+}
+
+// probe is the reviewed optimistic-cache pattern: read lock-free, then
+// revalidate under the lock before trusting the entry.
+func (s *serv) probe() uint64 {
+	s.topo.RLock()
+	s.topo.RUnlock()
+	return s.dyn.Epoch() //tufast:ignore epochcapture optimistic cache probe, revalidated under topo
+}
+
+// counter exercises the unexported-field form of the same rule.
+type counter struct {
+	topo  sync.Mutex
+	epoch uint64
+}
+
+func (c *counter) bump() uint64 {
+	c.topo.Lock()
+	c.epoch++ // nowant: bumped under the lock
+	c.topo.Unlock()
+	return c.epoch // want "epoch field read outside the critical section"
+}

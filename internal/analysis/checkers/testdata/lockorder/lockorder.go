@@ -1,0 +1,112 @@
+// Golden corpus for the lockorder analyzer: //tufast:lockorder ranks
+// declare the acquisition order; inversions, transitive inversions via
+// same-package calls, re-entrant acquisitions, and unranked cycles are
+// flagged.
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+var errBusy = errors.New("busy")
+
+type server struct {
+	//tufast:lockorder 10
+	snap sync.Mutex
+	//tufast:lockorder 20
+	topo sync.RWMutex
+	//tufast:lockorder 30
+	jobs sync.Mutex
+}
+
+// good nests in declared order: snap (10) outermost, then topo (20).
+func (s *server) good() {
+	s.snap.Lock()
+	s.topo.Lock()
+	s.topo.Unlock()
+	s.snap.Unlock()
+}
+
+// inverted takes topo (20) while jobs (30) is held.
+func (s *server) inverted() {
+	s.jobs.Lock()
+	s.topo.Lock() // want "lock order inversion"
+	s.topo.Unlock()
+	s.jobs.Unlock()
+}
+
+// viaCall reaches the inversion one call deep: lockSnap acquires snap
+// (10) and is called under topo (20).
+func (s *server) viaCall() {
+	s.topo.RLock()
+	s.lockSnap() // want "lock order inversion"
+	s.topo.RUnlock()
+}
+
+func (s *server) lockSnap() {
+	s.snap.Lock()
+	s.snap.Unlock()
+}
+
+// reentrant re-acquires the very instance it already holds.
+func (s *server) reentrant() {
+	s.topo.Lock()
+	s.topo.Lock() // want "not reentrant"
+	s.topo.Unlock()
+	s.topo.Unlock()
+}
+
+// released drops jobs before taking topo: no nesting, no edge.
+func (s *server) released() error {
+	s.jobs.Lock()
+	s.jobs.Unlock()
+	s.topo.Lock() // nowant: jobs no longer held
+	s.topo.Unlock()
+	return errBusy
+}
+
+// suppressed documents a deliberate, reviewed exception.
+func (s *server) suppressed() {
+	s.jobs.Lock()
+	s.topo.Lock() //tufast:ignore lockorder migration shim, removed with the legacy path
+	s.topo.Unlock()
+	s.jobs.Unlock()
+}
+
+// pair has no rank annotations; its two lock classes are ordered both
+// ways, a latent deadlock reported as a cycle.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want "lock-order cycle"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// annotations must name a mutex and carry an integer rank; the want
+// markers ride inside the directive comments because the diagnostics
+// land on the directives themselves.
+type malformed struct {
+	//tufast:lockorder high want "not an integer"
+	mu sync.Mutex
+	//tufast:lockorder 5 want "non-mutex field"
+	count int
+}
+
+func (m *malformed) use() {
+	m.mu.Lock()
+	m.count++
+	m.mu.Unlock()
+}

@@ -1,0 +1,85 @@
+// Golden corpus for the unlockpath analyzer: every Lock/RLock must be
+// released on all return and panic paths, either by defer or on every
+// branch. Diagnostics land on the acquisition, naming the first exit
+// that leaks it.
+package unlockpath
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// leaky forgets the unlock on the error return.
+func (b *box) leaky(fail bool) error {
+	b.mu.Lock() // want "not released on the return path"
+	if fail {
+		return errFail
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// panics leaks on the panic path.
+func (b *box) panics(v int) {
+	b.mu.Lock() // want "not released on the panic path"
+	if v < 0 {
+		panic("negative")
+	}
+	b.mu.Unlock()
+}
+
+// deferred is the canonical safe shape.
+func (b *box) deferred() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// branches releases on every arm instead of deferring.
+func (b *box) branches(fast bool) int {
+	b.rw.RLock()
+	if fast {
+		n := b.n
+		b.rw.RUnlock()
+		return n
+	}
+	b.rw.RUnlock()
+	return 0
+}
+
+// closureDefer releases through a deferred function literal.
+func (b *box) closureDefer() int {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	return b.n
+}
+
+// pump balances within each iteration.
+func (b *box) pump(work []int) {
+	for range work {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+// handoff intentionally returns holding the lock; the caller releases.
+func (b *box) handoff() {
+	b.mu.Lock() //tufast:ignore unlockpath lock handed to caller, released by put
+}
+
+func (b *box) put(n int) {
+	b.n = n
+	b.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+package checkers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"tufast/internal/analysis"
+)
+
+// UnlockPath reports Lock/RLock calls that some return or panic path
+// leaves unreleased: the matching Unlock must either be deferred or
+// appear on every exit path. The walker's branch-intersection held-set
+// keeps conditional lock/unlock pairs balanced (a lock released on one
+// live arm is considered released), so the checker fires only when a
+// concrete exit is reached with the lock still held and no defer
+// scheduled.
+//
+// Functions that intentionally hand a held lock to their caller are the
+// one legitimate exception; suppress those sites with
+// //tufast:ignore unlockpath and a reason.
+var UnlockPath = &analysis.Analyzer{
+	Name: "unlockpath",
+	Doc:  "every Lock must be released on all return and panic paths (defer or all branches)",
+	Run:  runUnlockPath,
+}
+
+func runUnlockPath(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			checkUnlockPaths(pass, body)
+			return true
+		})
+	}
+}
+
+func checkUnlockPaths(pass *analysis.Pass, body *ast.BlockStmt) {
+	// One report per acquisition site, at that site: the same leaked
+	// lock would otherwise repeat for every return statement.
+	reported := map[*analysis.LockOp]bool{}
+	walkLocks(pass, body, lockEvents{
+		exit: func(held []*heldLock, pos token.Pos, kind string) {
+			for _, h := range held {
+				if h.deferred || reported[h.op] {
+					continue
+				}
+				reported[h.op] = true
+				if kind == "end" {
+					kind = "fall-through"
+				}
+				exitPos := pass.Fset.Position(pos)
+				pass.Reportf(h.op.Call.Pos(),
+					"%s.%s() is not released on the %s path at line %d: defer the unlock or release on every branch",
+					h.op.Name(), h.op.Method, kind, exitPos.Line)
+			}
+		},
+	})
+}

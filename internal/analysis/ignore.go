@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -13,15 +14,40 @@ import (
 // suppresses every analyzer on that line.
 const ignorePrefix = "//tufast:ignore"
 
-// ignoreSet maps file -> line -> analyzer names suppressed there (nil
-// slice = all analyzers).
-type ignoreSet map[string]map[int][]string
+// ignoreDirective is one //tufast:ignore comment and whether it ever
+// suppressed a diagnostic (a directive that suppresses nothing is
+// stale; -strict-ignores reports it).
+type ignoreDirective struct {
+	names []string // nil = all analyzers
+	pos   token.Position
+	used  bool
+}
+
+// covers reports whether the directive suppresses analyzer.
+func (d *ignoreDirective) covers(analyzer string) bool {
+	if len(d.names) == 0 {
+		return true
+	}
+	for _, n := range d.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreSet indexes directives by file and by each line they cover (the
+// directive's own line and the line directly below it).
+type ignoreSet struct {
+	byLine map[string]map[int][]*ignoreDirective
+	all    []*ignoreDirective
+}
 
 // collectIgnores scans every file's comments for suppression directives.
 // A directive covers its own line and, so that standalone comments work,
 // the line after it.
-func collectIgnores(pkgs []*Package) ignoreSet {
-	set := ignoreSet{}
+func collectIgnores(pkgs []*Package) *ignoreSet {
+	set := &ignoreSet{byLine: map[string]map[int][]*ignoreDirective{}}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -31,15 +57,15 @@ func collectIgnores(pkgs []*Package) ignoreSet {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
-					lines := set[pos.Filename]
+					d := &ignoreDirective{names: names, pos: pos}
+					set.all = append(set.all, d)
+					lines := set.byLine[pos.Filename]
 					if lines == nil {
-						lines = map[int][]string{}
-						set[pos.Filename] = lines
+						lines = map[int][]*ignoreDirective{}
+						set.byLine[pos.Filename] = lines
 					}
-					lines[pos.Line] = names
-					if _, taken := lines[pos.Line+1]; !taken {
-						lines[pos.Line+1] = names
-					}
+					lines[pos.Line] = append(lines[pos.Line], d)
+					lines[pos.Line+1] = append(lines[pos.Line+1], d)
 				}
 			}
 		}
@@ -69,23 +95,33 @@ func parseIgnore(text string) (names []string, ok bool) {
 	return names, true
 }
 
-// match reports whether d is suppressed.
-func (s ignoreSet) match(d Diagnostic) bool {
-	lines, ok := s[d.Pos.Filename]
+// match reports whether d is suppressed, marking every directive that
+// suppresses it as used.
+func (s *ignoreSet) match(d Diagnostic) bool {
+	lines, ok := s.byLine[d.Pos.Filename]
 	if !ok {
 		return false
 	}
-	names, ok := lines[d.Pos.Line]
-	if !ok {
-		return false
-	}
-	if len(names) == 0 {
-		return true
-	}
-	for _, n := range names {
-		if n == d.Analyzer {
-			return true
+	matched := false
+	for _, dir := range lines[d.Pos.Line] {
+		if dir.covers(d.Analyzer) {
+			dir.used = true
+			matched = true
 		}
 	}
-	return false
+	return matched
+}
+
+// stale returns the directives that suppressed nothing during the run.
+// Judgement is only meaningful against the full analyzer suite: with a
+// subset enabled, a directive naming a disabled analyzer would be
+// reported stale spuriously, so callers gate on that.
+func (s *ignoreSet) stale() []StaleIgnore {
+	var out []StaleIgnore
+	for _, d := range s.all {
+		if !d.used {
+			out = append(out, StaleIgnore{Pos: d.pos, Names: d.names})
+		}
+	}
+	return out
 }

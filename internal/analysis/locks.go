@@ -1,0 +1,282 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared lock-acquisition recognizer: every
+// concurrency-contract checker (lockorder, unlockpath, hookpurity,
+// epochcapture) resolves sync.Mutex / sync.RWMutex method calls through
+// RecognizeLockOp so they agree on what counts as a lock and on lock
+// identity, and lockorder reads its declared ranking from the
+// //tufast:lockorder field annotations parsed here.
+
+// LockOp is one recognized mutex operation: a call to a lock-family
+// method (Lock, RLock, Unlock, RUnlock, TryLock, TryRLock) whose
+// receiver is a sync.Mutex or sync.RWMutex, directly or embedded.
+type LockOp struct {
+	// Call is the method call expression.
+	Call *ast.CallExpr
+	// Method is the method name (Lock, RLock, Unlock, RUnlock, ...).
+	Method string
+	// Mutex is the receiver expression the method was selected from.
+	Mutex ast.Expr
+	// Field is the struct field holding the mutex when the receiver is
+	// a field selection (s.mu.Lock()); nil for variables and embedded
+	// receivers.
+	Field *types.Var
+	// Owner is the named struct type declaring Field, when known.
+	Owner *types.Named
+
+	root types.Object // base object of the receiver chain (may be nil)
+	path string       // printed receiver expression, e.g. "s.topo"
+}
+
+// lockFamily maps method names to whether they take (true) or release
+// (false) the lock; Try* variants are recognized but conditional.
+var lockFamily = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": false, "RUnlock": false,
+}
+
+// Acquire reports whether the op unconditionally takes the lock.
+func (op *LockOp) Acquire() bool { return op.Method == "Lock" || op.Method == "RLock" }
+
+// Release reports whether the op releases the lock.
+func (op *LockOp) Release() bool { return op.Method == "Unlock" || op.Method == "RUnlock" }
+
+// Reader reports whether the op is on the read side of an RWMutex.
+func (op *LockOp) Reader() bool { return op.Method == "RLock" || op.Method == "RUnlock" }
+
+// Key identifies the mutex instance within one function body: the
+// receiver chain's base object plus the printed selector path, so two
+// mentions of s.topo in the same function agree while two different
+// Job variables' j.mu do not collide across functions.
+func (op *LockOp) Key() string {
+	if op.root != nil {
+		return fmt.Sprintf("%d|%s", op.root.Pos(), op.path)
+	}
+	return op.path
+}
+
+// Class identifies the mutex across functions: a struct field maps to
+// "Type.field" (every instance of that field is one lock class for
+// ordering purposes), a package-level variable to its qualified name,
+// and a function-local variable to a position-qualified name.
+func (op *LockOp) Class() string {
+	if op.Field != nil && op.Owner != nil {
+		return op.Owner.Obj().Name() + "." + op.Field.Name()
+	}
+	if op.root != nil && op.root.Pkg() != nil {
+		if op.root.Parent() == op.root.Pkg().Scope() {
+			return op.root.Pkg().Name() + "." + op.root.Name()
+		}
+		// Function-local mutex: qualify by declaration position so two
+		// locals sharing a name stay distinct classes.
+		return fmt.Sprintf("%s@%d", op.path, op.root.Pos())
+	}
+	return op.path
+}
+
+// Name is the short display form used in diagnostics.
+func (op *LockOp) Name() string { return op.path }
+
+// RecognizeLockOp resolves call as a mutex operation, or nil if it is
+// not one.
+func RecognizeLockOp(info *types.Info, call *ast.CallExpr) *LockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if _, ok := lockFamily[sel.Sel.Name]; !ok {
+		return nil
+	}
+	recv := ast.Unparen(sel.X)
+	isMutex := false
+	if tv, ok := info.Types[sel.X]; ok && tv.Type != nil {
+		isMutex = isSyncMutexType(tv.Type)
+	}
+	if !isMutex {
+		// Embedded mutex: the receiver is the outer struct, but the
+		// selected method still belongs to package sync.
+		if s, ok := info.Selections[sel]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+				isMutex = true
+			}
+		}
+	}
+	if !isMutex {
+		return nil
+	}
+	op := &LockOp{
+		Call:   call,
+		Method: sel.Sel.Name,
+		Mutex:  recv,
+		path:   types.ExprString(recv),
+	}
+	if fsel, ok := recv.(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[fsel]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				op.Field = v
+				op.Owner, _ = deref(s.Recv()).(*types.Named)
+			}
+		} else if v, ok := info.Uses[fsel.Sel].(*types.Var); ok {
+			op.root = v // package-qualified variable: pkg.mu
+			op.path = fsel.Sel.Name
+		}
+	}
+	if op.root == nil {
+		if id := baseIdent(recv); id != nil {
+			op.root = info.Uses[id]
+			if op.root == nil {
+				op.root = info.Defs[id]
+			}
+		}
+	}
+	return op
+}
+
+// isSyncMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutexType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// deref unwraps one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// baseIdent peels selector, index, star and paren expressions down to
+// the base identifier, nil if the chain roots elsewhere (a call, a
+// literal).
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockOrderPrefix introduces a lock-rank declaration on a struct field
+// holding a mutex:
+//
+//	//tufast:lockorder 20
+//	topo sync.RWMutex
+//
+// Ranks order acquisition: a lock may only be taken while every lock
+// already held has a strictly smaller rank. The numbers are
+// package-local and only their relative order matters; gaps leave room
+// for later locks.
+const lockOrderPrefix = "//tufast:lockorder"
+
+// LockRank is one parsed //tufast:lockorder annotation.
+type LockRank struct {
+	Rank  int
+	Field *types.Var
+	Owner string // declaring struct type name
+	Pos   token.Pos
+}
+
+// Class returns the lock-class key the rank applies to, matching
+// LockOp.Class for field-held mutexes.
+func (r *LockRank) Class() string { return r.Owner + "." + r.Field.Name() }
+
+// LockOrderAnnotations parses every //tufast:lockorder field annotation
+// in the package. Malformed annotations are reported through pass.
+func LockOrderAnnotations(pass *Pass) map[*types.Var]*LockRank {
+	ranks := map[*types.Var]*LockRank{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				rank, pos, ok := fieldLockOrder(pass, field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					v, _ := pass.Info.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					if !isSyncMutexType(v.Type()) {
+						pass.Reportf(pos, "//tufast:lockorder on non-mutex field %s", name.Name)
+						continue
+					}
+					ranks[v] = &LockRank{Rank: rank, Field: v, Owner: ts.Name.Name, Pos: pos}
+				}
+			}
+			return true
+		})
+	}
+	return ranks
+}
+
+// fieldLockOrder extracts the rank from a field's doc or trailing
+// comment, reporting malformed directives.
+func fieldLockOrder(pass *Pass, field *ast.Field) (rank int, pos token.Pos, ok bool) {
+	var groups []*ast.CommentGroup
+	if field.Doc != nil {
+		groups = append(groups, field.Doc)
+	}
+	if field.Comment != nil {
+		groups = append(groups, field.Comment)
+	}
+	for _, cg := range groups {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, lockOrderPrefix) {
+				continue
+			}
+			rest := c.Text[len(lockOrderPrefix):]
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //tufast:lockorderXYZ
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				pass.Reportf(c.Pos(), "//tufast:lockorder needs a rank, e.g. //tufast:lockorder 20")
+				continue
+			}
+			n, err := strconv.Atoi(fields[0])
+			if err != nil {
+				pass.Reportf(c.Pos(), "//tufast:lockorder rank %q is not an integer", fields[0])
+				continue
+			}
+			return n, c.Pos(), true
+		}
+	}
+	return 0, token.NoPos, false
+}

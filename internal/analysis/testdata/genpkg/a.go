@@ -1,0 +1,15 @@
+// Package genpkg is loader-test fixture: a multi-file package using
+// generics, with a _test.go file the loader must skip and a stray file
+// of another package the dominant-clause rule must drop.
+package genpkg
+
+// Stack is a generic container spanning both files.
+type Stack[T any] struct {
+	items []T
+}
+
+func NewStack[T any]() *Stack[T] { return &Stack[T]{} }
+
+func (s *Stack[T]) Push(v T) { s.items = append(s.items, v) }
+
+func (s *Stack[T]) Len() int { return len(s.items) }

@@ -1,0 +1,8 @@
+package genpkg
+
+// This file references an undefined symbol on purpose: if the loader
+// ever stopped skipping _test.go files, type-checking genpkg would fail
+// loudly instead of silently including test-only code.
+func testOnly() {
+	definitelyUndefinedSymbol()
+}

@@ -1,0 +1,23 @@
+package genpkg
+
+// Number constrains Sum; instantiations below cross the file boundary.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+func Sum[T Number](vs []T) T {
+	var total T
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// Ints instantiates the generic type declared in a.go.
+var Ints = NewStack[int]()
+
+func fill() int {
+	Ints.Push(1)
+	Ints.Push(2)
+	return Sum([]int{Ints.Len()})
+}

@@ -1,0 +1,5 @@
+// A stray file from another package: parseDir keeps only the dominant
+// package clause, mirroring how such a directory would fail go build.
+package strayother
+
+func Orphan() int { return 1 }

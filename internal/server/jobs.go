@@ -110,6 +110,10 @@ type Job struct {
 	ID  string
 	Req JobRequest
 
+	// mu is the innermost serving-plane lock: per-job state only, no
+	// other lock is ever taken under it.
+	//
+	//tufast:lockorder 80
 	mu       sync.Mutex
 	status   string
 	err      string
@@ -177,6 +181,7 @@ func terminal(status string) bool {
 // up to a bound (Config.MaxJobs): retire evicts the oldest finished
 // jobs, so sustained submission cannot grow the table without limit.
 type jobTable struct {
+	//tufast:lockorder 60
 	mu   sync.RWMutex
 	next uint64
 	jobs map[string]*Job
@@ -253,6 +258,7 @@ type cacheEntry struct {
 // a mutation batch invalidates the whole cache implicitly; stale
 // entries are swept on store to bound growth.
 type resultCache struct {
+	//tufast:lockorder 70
 	mu sync.Mutex
 	m  map[string]cacheEntry
 }

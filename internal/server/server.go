@@ -147,9 +147,14 @@ type Server struct {
 
 	// topo orders mutation batches (shared) against snapshot
 	// compaction (exclusive): Compact requires quiescence.
+	//
+	//tufast:lockorder 20
 	topo sync.RWMutex
 
 	// snapMu guards the epoch-tagged compacted snapshot jobs run on.
+	// It is the outermost lock: snapshot() takes topo under it.
+	//
+	//tufast:lockorder 10
 	snapMu    sync.Mutex
 	snapEpoch uint64
 	snapGraph *tufast.Graph
@@ -167,7 +172,10 @@ type Server struct {
 
 	// admitMu makes "check draining, then send" atomic against
 	// Shutdown's "set draining, then close(queue)" — without it a
-	// racing submission could send on a closed channel.
+	// racing submission could send on a closed channel. Admission
+	// registers the job (jobTable.mu) under it.
+	//
+	//tufast:lockorder 30
 	admitMu  sync.RWMutex
 	draining atomic.Bool
 

@@ -34,7 +34,10 @@ type standingManager struct {
 
 	// mu guards registry mutations (register/remove); the hook fan-out
 	// reads the copy-on-write active list instead, so the per-op cost
-	// with no standing queries is one atomic load.
+	// with no standing queries is one atomic load. seed() republishes
+	// the active list while holding topo, so mu ranks below it.
+	//
+	//tufast:lockorder 40
 	mu    sync.Mutex
 	byKey map[string]*standingQuery
 
@@ -69,6 +72,7 @@ type standingQuery struct {
 	dirtySince atomic.Int64
 	notify     chan struct{} // buffered(1): coalesced repair wakeups
 
+	//tufast:lockorder 50
 	mu        sync.Mutex
 	ready     bool
 	repairing bool
@@ -104,12 +108,17 @@ func (q *standingQuery) emit(u uint32) {
 	}
 }
 
+// pending is called from views() on queries that may still be seeding;
+// the pointer snapshot under q.mu pairs with seed's locked publish.
 func (q *standingQuery) pending() int {
+	q.mu.Lock()
+	pr, cc := q.pr, q.cc
+	q.mu.Unlock()
 	switch {
-	case q.pr != nil:
-		return q.pr.Pending()
-	case q.cc != nil:
-		return q.cc.Pending()
+	case pr != nil:
+		return pr.Pending()
+	case cc != nil:
+		return cc.Pending()
 	}
 	return 0
 }
@@ -270,15 +279,25 @@ func (m *standingManager) seed(q *standingQuery) (err error) {
 	}()
 	m.s.topo.Lock()
 	defer m.s.topo.Unlock()
+	// q is already registered in byKey, so views() can reach it while
+	// the computation is still being built: publish the pr/cc pointers
+	// under q.mu. The hooks need no lock — they find q through the
+	// active-list pointer published below, which happens-after these
+	// assignments.
 	switch q.req.Algo {
 	case "pagerank":
-		q.pr = algorithms.NewDeltaPageRank(m.s.dyn, q.req.Damping, q.req.Eps)
+		pr := algorithms.NewDeltaPageRank(m.s.dyn, q.req.Damping, q.req.Eps)
+		q.mu.Lock()
+		q.pr = pr
+		q.mu.Unlock()
 	case "cc":
 		cc, cerr := algorithms.NewIncrementalCC(m.s.dyn)
 		if cerr != nil {
 			return cerr
 		}
+		q.mu.Lock()
 		q.cc = cc
+		q.mu.Unlock()
 		q.needRecompute.Store(true) // initial labels come from a full recompute
 	default:
 		return fmt.Errorf("standing mode supports pagerank|cc, not %q", q.req.Algo)
@@ -287,12 +306,18 @@ func (m *standingManager) seed(q *standingQuery) (err error) {
 	return nil
 }
 
-// publishActive rebuilds the copy-on-write hook list.
+// publishActive rebuilds the copy-on-write hook list. Registry entries
+// may still be seeding on another goroutine (ensure registers before
+// seed runs), so the seeded test takes q.mu, pairing with seed's
+// locked publish of pr/cc.
 func (m *standingManager) publishActive() {
 	m.mu.Lock()
 	qs := make([]*standingQuery, 0, len(m.byKey))
 	for _, q := range m.byKey {
-		if q.pr != nil || q.cc != nil {
+		q.mu.Lock()
+		seeded := q.pr != nil || q.cc != nil
+		q.mu.Unlock()
+		if seeded {
 			qs = append(qs, q)
 		}
 	}

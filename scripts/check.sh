@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's pre-merge gate: formatting, vet, the
-# transaction-contract analyzer suite (tufastcheck), and the test suite
-# under the race detector (short profile). Run from the repo root or
+# transaction- and concurrency-contract analyzer suite (tufastcheck,
+# with -strict-ignores), and the test suite under the race detector
+# (short profile). Run from the repo root or
 # anywhere inside it; `make check` is an alias and `make lint` runs the
 # analyzer stage alone.
 set -eu
@@ -41,7 +42,9 @@ go vet ./...
 end
 
 begin "tufastcheck"
-go run ./cmd/tufastcheck ./...
+# -strict-ignores also fails on stale //tufast:ignore directives, so
+# suppressions are deleted when the finding they excused is gone.
+go run ./cmd/tufastcheck -strict-ignores ./...
 end
 
 # The serving path (daemon, load generator, server package) is covered

@@ -125,6 +125,7 @@ type System struct {
 	// lifetime (vertex lock ownership is per-id), so workers are kept on
 	// an explicit free list rather than a sync.Pool, which could drop
 	// and re-mint them past the id budget.
+	//tufast:lockorder 10
 	wmu     sync.Mutex
 	free    []*Worker
 	created int
