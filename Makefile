@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-diff loadgen-smoke
+.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-mvcc bench-diff loadgen-smoke
 
 build:
 	go build ./...
@@ -45,10 +45,22 @@ bench-serve:
 # result — and writes both figures (plus repair-lag and standing-hit
 # counters) to the snapshot CI archives. PageRank is the figure's
 # algorithm because its repairs stay O(delta) under deletes; standing
-# cc degrades to recompute-per-batch on delete-heavy streams (the
-# label-propagation asymmetry, measured separately in EXPERIMENTS.md).
+# cc now repairs delete batches locally too (bounded re-flood from the
+# deletion frontier), so either would do, but pagerank keeps the
+# figure comparable across snapshots.
 bench-standing:
 	go run ./cmd/tufast-loadgen -compare-standing -gen-n 5000 -duration 8s -clients 8 -write-frac 0.1 -algos pagerank -snapshot BENCH_pr6.json
+
+# bench-mvcc runs the MVCC snapshot-path figure: per snapshot path
+# (RWMutex-era exclusive-lock compaction, then epoch-pinned MVCC
+# views), measure closed-loop write capacity on a fresh daemon, then
+# drive a fixed ~30% offered mutation load against 0, 1, and 4 paced
+# analytics clients — each phase on its own fresh daemon — and write
+# the goodput-vs-analytics-load figure CI archives. The acceptance
+# line: 4-job mutation goodput within 2x of the 0-job baseline on the
+# MVCC path.
+bench-mvcc:
+	go run ./cmd/tufast-loadgen -compare-mvcc -gen-n 5000 -duration 2s -clients 4 -algos degree -snapshot BENCH_pr8.json
 
 # bench-diff prints per-workload throughput deltas between the two
 # most recent BENCH_*.json snapshots. Trend report, never a gate.

@@ -12,6 +12,7 @@ package algorithms
 import (
 	"context"
 	"math"
+	"sync"
 	"time"
 
 	"tufast"
@@ -37,17 +38,28 @@ func (s dedupSink) Len() int            { return s.q.Len() }
 
 // IncrementalCC maintains connected-component labels (min vertex id
 // per component) on a mutable undirected graph. Edge inserts are fixed
-// up incrementally: the mutation transaction compares the two
-// endpoints' labels and, when they differ, emits both so the Stabilize
-// drain merges the components by min-label propagation over live
-// adjacency. Deletes can split components, which label propagation
-// cannot undo locally — after a stream containing deletes, run
-// Recompute (StreamingCC does this automatically).
+// up incrementally: the mutation transaction emits both endpoints so
+// the Stabilize drain merges the components by min-label propagation
+// over live adjacency. Deletes can split components, which label
+// propagation cannot undo locally — log them (LogDeletes) and run
+// RepairDeletes against an epoch-pinned view: it re-derives labels for
+// just the components the deletes touched, skipping deletes that
+// provably did not split anything, instead of a full Recompute.
 type IncrementalCC struct {
 	dyn  *tufast.DynGraph
 	sys  *tufast.System
 	comp tufast.VertexArray
 	sink dedupSink
+
+	delMu  sync.Mutex
+	delLog []loggedDelete
+}
+
+// loggedDelete is one effective delete awaiting split repair, tagged
+// with the mutation epoch of the batch that committed it.
+type loggedDelete struct {
+	u, v  uint32
+	epoch uint64
 }
 
 // NewIncrementalCC attaches an incremental connected-components
@@ -87,17 +99,18 @@ func (cc *IncrementalCC) RecomputeCtx(ctx context.Context) error {
 }
 
 // OnEdge is the StreamOptions.OnEdge hook: inside the mutation
-// transaction, an insert joining two differently-labeled endpoints
-// emits both so the drain merges their components. Deletes are left to
-// a later Recompute.
+// transaction, an effective insert emits both endpoints so the drain
+// merges their components. The emit is unconditional — comparing
+// labels here would race with a concurrent repair's label reset (the
+// insert could observe pre-reset equal labels, skip the emit, and the
+// merge would never be rediscovered); the dedup sink bounds the cost.
+// Deletes are left to LogDeletes/RepairDeletes.
 func (cc *IncrementalCC) OnEdge(tx tufast.Tx, op tufast.StreamOp, changed bool, emit func(u uint32)) error {
 	if !changed || op.Del {
 		return nil
 	}
-	if tx.Read(op.U, cc.comp.Addr(op.U)) != tx.Read(op.V, cc.comp.Addr(op.V)) {
-		emit(op.U)
-		emit(op.V)
-	}
+	emit(op.U)
+	emit(op.V)
 	return nil
 }
 
@@ -165,6 +178,165 @@ func (cc *IncrementalCC) ComponentsInto(buf []uint64) []uint64 {
 // the computation is stable for every mutation whose emits have been
 // delivered. Safe to call concurrently with drains and streams.
 func (cc *IncrementalCC) Pending() int { return cc.sink.Len() }
+
+// LogDeletes records the effective deletes of a committed batch (non-Del
+// ops are skipped) for a later RepairDeletes, tagged with the batch's
+// mutation epoch. Call after the batch committed — logging from inside
+// OnEdge would let a repair consume a delete whose batch is still in
+// flight and whose edge is therefore still visible in the pinned view.
+func (cc *IncrementalCC) LogDeletes(ops []tufast.StreamOp, epoch uint64) {
+	cc.delMu.Lock()
+	for _, op := range ops {
+		if op.Del {
+			cc.delLog = append(cc.delLog, loggedDelete{op.U, op.V, epoch})
+		}
+	}
+	cc.delMu.Unlock()
+}
+
+// PendingDeletes returns how many logged deletes await repair.
+func (cc *IncrementalCC) PendingDeletes() int {
+	cc.delMu.Lock()
+	defer cc.delMu.Unlock()
+	return len(cc.delLog)
+}
+
+// DropDeletesThrough discards logged deletes with epoch ≤ e — used
+// after a full Recompute, which re-derives every label and so covers
+// every delete visible at its topology.
+func (cc *IncrementalCC) DropDeletesThrough(e uint64) {
+	cc.delMu.Lock()
+	kept := cc.delLog[:0]
+	for _, d := range cc.delLog {
+		if d.epoch > e {
+			kept = append(kept, d)
+		}
+	}
+	cc.delLog = kept
+	cc.delMu.Unlock()
+}
+
+// RepairDeletes repairs component labels after edge deletes without a
+// full recompute: see RepairDeletesCtx.
+func (cc *IncrementalCC) RepairDeletes(view *tufast.GraphView) (int, error) {
+	return cc.RepairDeletesCtx(context.Background(), view)
+}
+
+// RepairDeletesCtx consumes the logged deletes with epoch ≤ the view's
+// pinned epoch and repairs the labels of every component they may have
+// split, reading topology only through the view. For each consumed
+// delete (u, v): if the edge is live again at the view's epoch, or the
+// endpoints still share a neighbor there (the triangle fast path —
+// still connected, so no split), nothing needs repair. Otherwise the
+// components of u and v at the view's epoch are walked breadth-first,
+// every visited label is reset to self, and the vertices are queued;
+// the caller's following StabilizeCtx re-propagates each component's
+// true minimum. The walk runs at the pinned epoch, so inserts that
+// re-merged vertices after a delete are either already visible in the
+// view or will re-emit their endpoints themselves (OnEdge emits
+// unconditionally). On error the consumed deletes are restored for the
+// next attempt. Returns how many logged deletes were consumed.
+func (cc *IncrementalCC) RepairDeletesCtx(ctx context.Context, view *tufast.GraphView) (int, error) {
+	e := view.Epoch()
+	cc.delMu.Lock()
+	var take []loggedDelete
+	kept := cc.delLog[:0]
+	for _, d := range cc.delLog {
+		if d.epoch <= e {
+			take = append(take, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	cc.delLog = kept
+	cc.delMu.Unlock()
+	if len(take) == 0 {
+		return 0, nil
+	}
+	if err := cc.repairDeletes(ctx, view, take); err != nil {
+		cc.delMu.Lock()
+		cc.delLog = append(take, cc.delLog...)
+		cc.delMu.Unlock()
+		return 0, err
+	}
+	return len(take), nil
+}
+
+func (cc *IncrementalCC) repairDeletes(ctx context.Context, view *tufast.GraphView, dels []loggedDelete) error {
+	n := cc.dyn.NumVertices()
+	visited := worklist.NewBitset(n)
+	var stack, affected, nu, nv []uint32
+	for _, d := range dels {
+		if d.u == d.v || int(d.u) >= n || int(d.v) >= n {
+			continue
+		}
+		if view.HasEdge(d.u, d.v) {
+			continue // re-added (or never effective) at this epoch: no split
+		}
+		nu = view.Neighbors(d.u, nu[:0])
+		nv = view.Neighbors(d.v, nv[:0])
+		if shareSorted(nu, nv) {
+			continue // still connected through a common neighbor: no split
+		}
+		// Walk both endpoints' components at the pinned epoch. A BFS
+		// from an endpoint covers its whole component, so the reset
+		// below re-derives that component's minimum exactly.
+		for _, s := range [2]uint32{d.u, d.v} {
+			if !visited.TestAndSet(s) {
+				continue
+			}
+			stack = append(stack[:0], s)
+			affected = append(affected, s)
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				nu = view.Neighbors(v, nu[:0])
+				for _, w := range nu {
+					if visited.TestAndSet(w) {
+						stack = append(stack, w)
+						affected = append(affected, w)
+					}
+				}
+			}
+		}
+	}
+	// Reset every affected label to self transactionally (a mutation
+	// transaction on the same vertex conflicts and serializes), then
+	// queue it for the min-label drain.
+	w := cc.sys.Worker()
+	defer cc.sys.Release(w)
+	for _, v := range affected {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v := v
+		err := w.AtomicCtx(ctx, 4, func(tx tufast.Tx) error {
+			tx.Write(v, cc.comp.Addr(v), uint64(v))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		cc.sink.Push(v)
+	}
+	return nil
+}
+
+// shareSorted reports whether two ascending-sorted lists intersect.
+func shareSorted(a, b []uint32) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
 
 // DeltaPageRank maintains PageRank on a mutable graph by residual
 // propagation, exactly for both inserts and deletes. Three words per
@@ -396,9 +568,10 @@ func runStreaming(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp
 // StreamingCC applies a timestamped edge stream to d while maintaining
 // connected components incrementally: mutation transactions and label
 // propagation run concurrently on the same transactional runtime. If
-// the stream contained effective deletes the labels are rebuilt at the
-// end (propagation cannot split components); otherwise a final
-// Stabilize suffices. Returns the final labels and the stream stats.
+// the stream contained effective deletes, the components they touched
+// are repaired against an epoch-pinned view (RepairDeletes) — not
+// rebuilt from scratch; otherwise a final Stabilize suffices. Returns
+// the final labels and the stream stats.
 func StreamingCC(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp, window int) ([]uint64, tufast.StreamStats, error) {
 	cc, err := NewIncrementalCC(d)
 	if err != nil {
@@ -412,11 +585,15 @@ func StreamingCC(ctx context.Context, d *tufast.DynGraph, ops []tufast.StreamOp,
 		return nil, stats, err
 	}
 	if stats.Removed > 0 {
-		err = cc.RecomputeCtx(ctx)
-	} else {
-		err = cc.StabilizeCtx(ctx)
+		view := d.View()
+		cc.LogDeletes(ops, view.Epoch())
+		_, err = cc.RepairDeletesCtx(ctx, view)
+		view.Close()
+		if err != nil {
+			return nil, stats, err
+		}
 	}
-	if err != nil {
+	if err := cc.StabilizeCtx(ctx); err != nil {
 		return nil, stats, err
 	}
 	return cc.Components(), stats, nil

@@ -39,24 +39,28 @@ import (
 )
 
 type options struct {
-	addr      string
-	inprocess bool
-	genN      int
-	genDeg    int
-	seed      uint64
-	clients   int
-	duration  time.Duration
-	rps       float64
-	writeFrac float64
-	delFrac   float64
-	batch     int
-	algos     []string
-	timeoutMS int64
-	queue     int
-	workers   int
-	standing  bool
-	compare   bool
-	snapshot  string
+	addr        string
+	inprocess   bool
+	genN        int
+	genDeg      int
+	seed        uint64
+	clients     int
+	duration    time.Duration
+	rps         float64
+	writeFrac   float64
+	delFrac     float64
+	batch       int
+	algos       []string
+	timeoutMS   int64
+	queue       int
+	workers     int
+	standing    bool
+	compare     bool
+	compareMVCC bool
+	legacy      bool
+	readPace    time.Duration
+	writePace   time.Duration
+	snapshot    string
 }
 
 func main() {
@@ -79,11 +83,16 @@ func main() {
 	flag.IntVar(&o.workers, "job-workers", 2, "in-process server: concurrent analytics jobs")
 	flag.BoolVar(&o.standing, "standing", false, "submit analytics jobs as standing queries (restricts -algos to pagerank,cc)")
 	flag.BoolVar(&o.compare, "compare-standing", false, "run two phases over one in-process daemon — per-epoch recompute, then standing — and write both to -snapshot")
+	flag.BoolVar(&o.compareMVCC, "compare-mvcc", false, "measure mutation throughput under 0/1/4 concurrent analytics clients, once on the RWMutex-era snapshot path and once on MVCC views, and write both to -snapshot")
 	flag.StringVar(&o.snapshot, "snapshot", "", "write a serving-throughput snapshot (BENCH_*.json shape) to this file")
 	flag.Parse()
 	o.algos = strings.Split(algoList, ",")
 	if o.standing || o.compare {
 		o.algos = standingAlgos(o.algos)
+	}
+	if o.compareMVCC {
+		runCompareMVCC(o)
+		return
 	}
 	if o.compare {
 		runCompare(o)
@@ -199,6 +208,169 @@ func runCompare(o options) {
 	}
 }
 
+// runCompareMVCC produces the MVCC mutation-throughput figure. Per
+// snapshot path — first the RWMutex era (compaction under the
+// exclusive topology lock, every batch queued behind it), then MVCC
+// views — it measures closed-loop write capacity, then offers a fixed
+// ~30% of that capacity while 0, 1, and 4 paced analytics clients run.
+// The question the figure answers is how much of a constant offered
+// mutation load each path still delivers when snapshots are being
+// compacted: the legacy path stalls every batch for the full
+// compaction, the MVCC path keeps committing.
+//
+// Both client pools are paced (writers to the offered load, readers
+// with think time) rather than closed-loop: on a small box unpaced
+// pools just starve each other of CPU in both modes, burying the
+// locking difference under scheduler noise. Every phase gets a fresh
+// daemon so overlay growth from one phase doesn't distort another —
+// snapshot cost scales with accumulated history, and comparing a
+// cold 0-job phase against a 4-job phase run over four phases' worth
+// of edits would measure history depth, not locking.
+func runCompareMVCC(o options) {
+	o.inprocess = true
+	o.readPace = 250 * time.Millisecond
+	var entries []bench.PerfEntry
+	var snap obs.Snapshot
+	rates := map[string]float64{}
+	for _, legacy := range []bool{true, false} {
+		oo := o
+		oo.legacy = legacy
+		mode := "mvcc"
+		if legacy {
+			mode = "legacy"
+		}
+		// runPhase boots a fresh daemon, drives one phase, and tears it
+		// down. grabMetrics captures /metrics before shutdown so the MVCC
+		// report entry can carry the server-side counters.
+		runPhase := func(jobs int, grabMetrics bool) *report {
+			srvOpts := oo
+			srvOpts.duration = o.duration + 2*time.Second
+			srv, err := startInProcess(srvOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+				os.Exit(1)
+			}
+			oo.addr = srv.Addr()
+			rep := runMixed(oo, oo.clients, jobs)
+			if grabMetrics {
+				if err := fetchJSON("http://"+oo.addr+"/metrics", &snap); err != nil {
+					fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
+			}
+			cancel()
+			return rep
+		}
+
+		fmt.Printf("loadgen: %s — closed-loop write capacity (%v)\n", mode, oo.duration)
+		capRep := runPhase(0, false)
+		capacity := float64(capRep.writeOps) / capRep.duration.Seconds()
+		rates["mut-"+mode+"-capacity"] = capacity
+		entries = append(entries, bench.PerfEntry{
+			Workload: "mut-" + mode + "-capacity", TxnPerSec: capacity,
+		})
+		fmt.Printf("  capacity %.0f ops/s (%d batches)\n", capacity, capRep.writes)
+
+		offered := 0.3 * capacity
+		oo.writePace = time.Duration(float64(oo.clients*oo.batch) / offered * float64(time.Second))
+		for _, jobs := range []int{0, 1, 4} {
+			fmt.Printf("loadgen: %s — %.0f ops/s offered vs %d analytics clients (%v)\n",
+				mode, offered, jobs, oo.duration)
+			rep := runPhase(jobs, !legacy && jobs == 4 && o.snapshot != "")
+			rate := float64(rep.writeOps) / rep.duration.Seconds()
+			name := fmt.Sprintf("mut-%s-%djobs", mode, jobs)
+			rates[name] = rate
+			entries = append(entries, bench.PerfEntry{Workload: name, TxnPerSec: rate})
+			fmt.Printf("  writes %.0f ops/s (%d batches), reads done %d, errors %d\n",
+				rate, rep.writes, rep.readsDone, rep.httpErrors)
+		}
+	}
+	for _, mode := range []string{"legacy", "mvcc"} {
+		base, loaded := rates["mut-"+mode+"-0jobs"], rates["mut-"+mode+"-4jobs"]
+		if base > 0 {
+			fmt.Printf("loadgen: %s mutation goodput under 4 analytics clients: %.0f%% of zero-analytics (%.0f/s vs %.0f/s)\n",
+				mode, 100*loaded/base, loaded, base)
+		}
+	}
+	if o.snapshot != "" {
+		if len(entries) > 0 {
+			entries[len(entries)-1].Metrics = snap
+		}
+		out := bench.PerfReport{
+			Dataset: "serving-powerlaw",
+			Threads: o.clients,
+			Scale:   1,
+			Entries: entries,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(o.snapshot, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", o.snapshot)
+	}
+}
+
+// runMixed drives writeClients pure-writer loops and readClients
+// pure-analytics loops for one phase — the fixed-role split the MVCC
+// figure needs, vs run()'s per-request coin flip.
+func runMixed(o options, writeClients, readClients int) *report {
+	rep := &report{}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: writeClients + readClients}}
+	var info struct {
+		Vertices int `json:"vertices"`
+	}
+	if err := fetchJSON("http://"+o.addr+"/v1/graph", &info); err != nil || info.Vertices == 0 {
+		fmt.Fprintln(os.Stderr, "tufast-loadgen: cannot reach daemon:", err)
+		os.Exit(1)
+	}
+	n := info.Vertices
+	deadline := time.Now().Add(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < writeClients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(o.seed) + int64(id)*7919))
+			for time.Now().Before(deadline) {
+				iterStart := time.Now()
+				doWrite(o, client, rng, n, rep)
+				if o.writePace > 0 {
+					if sleep := o.writePace - time.Since(iterStart); sleep > 0 {
+						time.Sleep(sleep)
+					}
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < readClients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(o.seed) + 1_000_003 + int64(id)*104_729))
+			algoIdx := id
+			for time.Now().Before(deadline) {
+				doRead(o, client, rng, n, rep, o.algos[algoIdx%len(o.algos)])
+				algoIdx++
+				if o.readPace > 0 {
+					time.Sleep(o.readPace)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	rep.duration = time.Since(start)
+	return rep
+}
+
 // startInProcess builds a generated-graph daemon in this process,
 // with the routing thresholds the streaming benchmarks use so laptop
 // graphs still spread mutations across H/O/L.
@@ -218,9 +390,10 @@ func startInProcess(o options) (*server.Server, error) {
 	})
 	dyn := tufast.NewDynGraph(sys)
 	srv := server.New(dyn, server.Config{
-		Addr:       "127.0.0.1:0",
-		QueueDepth: o.queue,
-		JobWorkers: o.workers,
+		Addr:           "127.0.0.1:0",
+		QueueDepth:     o.queue,
+		JobWorkers:     o.workers,
+		LegacySnapshot: o.legacy,
 	})
 	if err := srv.Start(); err != nil {
 		return nil, err

@@ -33,6 +33,21 @@ type DynGraph struct {
 	removed  atomic.Uint64
 	noops    atomic.Uint64
 	epoch    atomic.Uint64
+
+	// batchMu serializes ApplyStream batches. Each batch stamps its
+	// entries with epoch+1, so two concurrent batches must not share a
+	// stamp — the second would leak half-committed entries into views
+	// pinned at the first batch's epoch. Windows within a batch still
+	// run across all the System's threads; only batch admission is
+	// serial, which also gives each effective batch a distinct epoch.
+	batchMu sync.Mutex
+
+	// pinMu guards pins: epoch → number of live GraphViews pinned
+	// there. The GC watermark is the minimum pinned epoch, computed
+	// under the same mutex that View uses to read the epoch and insert
+	// its pin, so GC can never collect underneath an in-flight pin.
+	pinMu sync.Mutex
+	pins  map[uint64]int
 }
 
 // NewDynGraph layers a mutable edge overlay over s's graph. The
@@ -40,7 +55,7 @@ type DynGraph struct {
 // construct the System with Options.SpaceWords ≥ DynSpaceWords for the
 // mutation volume you expect.
 func NewDynGraph(s *System) *DynGraph {
-	return &DynGraph{sys: s, st: dyngraph.New(s.sp, s.g.csr)}
+	return &DynGraph{sys: s, st: dyngraph.New(s.sp, s.g.csr), pins: make(map[uint64]int)}
 }
 
 // DynSpaceWords returns an Options.SpaceWords value sized for a System
@@ -122,6 +137,153 @@ func (d *DynGraph) Epoch() uint64 { return d.epoch.Load() }
 // insert / missing delete).
 func (d *DynGraph) MutationStats() (inserted, removed, noops uint64) {
 	return d.inserted.Load(), d.removed.Load(), d.noops.Load()
+}
+
+// GraphView is a consistent, immutable read-only view of the graph
+// pinned at a mutation epoch: every read resolves the overlay's
+// multi-version chains to the state the pinned epoch saw, no matter
+// how many batches commit afterwards. Views are safe to read from any
+// goroutine while mutators run — no lock is taken on either side (see
+// dyngraph.Store.NeighborsAt for the safety argument). A view holds a
+// GC pin keeping its versions alive: Close it when done, or overlay
+// garbage collection can never reclaim superseded entries.
+type GraphView struct {
+	d      *DynGraph
+	epoch  uint64
+	closed atomic.Bool
+}
+
+// View pins the current mutation epoch and returns its view. Mutations
+// outside ApplyStream batches (direct Tx.AddEdge/RemoveEdge) are
+// stamped past the current epoch and therefore invisible to views, as
+// they are to Epoch — batch serving-path mutations through
+// ApplyStream.
+func (d *DynGraph) View() *GraphView {
+	d.pinMu.Lock()
+	e := d.epoch.Load()
+	d.pins[e]++
+	d.pinMu.Unlock()
+	return &GraphView{d: d, epoch: e}
+}
+
+// ViewAt pins mutation epoch e and returns its view. Pinning an epoch
+// at or below the GC watermark of a previous collection returns a view
+// whose superseded versions may already be gone; serving planes pin
+// the current epoch (View) and hand the view down, which is always
+// safe.
+func (d *DynGraph) ViewAt(e uint64) *GraphView {
+	d.pinMu.Lock()
+	d.pins[e]++
+	d.pinMu.Unlock()
+	return &GraphView{d: d, epoch: e}
+}
+
+// Close releases the view's GC pin. Reads after Close are still
+// epoch-filtered but their versions may be collected underneath them;
+// Close only once all readers of the view are done. Idempotent.
+func (v *GraphView) Close() {
+	if v.closed.Swap(true) {
+		return
+	}
+	d := v.d
+	d.pinMu.Lock()
+	if d.pins[v.epoch]--; d.pins[v.epoch] <= 0 {
+		delete(d.pins, v.epoch)
+	}
+	d.pinMu.Unlock()
+}
+
+// Epoch returns the mutation epoch the view is pinned at.
+func (v *GraphView) Epoch() uint64 { return v.epoch }
+
+// Neighbors returns u's out-neighbors as of the pinned epoch, sorted,
+// appended into buf[:0].
+func (v *GraphView) Neighbors(u uint32, buf []uint32) []uint32 {
+	return v.d.st.NeighborsAt(u, v.epoch, buf)
+}
+
+// HasEdge reports whether edge (u, w) is live as of the pinned epoch.
+func (v *GraphView) HasEdge(u, w uint32) bool {
+	return v.d.st.HasArcAt(u, w, v.epoch)
+}
+
+// Degree returns u's out-degree as of the pinned epoch (an O(deg)
+// chain resolve, unlike the advisory LiveDegree word).
+func (v *GraphView) Degree(u uint32) int {
+	var buf [8]uint32
+	return len(v.d.st.NeighborsAt(u, v.epoch, buf[:0]))
+}
+
+// Arcs counts the live out-arcs as of the pinned epoch (2× the edge
+// count on undirected graphs). O(V+E).
+func (v *GraphView) Arcs() int {
+	return v.d.st.ArcsAt(v.epoch)
+}
+
+// NumVertices returns |V|.
+func (v *GraphView) NumVertices() int { return v.d.st.NumVertices() }
+
+// Compact freezes the pinned epoch's topology into a fresh immutable
+// Graph. Unlike DynGraph.Compact it is safe while mutators run.
+func (v *GraphView) Compact() (*Graph, error) {
+	csr, err := v.d.st.CompactAt(v.epoch)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{csr: csr}, nil
+}
+
+// GCCtx garbage-collects the overlay's multi-version chains: for every
+// vertex it drops the versions no reader can observe anymore — entries
+// superseded at or below the watermark, which is the minimum live
+// pinned epoch (or the current epoch with nothing pinned). Rebuilt
+// chains go into freshly allocated blocks (the arena never reuses, so
+// frozen readers finish safely); GC therefore consumes headroom to
+// reclaim reachability, and skips vertices — returning early — when
+// the space has less than the rebuild size plus reserveWords left.
+// Runs concurrently with mutators and readers: each per-vertex rebuild
+// is one transaction owning that vertex. Returns the number of chains
+// rewritten.
+func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
+	d.pinMu.Lock()
+	keep := d.epoch.Load()
+	for e := range d.pins {
+		if e < keep {
+			keep = e
+		}
+	}
+	d.pinMu.Unlock()
+	w := d.sys.Worker()
+	defer d.sys.Release(w)
+	rewritten := 0
+	for u := 0; u < d.st.NumVertices(); u++ {
+		if err := ctx.Err(); err != nil {
+			return rewritten, err
+		}
+		words := d.st.ChainWords(uint32(u))
+		if words == 0 {
+			continue
+		}
+		if d.sys.sp.Cap()-d.sys.sp.Used() < words+reserveWords {
+			return rewritten, nil
+		}
+		did := false
+		err := w.AtomicCtx(ctx, 2*words+8, func(tx Tx) error {
+			// No Tx escapes here: CompactChain returns a bool, and the
+			// plain overwrite is retry-safe — an aborted attempt's writes
+			// are undone, so the rerun recomputes from the original chain.
+			//tufast:ignore retryunsafe,txescape idempotent bool overwrite; no handle stored
+			did = d.st.CompactChain(tx.t, uint32(u), keep)
+			return nil
+		})
+		if err != nil {
+			return rewritten, err
+		}
+		if did {
+			rewritten++
+		}
+	}
+	return rewritten, nil
 }
 
 // AddEdge inserts edge (u, v) into g within tx, returning whether the
@@ -228,8 +390,19 @@ func (d *DynGraph) ApplyStream(ops []StreamOp, opt StreamOptions) (StreamStats, 
 	return d.ApplyStreamCtx(context.Background(), ops, opt)
 }
 
-// ApplyStreamCtx is ApplyStream with cancellation.
+// ApplyStreamCtx is ApplyStream with cancellation. Batches are
+// serialized against each other (windows within a batch still run on
+// all threads): each batch's entries are stamped with the epoch its
+// bump will publish, so a batch must own its stamp exclusively for
+// pinned views to stay stable.
 func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt StreamOptions) (StreamStats, error) {
+	d.batchMu.Lock()
+	defer d.batchMu.Unlock()
+	cur := d.epoch.Load()
+	// Entries this batch writes become visible exactly when the epoch
+	// reaches cur+1 — i.e. when this batch commits its bump below.
+	// Readers pinned at ≤ cur filter them out even mid-flight.
+	d.st.SetWriteStamp(cur + 1)
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Time < ops[j].Time })
 	window := opt.Window
 	if window <= 0 {
@@ -261,9 +434,14 @@ func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt Strea
 	d.removed.Add(rem.Load())
 	d.noops.Add(noop.Load())
 	if ins.Load()+rem.Load() > 0 {
-		stats.Epoch = d.epoch.Add(1)
+		// Advance the write stamp past the new epoch BEFORE publishing
+		// it, so a direct Tx mutation racing with the bump can never
+		// stamp an entry at an epoch that is already pinnable.
+		d.st.SetWriteStamp(cur + 2)
+		d.epoch.Store(cur + 1)
+		stats.Epoch = cur + 1
 	} else {
-		stats.Epoch = d.epoch.Load()
+		stats.Epoch = cur
 	}
 	return stats, applyErr
 }

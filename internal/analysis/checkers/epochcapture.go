@@ -12,8 +12,9 @@ import (
 
 // EpochCapture polices how graph epochs reach responses and cache keys.
 // An epoch is only meaningful relative to the critical section that
-// bumped it; re-reading Epoch() after the fact observes concurrent
-// batches. Two patterns are flagged:
+// bumped it — or, since the MVCC refactor, relative to the view that
+// pinned it; re-reading Epoch() after the fact observes concurrent
+// batches. Three patterns are flagged:
 //
 //  1. An Epoch() call positioned after an ApplyStream/ApplyStreamCtx
 //     call in the same function body. The stream's own bump is already
@@ -23,6 +24,12 @@ import (
 //     reached with no mutex held after the function released a
 //     topology lock — a field named topo or wmu — earlier on. The
 //     value read belongs to nobody's critical section.
+//  3. A non-view Epoch() call positioned after a View()/ViewAt() call
+//     that pinned a GraphView in the same function body. Everything the
+//     function reads through the view is fixed at the view's epoch;
+//     tagging it with a fresh graph epoch misattributes batches that
+//     committed after the pin. GraphView.Epoch() is the blessed read
+//     and is exempt.
 //
 // Deliberately lock-free reads, such as an optimistic cache probe that
 // revalidates under the lock, take //tufast:ignore epochcapture with a
@@ -71,10 +78,33 @@ func isApplyStreamCall(call *ast.CallExpr) bool {
 	return ok && strings.HasPrefix(sel.Sel.Name, "ApplyStream")
 }
 
+// isGraphViewType reports whether t is a GraphView (or a pointer to
+// one) — the epoch-pinned read handle whose Epoch() is always safe.
+func isGraphViewType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "GraphView"
+}
+
+// isViewPinCall matches View()/ViewAt() calls that return a GraphView,
+// i.e. the moment a function pins an epoch.
+func isViewPinCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "View" && sel.Sel.Name != "ViewAt") {
+		return false
+	}
+	return isGraphViewType(pass.Info.TypeOf(call))
+}
+
 func checkEpochCapture(pass *analysis.Pass, body *ast.BlockStmt) {
-	// Rule 1 is positional within the body — literal interiors excluded,
-	// they run in their own context.
-	var applyPos token.Pos = token.NoPos
+	// Rules 1 and 3 are positional within the body — literal interiors
+	// excluded, they run in their own context.
+	var applyPos, viewPos token.Pos = token.NoPos, token.NoPos
 	topoReleased := false
 	walkLocks(pass, body, lockEvents{
 		release: func(op *analysis.LockOp) {
@@ -89,6 +119,14 @@ func checkEpochCapture(pass *analysis.Pass, body *ast.BlockStmt) {
 				}
 				return
 			}
+			if isViewPinCall(pass, call) {
+				// Threshold at the call's end: ViewAt's own epoch argument
+				// is read before the pin exists and stays legal.
+				if viewPos == token.NoPos || call.End() < viewPos {
+					viewPos = call.End()
+				}
+				return
+			}
 			recv, ok := isEpochCall(call)
 			if !ok {
 				return
@@ -96,6 +134,13 @@ func checkEpochCapture(pass *analysis.Pass, body *ast.BlockStmt) {
 			if applyPos != token.NoPos && call.Pos() > applyPos {
 				pass.Reportf(call.Pos(),
 					"%s.Epoch() read after ApplyStream: use the StreamStats.Epoch captured at the batch's own bump",
+					exprString(recv))
+				return
+			}
+			if viewPos != token.NoPos && call.Pos() > viewPos &&
+				!isGraphViewType(pass.Info.TypeOf(recv)) {
+				pass.Reportf(call.Pos(),
+					"%s.Epoch() read after pinning a view: use the view's pinned epoch instead",
 					exprString(recv))
 				return
 			}

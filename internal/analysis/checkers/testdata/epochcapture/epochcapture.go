@@ -63,6 +63,23 @@ func (s *serv) probe() uint64 {
 	return s.dyn.Epoch() //tufast:ignore epochcapture optimistic cache probe, revalidated under topo
 }
 
+// mixed tags results read through a pinned view with a fresh graph
+// epoch: batches that committed after the pin are misattributed.
+func (s *serv) mixed() (int, uint64) {
+	v := s.dyn.View()
+	defer v.Close()
+	deg := v.Degree(0)
+	return deg, s.dyn.Epoch() // want "read after pinning a view"
+}
+
+// pinned uses the view's own epoch — the only value consistent with
+// what the view reads.
+func (s *serv) pinned() (int, uint64) {
+	v := s.dyn.ViewAt(s.dyn.Epoch()) // nowant: the pin's input, read before pinning
+	defer v.Close()
+	return v.Degree(0), v.Epoch() // nowant: the view's pinned epoch
+}
+
 // counter exercises the unexported-field form of the same rule.
 type counter struct {
 	topo  sync.Mutex

@@ -15,19 +15,31 @@
 // address of v's first overlay block, 0 = none) and deg[v] (live
 // out-degree, seeded from the base). Each block is one emulated cache
 // line of mem.WordsPerLine words: [next, used, slot0..slot5]. A slot
-// holds target<<2|flags, with bit 0 marking a valid entry and bit 1 a
-// tombstone:
+// holds stamp<<34|target<<2|flags, with bit 0 marking a valid entry and
+// bit 1 a tombstone:
 //
 //	entry, no tombstone   arc u→target is live (added, or re-added)
 //	entry, tombstone      arc u→target is dead (deleted)
 //	no entry              the base adjacency decides
 //
-// A chain holds at most one entry per target: mutators flip the
-// tombstone bit in place instead of appending duplicates, so chains
-// grow with the number of distinct targets touched, not with the
-// mutation count. Every word of vertex u's chain (and its head and deg
-// words) is owned by u, which makes u the lock and conflict granule for
-// topology exactly as for properties.
+// Versioning (MVCC). The stamp field records the write stamp — the
+// mutation epoch at which the entry commits — so chains are per-vertex
+// multi-version delta logs: a chain may hold several entries for one
+// target, each stamped with a later epoch, and the LAST entry in chain
+// order with stamp ≤ e decides the arc's state as of epoch e (the base
+// adjacency is the implicit stamp-0 version). Mutators still flip the
+// tombstone bit in place — but only when the latest entry for the
+// target carries the current write stamp, i.e. when the flip cannot be
+// observed by a reader pinned at an earlier epoch; otherwise they
+// append a freshly stamped entry. Committed entries are therefore
+// immutable forever, which is what makes the *At readers safe without
+// any lock (see NeighborsAt). Per-target stamps are non-decreasing in
+// chain order because batches are serialized and the write stamp is
+// monotone.
+//
+// Every word of vertex u's chain (and its head and deg words) is owned
+// by u, which makes u the lock and conflict granule for topology
+// exactly as for properties.
 //
 // Blocks are allocated from the Space and never freed. A block
 // allocated by an attempt that later aborts is leaked — it was never
@@ -39,6 +51,7 @@ package dyngraph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"tufast/internal/graph"
 	"tufast/internal/mem"
@@ -58,7 +71,22 @@ const (
 	entryValid = 1 << 0
 	entryTomb  = 1 << 1
 	entryShift = 2
+
+	// stampShift positions the write stamp above the 32-bit target and
+	// the two flag bits, leaving 30 bits of epoch space.
+	stampShift = 34
+	// MaxStamp is the largest representable write stamp (~10^9 mutation
+	// epochs). SetWriteStamp panics beyond it; a daemon would need a
+	// billion effective batches to get there.
+	MaxStamp = 1<<(64-stampShift) - 1
+
+	// StampLatest filters nothing: the *At readers resolve to the
+	// newest committed state, like the unversioned paths.
+	StampLatest = ^uint64(0)
 )
+
+func entryStamp(e uint64) uint64  { return e >> stampShift }
+func entryTarget(e uint64) uint32 { return uint32(e >> entryShift) }
 
 // reader is the read capability the scan paths need: sched.Tx satisfies
 // it, and the quiescent helpers substitute a Space-backed implementation
@@ -67,22 +95,26 @@ type reader interface {
 	Read(v uint32, addr mem.Addr) uint64
 }
 
-// quiescent reads the space directly, bypassing the TM. Only valid when
-// no mutator can be mid-commit (after workers drained), or for
-// advisory uses like size hints that tolerate torn chains.
+// quiescent reads the space directly, bypassing the TM. Exact when no
+// mutator can be mid-commit (after workers drained); safe but merely
+// epoch-consistent for the *At readers (stamp filtering hides in-flight
+// entries); advisory for size hints that tolerate torn chains.
 type quiescent struct{ sp *mem.Space }
 
 func (q quiescent) Read(_ uint32, a mem.Addr) uint64 { return q.sp.Load(a) }
 
 // Store is a mutable graph: an immutable CSR base plus a transactional
 // delta overlay. Concurrent use is safe exactly insofar as all access
-// goes through transactions; the *Now/Compact helpers are quiescent.
+// goes through transactions; the *Now/Compact helpers are quiescent,
+// and the *At helpers are epoch-pinned reads that are safe concurrently
+// with mutators (see NeighborsAt).
 type Store struct {
-	sp   *mem.Space
-	base *graph.CSR
-	n    int
-	head mem.Addr // n words: head[v] = address of v's first block, 0 = none
-	deg  mem.Addr // n words: deg[v] = live out-degree of v
+	sp    *mem.Space
+	base  *graph.CSR
+	n     int
+	head  mem.Addr      // n words: head[v] = address of v's first block, 0 = none
+	deg   mem.Addr      // n words: deg[v] = live out-degree of v
+	stamp atomic.Uint64 // current write stamp; see SetWriteStamp
 }
 
 // New creates an overlay store over base, allocating its head and
@@ -98,13 +130,35 @@ func New(sp *mem.Space, base *graph.CSR) *Store {
 	for v := uint32(0); int(v) < n; v++ {
 		sp.Store(s.deg+mem.Addr(v), uint64(base.Degree(v)))
 	}
+	// Stamp 0 is reserved for the base adjacency; fresh mutations
+	// commit at stamp 1 until the owner installs a batch stamp.
+	s.stamp.Store(1)
 	return s
 }
+
+// SetWriteStamp installs the stamp every subsequent mutation commits
+// under. The owner (tufast.DynGraph) sets it to epoch+1 at the start of
+// each serialized batch, so in-flight entries are invisible to every
+// reader pinned at ≤ epoch until the batch's own epoch bump publishes
+// them. Must only be called while no mutator is mid-transaction (the
+// batch serialization lock provides that).
+func (s *Store) SetWriteStamp(stamp uint64) {
+	if stamp > MaxStamp {
+		panic(fmt.Sprintf("dyngraph: write stamp %d exceeds MaxStamp", stamp))
+	}
+	s.stamp.Store(stamp)
+}
+
+// WriteStamp returns the stamp mutations currently commit under.
+func (s *Store) WriteStamp() uint64 { return s.stamp.Load() }
 
 // SpaceWords returns the extra space (in words) a Store over n vertices
 // needs for arcMutations AddArc/RemoveArc calls: the head and degree
 // arrays plus a generous block budget that also covers blocks leaked by
-// aborted attempts. An undirected edge mutation is two arc mutations.
+// aborted attempts and the multi-version entries MVCC appends (a
+// mutation that would have flipped a tombstone in place under a single
+// version appends a fresh stamped entry when the epoch has moved). An
+// undirected edge mutation is two arc mutations.
 func SpaceWords(n, arcMutations int) int {
 	return 2*(n+2*blockWords) + 24*arcMutations + 64
 }
@@ -138,11 +192,12 @@ func (s *Store) baseHas(u, v uint32) bool {
 	return i < len(nb) && nb[i] == v
 }
 
-// findEntry scans u's chain for an entry targeting w. If found it
-// returns the slot's address (and zeros for the rest); otherwise slot
-// is 0 and last/lastUsed describe the chain's final block (0 when the
-// chain is empty) so an appender need not rescan.
-func (s *Store) findEntry(r reader, u, w uint32) (slot, last mem.Addr, lastUsed uint64) {
+// findLatest scans u's whole chain for the LAST entry targeting w — the
+// newest version, since per-target stamps are non-decreasing in chain
+// order. It returns the slot's address (0 when no entry targets w) plus
+// the chain's final block and its used count (0 when the chain is
+// empty) so an appender need not rescan.
+func (s *Store) findLatest(r reader, u, w uint32) (slot, last mem.Addr, lastUsed uint64) {
 	b := mem.Addr(r.Read(u, s.headOf(u)))
 	for b != 0 {
 		used := r.Read(u, b+1)
@@ -151,17 +206,17 @@ func (s *Store) findEntry(r reader, u, w uint32) (slot, last mem.Addr, lastUsed 
 		}
 		for i := mem.Addr(0); i < mem.Addr(used); i++ {
 			e := r.Read(u, b+slotBase+i)
-			if e&entryValid != 0 && uint32(e>>entryShift) == w {
-				return b + slotBase + i, 0, 0
+			if e&entryValid != 0 && entryTarget(e) == w {
+				slot = b + slotBase + i
 			}
 		}
 		next := mem.Addr(r.Read(u, b))
 		if next == 0 {
-			return 0, b, used
+			return slot, b, used
 		}
 		b = next
 	}
-	return 0, 0, 0
+	return slot, 0, 0
 }
 
 // bumpDeg adjusts u's live degree by delta.
@@ -194,30 +249,42 @@ func (s *Store) appendEntry(tx sched.Tx, u uint32, entry uint64, last mem.Addr, 
 	}
 }
 
+// mkEntry builds a slot value for target w with the given flag bits,
+// stamped with the current write stamp.
+func (s *Store) mkEntry(w uint32, flags uint64) uint64 {
+	return s.stamp.Load()<<stampShift | uint64(w)<<entryShift | entryValid | flags
+}
+
 // AddArc inserts arc u→v within tx, reporting whether the arc was
 // actually added (false when it is already live, or when u == v:
 // self-loops are dropped to match graph.Build). All touched words are
-// owned by u.
+// owned by u. When the latest version of the arc was committed at an
+// earlier stamp, a fresh stamped entry is appended instead of flipping
+// the old one, so readers pinned at earlier epochs keep seeing it.
 func (s *Store) AddArc(tx sched.Tx, u, v uint32) bool {
 	s.check(u)
 	s.check(v)
 	if u == v {
 		return false
 	}
-	slot, last, used := s.findEntry(tx, u, v)
+	slot, last, used := s.findLatest(tx, u, v)
 	if slot != 0 {
 		e := tx.Read(u, slot)
 		if e&entryTomb == 0 {
 			return false // already live in the overlay
 		}
-		tx.Write(u, slot, e&^uint64(entryTomb))
+		if entryStamp(e) == s.stamp.Load() {
+			tx.Write(u, slot, e&^uint64(entryTomb))
+		} else {
+			s.appendEntry(tx, u, s.mkEntry(v, 0), last, used)
+		}
 		s.bumpDeg(tx, u, 1)
 		return true
 	}
 	if s.baseHas(u, v) {
 		return false // live in the base with no override
 	}
-	s.appendEntry(tx, u, uint64(v)<<entryShift|entryValid, last, used)
+	s.appendEntry(tx, u, s.mkEntry(v, 0), last, used)
 	s.bumpDeg(tx, u, 1)
 	return true
 }
@@ -230,18 +297,22 @@ func (s *Store) RemoveArc(tx sched.Tx, u, v uint32) bool {
 	if u == v {
 		return false
 	}
-	slot, last, used := s.findEntry(tx, u, v)
+	slot, last, used := s.findLatest(tx, u, v)
 	if slot != 0 {
 		e := tx.Read(u, slot)
 		if e&entryTomb != 0 {
 			return false // already dead
 		}
-		tx.Write(u, slot, e|entryTomb)
+		if entryStamp(e) == s.stamp.Load() {
+			tx.Write(u, slot, e|entryTomb)
+		} else {
+			s.appendEntry(tx, u, s.mkEntry(v, entryTomb), last, used)
+		}
 		s.bumpDeg(tx, u, -1)
 		return true
 	}
 	if s.baseHas(u, v) {
-		s.appendEntry(tx, u, uint64(v)<<entryShift|entryValid|entryTomb, last, used)
+		s.appendEntry(tx, u, s.mkEntry(v, entryTomb), last, used)
 		s.bumpDeg(tx, u, -1)
 		return true
 	}
@@ -249,13 +320,39 @@ func (s *Store) RemoveArc(tx sched.Tx, u, v uint32) bool {
 }
 
 // HasArc reports whether arc u→v is live within the transaction (or
-// quiescent reader) r.
+// quiescent reader) r, as of the newest version.
 func (s *Store) HasArc(r reader, u, v uint32) bool {
 	s.check(u)
 	s.check(v)
-	slot, _, _ := s.findEntry(r, u, v)
+	slot, _, _ := s.findLatest(r, u, v)
 	if slot != 0 {
 		return r.Read(u, slot)&entryTomb == 0
+	}
+	return s.baseHas(u, v)
+}
+
+// hasArcAt is HasArc pinned at maxStamp: the last entry in chain order
+// with stamp ≤ maxStamp decides; with none, the base does.
+func (s *Store) hasArcAt(r reader, u, v uint32, maxStamp uint64) bool {
+	s.check(u)
+	s.check(v)
+	var found, live bool
+	b := mem.Addr(r.Read(u, s.headOf(u)))
+	for b != 0 {
+		used := r.Read(u, b+1)
+		if used > slotsPerBlock {
+			used = slotsPerBlock
+		}
+		for i := mem.Addr(0); i < mem.Addr(used); i++ {
+			e := r.Read(u, b+slotBase+i)
+			if e&entryValid != 0 && entryTarget(e) == v && entryStamp(e) <= maxStamp {
+				found, live = true, e&entryTomb == 0
+			}
+		}
+		b = mem.Addr(r.Read(u, b))
+	}
+	if found {
+		return live
 	}
 	return s.baseHas(u, v)
 }
@@ -271,9 +368,18 @@ func (s *Store) Degree(r reader, u uint32) int {
 // into buf[:0]. The scan reads the overlay through r (pass the
 // transaction) and merges it with the sorted base adjacency.
 func (s *Store) Neighbors(r reader, u uint32, buf []uint32) []uint32 {
+	return s.neighborsAt(r, u, StampLatest, buf)
+}
+
+// neighborsAt is Neighbors pinned at maxStamp. Entries with stamp >
+// maxStamp are skipped; among a target's remaining versions the last in
+// chain order wins (stamps are non-decreasing per target).
+func (s *Store) neighborsAt(r reader, u uint32, maxStamp uint64, buf []uint32) []uint32 {
 	s.check(u)
 	out := buf[:0]
-	var adds, dels []uint32
+	// ents collects target<<1|tomb in chain order; a stable sort by
+	// target then leaves each target's newest version last in its run.
+	var ents []uint64
 	b := mem.Addr(r.Read(u, s.headOf(u)))
 	for b != 0 {
 		used := r.Read(u, b+1)
@@ -282,24 +388,33 @@ func (s *Store) Neighbors(r reader, u uint32, buf []uint32) []uint32 {
 		}
 		for i := mem.Addr(0); i < mem.Addr(used); i++ {
 			e := r.Read(u, b+slotBase+i)
-			if e&entryValid == 0 {
+			if e&entryValid == 0 || entryStamp(e) > maxStamp {
 				continue
 			}
-			t := uint32(e >> entryShift)
+			ent := uint64(entryTarget(e)) << 1
 			if e&entryTomb != 0 {
-				dels = append(dels, t)
-			} else {
-				adds = append(adds, t)
+				ent |= 1
 			}
+			ents = append(ents, ent)
 		}
 		b = mem.Addr(r.Read(u, b))
 	}
 	base := s.base.Neighbors(u)
-	if len(adds) == 0 && len(dels) == 0 {
+	if len(ents) == 0 {
 		return append(out, base...)
 	}
-	sortU32(adds)
-	sortU32(dels)
+	sort.SliceStable(ents, func(i, j int) bool { return ents[i]>>1 < ents[j]>>1 })
+	var adds, dels []uint32
+	for i, ent := range ents {
+		if i+1 < len(ents) && ents[i+1]>>1 == ent>>1 {
+			continue // superseded by a newer version of the same target
+		}
+		if ent&1 != 0 {
+			dels = append(dels, uint32(ent>>1))
+		} else {
+			adds = append(adds, uint32(ent>>1))
+		}
+	}
 	ai, di := 0, 0
 	for _, v := range base {
 		for ai < len(adds) && adds[ai] < v {
@@ -324,10 +439,6 @@ func (s *Store) Neighbors(r reader, u uint32, buf []uint32) []uint32 {
 	return out
 }
 
-func sortU32(a []uint32) {
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-}
-
 // LiveDegree is the quiescent Degree: exact once mutators have drained,
 // advisory (a single racy word read) while they run — which is all a
 // routing size hint needs.
@@ -336,14 +447,41 @@ func (s *Store) LiveDegree(u uint32) int {
 }
 
 // NeighborsNow is the quiescent Neighbors. Unlike LiveDegree it walks
-// the chain unprotected, so it must only run when no mutator is active.
+// the chain unprotected, so it must only run when no mutator is active;
+// use NeighborsAt for an epoch-pinned scan that tolerates mutators.
 func (s *Store) NeighborsNow(u uint32, buf []uint32) []uint32 {
 	return s.Neighbors(quiescent{s.sp}, u, buf)
+}
+
+// NeighborsAt returns u's out-neighbors as of mutation epoch maxStamp,
+// sorted ascending, appended into buf[:0].
+//
+// Unlike NeighborsNow this is safe while mutators run, without any
+// lock. The argument: (1) every slot, link, and used word is a single
+// aligned word the Space loads atomically, so a racing read sees either
+// the old or the new value, never a torn one; (2) a committed entry is
+// immutable — in-place tombstone flips only happen while the entry's
+// stamp equals the current write stamp, which is > maxStamp for every
+// pinned reader; (3) an in-flight entry (including one an undo log will
+// revert) always carries the current write stamp > maxStamp, so the
+// filter hides it whether or not its transaction commits; (4) a
+// half-visible append (used bumped before the slot lands, or vice
+// versa) exposes at worst a zero word — valid bit clear — or a hidden
+// in-flight entry, both ignored. Callers must pin the epoch via the
+// owner's view registry so GC keeps the versions this scan needs.
+func (s *Store) NeighborsAt(u uint32, maxStamp uint64, buf []uint32) []uint32 {
+	return s.neighborsAt(quiescent{s.sp}, u, maxStamp, buf)
 }
 
 // HasArcNow is the quiescent HasArc.
 func (s *Store) HasArcNow(u, v uint32) bool {
 	return s.HasArc(quiescent{s.sp}, u, v)
+}
+
+// HasArcAt reports whether arc u→v is live as of epoch maxStamp. Safe
+// while mutators run (see NeighborsAt).
+func (s *Store) HasArcAt(u, v uint32, maxStamp uint64) bool {
+	return s.hasArcAt(quiescent{s.sp}, u, v, maxStamp)
 }
 
 // LiveArcs returns the quiescent total of live out-arcs (twice the edge
@@ -357,6 +495,19 @@ func (s *Store) LiveArcs() int {
 	return total
 }
 
+// ArcsAt counts the live out-arcs as of epoch maxStamp — an O(V+E)
+// chain scan, exact for the pinned epoch and safe while mutators run
+// (the deg words are only advisory under concurrency; this is not).
+func (s *Store) ArcsAt(maxStamp uint64) int {
+	total := 0
+	var buf []uint32
+	for u := uint32(0); int(u) < s.n; u++ {
+		buf = s.NeighborsAt(u, maxStamp, buf[:0])
+		total += len(buf)
+	}
+	return total
+}
+
 // Hint returns the routing size hint for a mutation of edge (u, v): the
 // paper's BEGIN(size) estimate covering the chain scans plus an
 // incremental fix-up over both endpoints' adjacencies, proportional to
@@ -366,16 +517,122 @@ func (s *Store) Hint(u, v uint32) int {
 	return 2*(s.LiveDegree(u)+s.LiveDegree(v)) + 16
 }
 
+// ChainWords returns the quiescent size of u's overlay chain in words
+// (0 for an empty chain) — advisory under concurrency; used for GC
+// headroom estimates and transaction size hints.
+func (s *Store) ChainWords(u uint32) int {
+	s.check(u)
+	q := quiescent{s.sp}
+	n := 0
+	b := mem.Addr(q.Read(u, s.headOf(u)))
+	for b != 0 {
+		n += blockWords
+		b = mem.Addr(q.Read(u, b))
+	}
+	return n
+}
+
+// CompactChain rebuilds u's chain within tx, dropping every version
+// that no reader pinned at ≥ keep can observe: for each target, only
+// the newest entry with stamp ≤ keep survives (and only when its state
+// differs from the base), along with every entry stamped > keep. The
+// rebuilt chain lives in freshly allocated blocks and is installed with
+// a single head write — the old blocks stay frozen, so readers that
+// already entered them finish their scan on immutable committed data.
+// Returns whether the chain was rewritten. The caller must guarantee
+// keep ≤ every live pinned epoch (the owner's GC watermark).
+func (s *Store) CompactChain(tx sched.Tx, u uint32, keep uint64) bool {
+	s.check(u)
+	var ents []uint64
+	b := mem.Addr(tx.Read(u, s.headOf(u)))
+	for b != 0 {
+		used := tx.Read(u, b+1)
+		if used > slotsPerBlock {
+			used = slotsPerBlock
+		}
+		for i := mem.Addr(0); i < mem.Addr(used); i++ {
+			e := tx.Read(u, b+slotBase+i)
+			if e&entryValid != 0 {
+				ents = append(ents, e)
+			}
+		}
+		b = mem.Addr(tx.Read(u, b))
+	}
+	if len(ents) == 0 {
+		return false
+	}
+	retain := make([]bool, len(ents))
+	latest := make(map[uint32]int, len(ents))
+	for i, e := range ents {
+		if entryStamp(e) <= keep {
+			latest[entryTarget(e)] = i
+		} else {
+			retain[i] = true
+		}
+	}
+	for t, i := range latest {
+		if (ents[i]&entryTomb == 0) != s.baseHas(u, t) {
+			retain[i] = true
+		}
+	}
+	kept := ents[:0]
+	for i, e := range ents {
+		if retain[i] {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == len(ents) {
+		return false // nothing to reclaim
+	}
+	if len(kept) == 0 {
+		tx.Write(u, s.headOf(u), 0)
+		return true
+	}
+	// Fill fresh blocks first, link them child-first, and write head
+	// last, so even the in-place schedulers (which apply writes in
+	// program order and undo in reverse) never expose a half-built
+	// chain to a concurrent pinned reader.
+	var blocks []mem.Addr
+	for i := 0; i < len(kept); i += slotsPerBlock {
+		nb := s.sp.AllocLineAligned(blockWords)
+		end := i + slotsPerBlock
+		if end > len(kept) {
+			end = len(kept)
+		}
+		for j := i; j < end; j++ {
+			tx.Write(u, nb+slotBase+mem.Addr(j-i), kept[j])
+		}
+		tx.Write(u, nb+1, uint64(end-i))
+		blocks = append(blocks, nb)
+	}
+	for k := len(blocks) - 1; k > 0; k-- {
+		tx.Write(u, blocks[k-1], uint64(blocks[k]))
+	}
+	tx.Write(u, s.headOf(u), uint64(blocks[0]))
+	return true
+}
+
 // Compact freezes the overlay into a fresh CSR (the paper-shaped
 // structure scan-heavy phases want), reusing graph.Build so adjacency
 // is sorted, de-duplicated and validated exactly like a loaded graph.
-// Quiescent: all mutators must have drained.
+// Quiescent: all mutators must have drained. Use CompactAt to build
+// the CSR of a pinned epoch while mutators run.
 func (s *Store) Compact() (*graph.CSR, error) {
-	q := quiescent{s.sp}
+	return s.compactAt(StampLatest)
+}
+
+// CompactAt freezes the overlay as of epoch maxStamp into a fresh CSR.
+// Safe while mutators run (see NeighborsAt); the caller must hold a
+// pin at maxStamp.
+func (s *Store) CompactAt(maxStamp uint64) (*graph.CSR, error) {
+	return s.compactAt(maxStamp)
+}
+
+func (s *Store) compactAt(maxStamp uint64) (*graph.CSR, error) {
 	edges := make([]graph.Edge, 0, s.base.NumEdges())
 	var buf []uint32
 	for u := uint32(0); int(u) < s.n; u++ {
-		buf = s.Neighbors(q, u, buf[:0])
+		buf = s.NeighborsAt(u, maxStamp, buf[:0])
 		for _, v := range buf {
 			edges = append(edges, graph.Edge{U: u, V: v})
 		}

@@ -66,6 +66,12 @@ func NewSpace(n int) *Space {
 // Cap returns the total capacity of the space in words.
 func (s *Space) Cap() int { return len(s.words) }
 
+// Used returns the number of words allocated so far (the allocation
+// cursor). Space is arena-style and never reclaims, so Cap()-Used() is
+// the remaining headroom — which background consumers like overlay GC
+// check before allocating replacement blocks.
+func (s *Space) Used() int { return int(s.next.Load()) }
+
 // Alloc reserves n consecutive words and returns their base address. The
 // region is zeroed (Go zero-allocates) and never reclaimed; Spaces are
 // arena-style, sized for the job and discarded wholesale.

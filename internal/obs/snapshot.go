@@ -58,10 +58,17 @@ type ServerSnapshot struct {
 	StandingRepairing int `json:"standing_repairing,omitempty"`
 	// StandingHits counts reads served inline from a resident standing
 	// result; StandingRepairs counts completed repair cycles, of which
-	// StandingRecomputes were delete-triggered full CC recomputes.
-	StandingHits       uint64 `json:"standing_hits,omitempty"`
-	StandingRepairs    uint64 `json:"standing_repairs,omitempty"`
-	StandingRecomputes uint64 `json:"standing_recomputes,omitempty"`
+	// StandingRecomputes were full CC recomputes (seed time, or a failed
+	// recompute's retry). StandingDeleteRepairs counts logged deletes
+	// consumed by the localized split-repair path instead.
+	StandingHits          uint64 `json:"standing_hits,omitempty"`
+	StandingRepairs       uint64 `json:"standing_repairs,omitempty"`
+	StandingRecomputes    uint64 `json:"standing_recomputes,omitempty"`
+	StandingDeleteRepairs uint64 `json:"standing_delete_repairs,omitempty"`
+	// GCPasses / GCChains count MVCC chain-compaction passes that
+	// rewrote at least one adjacency chain, and the chains rewritten.
+	GCPasses uint64 `json:"gc_passes,omitempty"`
+	GCChains uint64 `json:"gc_chains,omitempty"`
 	// JobLatency is the end-to-end job latency histogram (nanoseconds,
 	// admission to terminal state); BatchLatency times mutation batches.
 	JobLatency   HistSnapshot `json:"job_latency_ns"`
@@ -87,6 +94,9 @@ func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
 	out.StandingHits += other.StandingHits
 	out.StandingRepairs += other.StandingRepairs
 	out.StandingRecomputes += other.StandingRecomputes
+	out.StandingDeleteRepairs += other.StandingDeleteRepairs
+	out.GCPasses += other.GCPasses
+	out.GCChains += other.GCChains
 	out.Epoch = other.Epoch
 	out.QueueDepth = other.QueueDepth
 	out.QueueCap = other.QueueCap

@@ -23,10 +23,17 @@ type metrics struct {
 	mutOps     atomic.Uint64
 
 	// Standing-query plane: reads served from resident results, repair
-	// cycles completed, and delete-triggered CC recomputes.
-	standingHits       atomic.Uint64
-	standingRepairs    atomic.Uint64
-	standingRecomputes atomic.Uint64
+	// cycles completed, seed-time (or retried) CC recomputes, and
+	// localized delete repairs that replaced them.
+	standingHits          atomic.Uint64
+	standingRepairs       atomic.Uint64
+	standingRecomputes    atomic.Uint64
+	standingDeleteRepairs atomic.Uint64
+
+	// MVCC chain GC: passes that rewrote at least one chain, and the
+	// total chains compacted.
+	gcPasses atomic.Uint64
+	gcChains atomic.Uint64
 
 	jobLatency   obs.Histogram
 	batchLatency obs.Histogram
@@ -39,25 +46,28 @@ type metrics struct {
 // registry's population).
 func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64, standing, standingRepairing int) *obs.ServerSnapshot {
 	return &obs.ServerSnapshot{
-		Admitted:           m.admitted.Load(),
-		Rejected:           m.rejected.Load(),
-		CacheHits:          m.cacheHits.Load(),
-		Completed:          m.completed.Load(),
-		Failed:             m.failed.Load(),
-		DeadlineExceeded:   m.deadline.Load(),
-		Canceled:           m.canceled.Load(),
-		MutationBatches:    m.mutBatches.Load(),
-		MutationOps:        m.mutOps.Load(),
-		Epoch:              epoch,
-		QueueDepth:         queueDepth,
-		QueueCap:           queueCap,
-		StandingQueries:    standing,
-		StandingRepairing:  standingRepairing,
-		StandingHits:       m.standingHits.Load(),
-		StandingRepairs:    m.standingRepairs.Load(),
-		StandingRecomputes: m.standingRecomputes.Load(),
-		JobLatency:         m.jobLatency.Snapshot(),
-		BatchLatency:       m.batchLatency.Snapshot(),
-		RepairLag:          m.repairLag.Snapshot(),
+		Admitted:              m.admitted.Load(),
+		Rejected:              m.rejected.Load(),
+		CacheHits:             m.cacheHits.Load(),
+		Completed:             m.completed.Load(),
+		Failed:                m.failed.Load(),
+		DeadlineExceeded:      m.deadline.Load(),
+		Canceled:              m.canceled.Load(),
+		MutationBatches:       m.mutBatches.Load(),
+		MutationOps:           m.mutOps.Load(),
+		Epoch:                 epoch,
+		QueueDepth:            queueDepth,
+		QueueCap:              queueCap,
+		StandingQueries:       standing,
+		StandingRepairing:     standingRepairing,
+		StandingHits:          m.standingHits.Load(),
+		StandingRepairs:       m.standingRepairs.Load(),
+		StandingRecomputes:    m.standingRecomputes.Load(),
+		StandingDeleteRepairs: m.standingDeleteRepairs.Load(),
+		GCPasses:              m.gcPasses.Load(),
+		GCChains:              m.gcChains.Load(),
+		JobLatency:            m.jobLatency.Snapshot(),
+		BatchLatency:          m.batchLatency.Snapshot(),
+		RepairLag:             m.repairLag.Snapshot(),
 	}
 }

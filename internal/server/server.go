@@ -16,11 +16,15 @@
 // served from cache, and any effective mutation batch invalidates it
 // by bumping the epoch.
 //
-// Analytics reads are epoch-consistent: jobs run against a compacted
-// immutable snapshot taken at a quiescent point (mutation batches hold
-// a shared topology lock; compaction takes it exclusively), so a job
-// never observes a half-applied batch while mutations keep committing
-// concurrently against the live overlay.
+// Analytics reads are epoch-consistent without excluding mutators: the
+// overlay's edge chains are multi-version (every entry carries the
+// mutation epoch it committed at), so a job pins a DynGraph.View at its
+// admission epoch and compacts or reads through it while batches keep
+// committing — the RWMutex era's exclusive topology lock is gone from
+// the analytics plane. A background GC pass reclaims superseded chain
+// versions below the oldest live pin. The topology lock survives only
+// to order standing-query seeding (which must observe a quiescent
+// point) against mutation batches.
 //
 // Standing queries ("standing": true on POST /v1/jobs) skip the
 // per-epoch recompute entirely: a resident delta-maintained
@@ -91,11 +95,25 @@ type Config struct {
 	// Each query allocates per-vertex state from the runtime's shared
 	// space and holds it for the daemon's lifetime.
 	MaxStanding int
+	// GCInterval is how often the overlay's multi-version chains are
+	// garbage-collected down to the oldest live view pin (default 2s;
+	// < 0 disables the background pass).
+	GCInterval time.Duration
+	// LegacySnapshot restores the pre-MVCC analytics plane: jobs
+	// compact under the exclusive topology lock instead of reading an
+	// epoch-pinned view. Kept for A/B benchmarking (bench-mvcc); not
+	// for production use.
+	LegacySnapshot bool
 
 	// jobGate, when non-nil, runs at job start before the algorithm —
 	// a test hook to hold workers deterministically (block the pool,
 	// force deadlines).
 	jobGate func(ctx context.Context, j *Job)
+
+	// compactGate, when non-nil, runs inside snapshot() after the
+	// builder claims the compaction for an epoch and before it starts —
+	// a test hook to hold compaction deterministically.
+	compactGate func(epoch uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxStanding <= 0 {
 		c.MaxStanding = 8
 	}
+	if c.GCInterval == 0 {
+		c.GCInterval = 2 * time.Second
+	}
 	return c
 }
 
@@ -145,19 +166,25 @@ type Server struct {
 	sys *tufast.System
 	dyn *tufast.DynGraph
 
-	// topo orders mutation batches (shared) against snapshot
-	// compaction (exclusive): Compact requires quiescence.
+	// topo orders mutation batches (shared) against standing-query
+	// seeding (exclusive), which reads a quiescent initial state. The
+	// analytics plane no longer takes it: jobs read epoch-pinned MVCC
+	// views. (LegacySnapshot restores the old exclusive compaction for
+	// benchmarking.)
 	//
 	//tufast:lockorder 20
 	topo sync.RWMutex
 
-	// snapMu guards the epoch-tagged compacted snapshot jobs run on.
-	// It is the outermost lock: snapshot() takes topo under it.
+	// snapMu guards the epoch-tagged compacted snapshot cache and the
+	// per-epoch builder claim — never held across compaction itself, so
+	// a cache hit never waits on a compacting writer.
 	//
 	//tufast:lockorder 10
-	snapMu    sync.Mutex
-	snapEpoch uint64
-	snapGraph *tufast.Graph
+	snapMu         sync.Mutex
+	snapEpoch      uint64
+	snapGraph      *tufast.Graph
+	snapBuild      chan struct{} // non-nil while a compaction is in flight
+	snapBuildEpoch uint64
 
 	jobs  jobTable
 	cache resultCache
@@ -169,6 +196,14 @@ type Server struct {
 	standing     *standingManager
 	streamOnEdge func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error
 	streamEmit   func(uint32)
+
+	// mutSeq is a seqlock over mutation batches: odd while a batch is
+	// being applied, bumped again once its standing-side bookkeeping
+	// (batchCommitted) is delivered. Standing repairs read it around
+	// their summary build — an unchanged even value proves no batch was
+	// mid-commit while the summary's advisory word reads ran, which is
+	// what lets a publish claim exactness without excluding mutators.
+	mutSeq atomic.Uint64
 
 	// admitMu makes "check draining, then send" atomic against
 	// Shutdown's "set draining, then close(queue)" — without it a
@@ -182,6 +217,7 @@ type Server struct {
 	baseCtx    context.Context
 	cancelJobs context.CancelFunc
 	workerWG   sync.WaitGroup
+	gcWG       sync.WaitGroup
 
 	met  metrics
 	hsrv *http.Server
@@ -221,8 +257,39 @@ func (s *Server) Start() error {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	if s.cfg.GCInterval > 0 && !s.cfg.LegacySnapshot {
+		s.gcWG.Add(1)
+		go s.gcLoop()
+	}
 	go func() { _ = s.hsrv.Serve(ln) }()
 	return nil
+}
+
+// gcLoop periodically collects overlay chain versions no live view can
+// observe. Each per-vertex rebuild is its own transaction, so the pass
+// coexists with mutation batches and pinned readers; the watermark
+// (minimum pinned epoch) is computed inside GCCtx under the pin lock.
+func (s *Server) gcLoop() {
+	defer s.gcWG.Done()
+	tick := time.NewTicker(s.cfg.GCInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+		}
+		// Reserve one batch's worth of block headroom so GC never
+		// starves the mutation plane of arena space.
+		rewritten, err := s.dyn.GCCtx(s.baseCtx, 16*s.cfg.MaxBatch)
+		if err != nil {
+			return // baseCtx cancelled mid-pass
+		}
+		if rewritten > 0 {
+			s.met.gcChains.Add(uint64(rewritten))
+			s.met.gcPasses.Add(1)
+		}
+	}
 }
 
 // Addr returns the bound listen address (valid after Start).
@@ -261,8 +328,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.cancelJobs()
 	// Repair workers exit on baseCtx cancellation (a mid-drain
-	// stabilize aborts at the next transaction boundary).
+	// stabilize aborts at the next transaction boundary), as does the
+	// overlay GC pass.
 	s.standing.stop()
+	s.gcWG.Wait()
 	return s.hsrv.Shutdown(ctx)
 }
 
@@ -337,6 +406,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	s.mutSeq.Add(1) // odd: batch in flight
 	s.topo.RLock()
 	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{
 		Window: s.cfg.Window,
@@ -347,8 +417,11 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if stats.Inserted+stats.Removed > 0 {
 		// Even a batch that failed partway committed changes; standing
 		// queries must repair over them like any other effective batch.
-		s.standing.batchCommitted(stats)
+		// The ops ride along so cc queries can log the batch's deletes
+		// for localized split repair.
+		s.standing.batchCommitted(stats, ops)
 	}
+	s.mutSeq.Add(1) // even: batch and its bookkeeping fully delivered
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "apply: "+err.Error())
 		return
@@ -479,6 +552,13 @@ func (s *Server) handleStandingList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+	// Pin a view so the (live_arcs, epoch) pair is one consistent
+	// epoch's topology even while mutation batches commit — the old
+	// quiescent LiveArcs() walk here raced with ApplyStream and could
+	// pair a mid-batch arc count with a stale epoch. The mutation
+	// counters are monotone atomics and stay advisory.
+	view := s.dyn.View()
+	defer view.Close()
 	ins, rem, noops := s.dyn.MutationStats()
 	writeJSON(w, http.StatusOK, struct {
 		Vertices   int    `json:"vertices"`
@@ -490,8 +570,8 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 		Removed    uint64 `json:"removed"`
 		NoOps      uint64 `json:"noops"`
 	}{
-		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), s.dyn.LiveArcs(),
-		s.dyn.Undirected(), s.dyn.Epoch(), ins, rem, noops,
+		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), view.Arcs(),
+		s.dyn.Undirected(), view.Epoch(), ins, rem, noops,
 	})
 }
 
@@ -505,11 +585,68 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // snapshot returns the frozen graph at the current mutation epoch,
-// compacting lazily: repeated jobs between mutations share one
-// snapshot; the first job after a mutation batch pays for compaction.
-// Compaction excludes mutators via the topology lock, which is exactly
-// the quiescence Compact requires.
+// compacting lazily through an epoch-pinned view: repeated jobs
+// between mutations share one snapshot, and compaction runs entirely
+// outside snapMu (check/claim, compact, publish), so a job hitting the
+// cached epoch never waits behind a compacting writer and mutation
+// batches never wait at all — the view reads multi-version chains
+// while writers keep appending. Concurrent misses on the same epoch
+// coalesce on the builder's claim channel.
 func (s *Server) snapshot() (*tufast.Graph, uint64, error) {
+	if s.cfg.LegacySnapshot {
+		return s.snapshotLegacy()
+	}
+	view := s.dyn.View()
+	defer view.Close()
+	cur := view.Epoch()
+	for {
+		s.snapMu.Lock()
+		if s.snapGraph != nil && s.snapEpoch == cur {
+			g := s.snapGraph
+			s.snapMu.Unlock()
+			return g, cur, nil
+		}
+		if s.snapBuild != nil && s.snapBuildEpoch == cur {
+			// Same-epoch compaction already in flight: wait for it and
+			// re-check (it publishes on success; on failure we retry as
+			// the builder).
+			ch := s.snapBuild
+			s.snapMu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		s.snapBuild, s.snapBuildEpoch = ch, cur
+		s.snapMu.Unlock()
+
+		if s.cfg.compactGate != nil {
+			s.cfg.compactGate(cur)
+		}
+		g, err := view.Compact()
+
+		s.snapMu.Lock()
+		if s.snapBuild == ch {
+			s.snapBuild = nil
+		}
+		if err == nil && (s.snapGraph == nil || s.snapEpoch <= cur) {
+			// Publish unless a newer epoch's snapshot already landed.
+			s.snapGraph, s.snapEpoch = g, cur
+		}
+		s.snapMu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, cur, err
+		}
+		return g, cur, nil
+	}
+}
+
+// snapshotLegacy is the RWMutex-era snapshot path (Config.
+// LegacySnapshot): compaction requires quiescence, so it excludes the
+// whole mutation plane via the exclusive topology lock and holds
+// snapMu throughout — cache hits queue behind it. Kept only as the
+// bench-mvcc baseline.
+func (s *Server) snapshotLegacy() (*tufast.Graph, uint64, error) {
 	cur := s.dyn.Epoch()
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()

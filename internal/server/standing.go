@@ -17,18 +17,24 @@ import (
 // registers a delta-maintained computation (algorithms.DeltaPageRank
 // or algorithms.IncrementalCC) whose OnEdge/Emit hooks ride every
 // mutation batch the server applies. After each effective batch a
-// per-query repair worker drains the pending delta under the topology
-// lock and publishes a fresh (result, epoch) pair, so standing reads
+// per-query repair worker stabilizes the pending delta against an
+// epoch-pinned view — mutation batches keep committing while it runs —
+// and publishes a fresh (result, epoch) pair, so standing reads
 // between mutations are O(1) map hits and reads immediately after a
 // mutation see either the last stable result (tagged with its epoch
 // and repairing=true) or the already-repaired one — never a torn mix.
+// The generation counter carries the exactness argument: a publish
+// that observed gen unchanged across the whole repair knows no batch
+// committed since its view was pinned, so the pinned epoch IS the
+// current topology.
 //
-// The two computations are asymmetric: DeltaPageRank is exact under
-// inserts and deletes, so every repair is an O(delta) StabilizeCtx.
-// IncrementalCC's min-label propagation cannot split components, so a
-// batch containing an effective delete schedules a full RecomputeCtx
-// instead; until it lands, reads serve the last stable labels flagged
-// repairing.
+// DeltaPageRank repairs are an O(delta) StabilizeCtx for inserts and
+// deletes alike. IncrementalCC's min-label propagation cannot split
+// components, so each effective batch's deletes are logged and
+// repaired locally (algorithms.RepairDeletesCtx): the repair walks
+// just the components the deletes touched in its pinned view and
+// re-derives their labels — a full RecomputeCtx happens only at seed
+// time (and on its error retry).
 type standingManager struct {
 	s *Server
 
@@ -64,7 +70,10 @@ type standingQuery struct {
 
 	// gen counts effective batches delivered to this query; a publish
 	// that observed gen == current marks the result stable.
-	gen           atomic.Uint64
+	gen atomic.Uint64
+	// needRecompute requests a full label rebuild for cc queries. Only
+	// the seed (initial labels) and a failed recompute's retry set it;
+	// delete batches go through the localized RepairDeletes path.
 	needRecompute atomic.Bool
 	// dirtySince is the unix-nano commit time of the oldest batch not
 	// yet covered by a publish (0 = none); it feeds the repair-lag
@@ -176,19 +185,21 @@ func (m *standingManager) emit(u uint32) {
 
 // batchCommitted is called by the mutation plane after every effective
 // batch (post topo.RLock release): it marks each query stale and wakes
-// its repair worker. Deletes flip IncrementalCC queries into
-// recompute-needed, the known label-propagation asymmetry.
-func (m *standingManager) batchCommitted(stats tufast.StreamStats) {
+// its repair worker. A batch's deletes are logged on cc queries BEFORE
+// the gen bump: a repair that loads gen and sees this batch counted is
+// then guaranteed (by the atomic's ordering) to also see its log
+// entries, so a stable publish can never have skipped a delete.
+func (m *standingManager) batchCommitted(stats tufast.StreamStats, ops []tufast.StreamOp) {
 	qs := m.active.Load()
 	if qs == nil {
 		return
 	}
 	now := time.Now().UnixNano()
 	for _, q := range *qs {
-		q.gen.Add(1)
 		if stats.Removed > 0 && q.cc != nil {
-			q.needRecompute.Store(true)
+			q.cc.LogDeletes(ops, stats.Epoch)
 		}
+		q.gen.Add(1)
 		q.dirtySince.CompareAndSwap(0, now)
 		q.mu.Lock()
 		q.repairing = true
@@ -367,60 +378,115 @@ func (m *standingManager) worker(q *standingQuery) {
 	}
 }
 
-// repairOnce brings q up to date and publishes. The drain runs under
-// the exclusive topology lock: mutation batches wait for the O(delta)
-// stabilize (or, for CC after deletes, the O(graph) recompute — the
-// price of the label-propagation asymmetry), and in exchange the
-// published (result, epoch) pair is exact: no mutator is in flight
-// when the epoch is read and the summary is built.
+// repairOnce brings q up to date and publishes — WITHOUT excluding
+// mutators: the drain runs against the live overlay while batches keep
+// committing, and the published pair comes from a view pinned at the
+// repair's admission epoch. The ordering carries correctness:
+//
+//  1. load gen — any batch counted here committed before the load, so
+//     its emits are in the sink and its deletes are in the log;
+//  2. pin the view — at an epoch ≥ every batch counted by (1);
+//  3. repair: consume logged deletes ≤ the pinned epoch, stabilize;
+//  4. publish (result, pinned epoch), re-reading gen: unchanged means
+//     no batch committed since (1), so the pinned epoch is the current
+//     topology and the result is exact; changed means a batch slipped
+//     in — its own notification re-runs this cycle, and the published
+//     result stays flagged repairing until then.
+//
+// Pinning before the gen load would be wrong: a batch could bump gen
+// between the two, count as "covered" at publish, yet have committed
+// after the pin — publishing an epoch the repair never saw.
+//
+// gen covers completed batches; the server's mutSeq seqlock covers the
+// one still in flight. The summary is built from advisory atomic word
+// reads while mutators run, so a batch mid-commit during the build can
+// leak partial hook writes into it. Observing mutSeq unchanged and even
+// across the whole cycle proves no batch overlapped the build; anything
+// else flags the publish repairing. A mid-flight batch may turn out
+// ineffective and never notify, so that path schedules its own re-check
+// rather than waiting on a wakeup that might not come.
 func (m *standingManager) repairOnce(q *standingQuery) error {
 	s := m.s
 	dirty := q.dirtySince.Swap(0)
 	start := time.Now()
 
-	s.topo.Lock()
+	seq := s.mutSeq.Load()
 	gen := q.gen.Load()
+	view := s.dyn.View()
+	defer view.Close()
 	recompute := q.cc != nil && q.needRecompute.Swap(false)
+	deleteRepairs := 0
 	var err error
-	if recompute {
-		err = q.cc.RecomputeCtx(s.baseCtx)
-	} else if q.pr != nil {
+	switch {
+	case recompute:
+		// Seed-time label rebuild (or its retry). It reads the live
+		// topology, which is ≥ the pinned view; logged deletes at or
+		// below the pin are covered by the rebuilt labels.
+		if err = q.cc.RecomputeCtx(s.baseCtx); err == nil {
+			q.cc.DropDeletesThrough(view.Epoch())
+		}
+	case q.pr != nil:
 		err = q.pr.StabilizeCtx(s.baseCtx)
-	} else {
-		err = q.cc.StabilizeCtx(s.baseCtx)
+	default:
+		// Localized split repair at the pinned epoch, then the usual
+		// min-label drain. On error RepairDeletesCtx restores the
+		// consumed log entries itself.
+		deleteRepairs, err = q.cc.RepairDeletesCtx(s.baseCtx, view)
+		if err == nil {
+			err = q.cc.StabilizeCtx(s.baseCtx)
+		}
 	}
 	if err != nil {
 		if recompute {
 			q.needRecompute.Store(true) // retry the recompute next cycle
 		}
-		s.topo.Unlock()
 		return err
 	}
-	epoch := s.dyn.Epoch()
+	epoch := view.Epoch()
 	var result any
 	if q.pr != nil {
 		result = pagerankSummary(q.pr.RanksInto(nil), q.req.TopK)
 	} else {
 		result = ccSummary(q.cc.ComponentsInto(nil))
 	}
-	s.topo.Unlock()
 
+	// seq must be re-read after the summary build: an even, unchanged
+	// value brackets the build in a mutation-free window.
+	seqClean := seq&1 == 0 && s.mutSeq.Load() == seq
 	q.mu.Lock()
 	q.result, q.epoch = result, epoch
 	// A batch that slipped in after the gen read has its own pending
 	// notification; flag the published result stale until that cycle
-	// lands.
-	q.repairing = q.gen.Load() != gen
+	// lands. A batch seen mid-flight via seq flags it too, but may be
+	// ineffective (never notifies) — handled below.
+	genClean := q.gen.Load() == gen
+	q.repairing = !genClean || !seqClean
 	wasReady := q.ready
 	q.ready = true
 	q.mu.Unlock()
 	if !wasReady {
 		close(q.readyCh)
 	}
+	if genClean && !seqClean {
+		// Staleness came only from a batch that was mid-commit during the
+		// build. If it proves effective its notification re-runs us; if
+		// not, nothing would — so nudge ourselves after a short pause
+		// (bounds the spin while a long batch drains).
+		go func() {
+			time.Sleep(time.Millisecond)
+			select {
+			case q.notify <- struct{}{}:
+			default:
+			}
+		}()
+	}
 
 	s.met.standingRepairs.Add(1)
 	if recompute {
 		s.met.standingRecomputes.Add(1)
+	}
+	if deleteRepairs > 0 {
+		s.met.standingDeleteRepairs.Add(uint64(deleteRepairs))
 	}
 	if dirty > 0 {
 		s.met.repairLag.Record(uint64(time.Since(time.Unix(0, dirty)).Nanoseconds()))

@@ -116,8 +116,9 @@ func TestStandingEndToEndOracle(t *testing.T) {
 		t.Fatalf("standing hit malformed: %v", view)
 	}
 
-	// Random mutation stream with deletes: cc must go through its
-	// delete-triggered recompute path, pagerank repairs exactly.
+	// Random mutation stream with deletes: cc repairs delete batches
+	// locally (bounded re-flood from the deletion frontier), pagerank
+	// repairs exactly.
 	rng := rand.New(rand.NewSource(7))
 	for b := 0; b < 4; b++ {
 		ops := make([]map[string]any, 40)
@@ -204,7 +205,8 @@ func TestStandingEndToEndOracle(t *testing.T) {
 	}
 
 	// Counters: two resident queries, hits on the inline reads, repairs
-	// per effective batch, and at least one delete-triggered recompute.
+	// per effective batch. Recomputes come only from the cc seed — the
+	// delete batches above repair locally and must not add more.
 	sm := serverMetrics(t, client, base)
 	if sm.StandingQueries != 2 {
 		t.Errorf("standing queries = %d, want 2", sm.StandingQueries)
@@ -216,7 +218,7 @@ func TestStandingEndToEndOracle(t *testing.T) {
 		t.Error("no standing repairs recorded")
 	}
 	if sm.StandingRecomputes == 0 {
-		t.Error("deletes streamed but no cc recompute recorded")
+		t.Error("no cc seed recompute recorded")
 	}
 	if sm.RepairLag.Count() == 0 {
 		t.Error("repair-lag histogram empty")
@@ -277,7 +279,7 @@ func TestStandingReadAfterBatch(t *testing.T) {
 
 	// After the stream quiesces the resident labels must match a
 	// from-scratch computation (the alternation ends on a delete, so
-	// the last repair was a recompute).
+	// the last repair exercised the local delete-repair path).
 	waitStandingStable(t, client, base, 1)
 	g, _, err := s.snapshot()
 	if err != nil {

@@ -59,4 +59,13 @@ begin "go test -race (short)"
 go test -race -short ./...
 end
 
+# The MVCC view oracle is the executable form of the lock-free-read
+# safety argument (pinned views cross-examined against replayed truth
+# while 8 mutator workers commit around them). It runs inside ./...
+# above; re-run it by name so a multi-version visibility regression
+# fails with the oracle's own diagnostics, not a package-level FAIL.
+begin "mvcc view oracle (race)"
+go test -race -short -run 'TestMVCCViewOracle' .
+end
+
 echo "All checks passed."
