@@ -41,6 +41,14 @@ type DynGraph struct {
 	// run across all the System's threads; only batch admission is
 	// serial, which also gives each effective batch a distinct epoch.
 	batchMu sync.Mutex
+	// streaming is true while an ApplyStream batch holds batchMu. It
+	// backs the best-effort assertion in Tx.AddEdge/RemoveEdge that no
+	// direct edge mutation overlaps a batch — a direct mutation racing
+	// the batch's end-of-stream stamp transition could commit an entry
+	// under an epoch that pinned views already treat as sealed, and
+	// break the per-target stamp monotonicity chain resolution relies
+	// on (see Tx.AddEdge).
+	streaming atomic.Bool
 
 	// pinMu guards pins: epoch → number of live GraphViews pinned
 	// there. The GC watermark is the minimum pinned epoch, computed
@@ -156,8 +164,10 @@ type GraphView struct {
 // View pins the current mutation epoch and returns its view. Mutations
 // outside ApplyStream batches (direct Tx.AddEdge/RemoveEdge) are
 // stamped past the current epoch and therefore invisible to views, as
-// they are to Epoch — batch serving-path mutations through
-// ApplyStream.
+// they are to Epoch — but only while they respect the contract on
+// Tx.AddEdge: a direct mutation transaction overlapping a batch's
+// stamp transition could commit under an already-pinnable epoch.
+// Batch serving-path mutations through ApplyStream.
 func (d *DynGraph) View() *GraphView {
 	d.pinMu.Lock()
 	e := d.epoch.Load()
@@ -291,7 +301,50 @@ func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
 // undirected graphs both arcs are inserted atomically. The touched
 // words belong to u and v, so conflict detection and lock subscription
 // work exactly as for property writes.
+//
+// CONTRACT: a direct AddEdge/RemoveEdge transaction must not run
+// concurrently with an ApplyStream batch. A direct mutation stamps
+// its entry with the batch write stamp, so one racing the batch's
+// end-of-stream stamp transition could commit an entry at an epoch
+// that pinned views already read as complete — an edge appearing mid
+// view lifetime — and append it after later-stamped entries for the
+// same target, breaking the stamp monotonicity that "last entry with
+// stamp ≤ e wins" relies on. The overlap panics when detected, but
+// the check is best-effort (it cannot see a direct transaction that
+// begins before the batch starts and commits after it ends): the
+// contract, not the assertion, is the guarantee. Serving-path
+// mutations belong in ApplyStream batches; ApplyStream's own OnEdge
+// hooks must likewise mutate topology only through the stream's ops,
+// never through AddEdge/RemoveEdge.
 func (tx Tx) AddEdge(g *DynGraph, u, v uint32) bool {
+	g.assertNoStream("AddEdge")
+	return g.addEdge(tx, u, v)
+}
+
+// RemoveEdge deletes edge (u, v) from g within tx, returning whether
+// the edge was actually removed (false when it was not live). On
+// undirected graphs both arcs are removed atomically. The concurrency
+// contract of AddEdge applies: direct RemoveEdge transactions must
+// not overlap an ApplyStream batch.
+func (tx Tx) RemoveEdge(g *DynGraph, u, v uint32) bool {
+	g.assertNoStream("RemoveEdge")
+	return g.removeEdge(tx, u, v)
+}
+
+// assertNoStream panics when a direct edge mutation is attempted while
+// an ApplyStream batch is in flight — see the contract on Tx.AddEdge.
+func (g *DynGraph) assertNoStream(op string) {
+	if g.streaming.Load() {
+		panic("tufast: Tx." + op + " during an ApplyStream batch: direct edge mutations " +
+			"must not run concurrently with ApplyStream (see Tx.AddEdge); " +
+			"route serving-path mutations through ApplyStream")
+	}
+}
+
+// addEdge is the assertion-free mutation body shared by Tx.AddEdge and
+// the stream applier (whose transactions are part of the batch and
+// therefore correctly stamped by construction).
+func (g *DynGraph) addEdge(tx Tx, u, v uint32) bool {
 	changed := g.st.AddArc(tx.t, u, v)
 	if g.st.Undirected() {
 		if g.st.AddArc(tx.t, v, u) {
@@ -301,10 +354,8 @@ func (tx Tx) AddEdge(g *DynGraph, u, v uint32) bool {
 	return changed
 }
 
-// RemoveEdge deletes edge (u, v) from g within tx, returning whether
-// the edge was actually removed (false when it was not live). On
-// undirected graphs both arcs are removed atomically.
-func (tx Tx) RemoveEdge(g *DynGraph, u, v uint32) bool {
+// removeEdge is addEdge's delete twin.
+func (g *DynGraph) removeEdge(tx Tx, u, v uint32) bool {
 	changed := g.st.RemoveArc(tx.t, u, v)
 	if g.st.Undirected() {
 		if g.st.RemoveArc(tx.t, v, u) {
@@ -398,6 +449,11 @@ func (d *DynGraph) ApplyStream(ops []StreamOp, opt StreamOptions) (StreamStats, 
 func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt StreamOptions) (StreamStats, error) {
 	d.batchMu.Lock()
 	defer d.batchMu.Unlock()
+	// Deferred LIFO: the flag clears before batchMu releases, so a
+	// direct mutation admitted after the batch can never trip the
+	// assertion spuriously.
+	d.streaming.Store(true)
+	defer d.streaming.Store(false)
 	cur := d.epoch.Load()
 	// Entries this batch writes become visible exactly when the epoch
 	// reaches cur+1 — i.e. when this batch commits its bump below.
@@ -523,9 +579,9 @@ func (d *DynGraph) applyWindow(ctx context.Context, win []StreamOp, opt StreamOp
 			err := w.AtomicCtx(ctx, hint, func(tx Tx) error {
 				pending = pending[:0]
 				if op.Del {
-					note(tx.RemoveEdge(d, op.U, op.V))
+					note(d.removeEdge(tx, op.U, op.V))
 				} else {
-					note(tx.AddEdge(d, op.U, op.V))
+					note(d.addEdge(tx, op.U, op.V))
 				}
 				if opt.OnEdge != nil {
 					return opt.OnEdge(tx, op, changed, emit)

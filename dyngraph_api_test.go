@@ -7,8 +7,10 @@ package tufast_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -512,5 +514,68 @@ func TestComposeHooks(t *testing.T) {
 	}
 	if emitted != 4 { // 2 emits × 2 composed sinks
 		t.Fatalf("emitted = %d, want 4", emitted)
+	}
+}
+
+// TestDirectMutationDuringStreamRejected pins the Tx.AddEdge contract:
+// a direct edge mutation attempted while an ApplyStream batch is in
+// flight must panic instead of silently stamping an entry under the
+// batch's epoch — such an entry could commit after the batch publishes
+// its epoch, making a pinned view watch an edge appear mid-lifetime
+// and breaking per-target stamp monotonicity.
+func TestDirectMutationDuringStreamRejected(t *testing.T) {
+	g, err := tufast.BuildGraph(16, []tufast.EdgePair{{U: 0, V: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, d := newDynFixture(t, g, 256, tufast.Options{Threads: 2})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gate sync.Once
+	streamDone := make(chan error, 1)
+	go func() {
+		_, err := d.ApplyStream([]tufast.StreamOp{{Time: 1, U: 2, V: 3}}, tufast.StreamOptions{
+			OnEdge: func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error {
+				// Retry-safe: only the first attempt parks the batch.
+				gate.Do(func() { close(entered); <-release })
+				return nil
+			},
+		})
+		streamDone <- err
+	}()
+	<-entered
+
+	// The panic fires before any chain word is touched; recovering
+	// inside the body turns it into a clean transactional abort.
+	var msg string
+	err = s.Atomic(16, func(tx tufast.Tx) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+				err = errors.New(msg)
+			}
+		}()
+		tx.AddEdge(d, 4, 5)
+		return nil
+	})
+	if err == nil || !strings.Contains(msg, "ApplyStream") {
+		t.Errorf("direct AddEdge during a batch: err=%v msg=%q, want an ApplyStream contract panic", err, msg)
+	}
+
+	close(release)
+	if err := <-streamDone; err != nil {
+		t.Fatalf("ApplyStream: %v", err)
+	}
+	// Once the batch has drained, direct mutations are legal again.
+	var added bool
+	if err := s.Atomic(16, func(tx tufast.Tx) error {
+		added = tx.AddEdge(d, 4, 5)
+		return nil
+	}); err != nil {
+		t.Fatalf("direct AddEdge after the batch: %v", err)
+	}
+	if !added || !d.HasEdgeNow(4, 5) {
+		t.Error("direct AddEdge after the batch did not take effect")
 	}
 }

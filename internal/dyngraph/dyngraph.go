@@ -140,8 +140,10 @@ func New(sp *mem.Space, base *graph.CSR) *Store {
 // under. The owner (tufast.DynGraph) sets it to epoch+1 at the start of
 // each serialized batch, so in-flight entries are invisible to every
 // reader pinned at ≤ epoch until the batch's own epoch bump publishes
-// them. Must only be called while no mutator is mid-transaction (the
-// batch serialization lock provides that).
+// them. Must only be called while no mutator is mid-transaction: the
+// batch serialization lock provides that for stream transactions, and
+// the owner enforces it (best-effort) for direct mutations by
+// asserting that none start while a batch is in flight.
 func (s *Store) SetWriteStamp(stamp uint64) {
 	if stamp > MaxStamp {
 		panic(fmt.Sprintf("dyngraph: write stamp %d exceeds MaxStamp", stamp))

@@ -67,8 +67,11 @@ type ServerSnapshot struct {
 	StandingDeleteRepairs uint64 `json:"standing_delete_repairs,omitempty"`
 	// GCPasses / GCChains count MVCC chain-compaction passes that
 	// rewrote at least one adjacency chain, and the chains rewritten.
+	// GCErrors counts passes abandoned on a transient error; the GC
+	// loop survives them and retries on its next tick.
 	GCPasses uint64 `json:"gc_passes,omitempty"`
 	GCChains uint64 `json:"gc_chains,omitempty"`
+	GCErrors uint64 `json:"gc_errors,omitempty"`
 	// JobLatency is the end-to-end job latency histogram (nanoseconds,
 	// admission to terminal state); BatchLatency times mutation batches.
 	JobLatency   HistSnapshot `json:"job_latency_ns"`
@@ -97,6 +100,7 @@ func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
 	out.StandingDeleteRepairs += other.StandingDeleteRepairs
 	out.GCPasses += other.GCPasses
 	out.GCChains += other.GCChains
+	out.GCErrors += other.GCErrors
 	out.Epoch = other.Epoch
 	out.QueueDepth = other.QueueDepth
 	out.QueueCap = other.QueueCap

@@ -30,10 +30,12 @@ type metrics struct {
 	standingRecomputes    atomic.Uint64
 	standingDeleteRepairs atomic.Uint64
 
-	// MVCC chain GC: passes that rewrote at least one chain, and the
-	// total chains compacted.
+	// MVCC chain GC: passes that rewrote at least one chain, the total
+	// chains compacted, and passes abandoned on a transient error (the
+	// loop keeps ticking; only shutdown stops it).
 	gcPasses atomic.Uint64
 	gcChains atomic.Uint64
+	gcErrors atomic.Uint64
 
 	jobLatency   obs.Histogram
 	batchLatency obs.Histogram
@@ -66,6 +68,7 @@ func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64, standing, sta
 		StandingDeleteRepairs: m.standingDeleteRepairs.Load(),
 		GCPasses:              m.gcPasses.Load(),
 		GCChains:              m.gcChains.Load(),
+		GCErrors:              m.gcErrors.Load(),
 		JobLatency:            m.jobLatency.Snapshot(),
 		BatchLatency:          m.batchLatency.Snapshot(),
 		RepairLag:             m.repairLag.Snapshot(),

@@ -114,6 +114,11 @@ type Config struct {
 	// builder claims the compaction for an epoch and before it starts —
 	// a test hook to hold compaction deterministically.
 	compactGate func(epoch uint64)
+
+	// mutGate, when non-nil, runs inside handleEdges' mutation bracket
+	// (after the seqlock turns odd, before the batch applies) — a test
+	// hook to hold a batch deterministically.
+	mutGate func()
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +180,19 @@ type Server struct {
 	//tufast:lockorder 20
 	topo sync.RWMutex
 
+	// mutMu makes the mutation plane's seqlock bracket single-writer:
+	// handleEdges holds it across the whole mutSeq.Add … ApplyStreamCtx
+	// … batchCommitted … mutSeq.Add sequence. Batches already serialize
+	// on the graph's internal batch lock, so this costs no concurrency —
+	// but without it two overlapping requests bump mutSeq to an even
+	// value (1 then 2) while both batches are still applying, and a
+	// standing repair reading an even, unchanged mutSeq could claim a
+	// mutation-free window that never existed and publish a torn
+	// summary as exact.
+	//
+	//tufast:lockorder 15
+	mutMu sync.Mutex
+
 	// snapMu guards the epoch-tagged compacted snapshot cache and the
 	// per-epoch builder claim — never held across compaction itself, so
 	// a cache hit never waits on a compacting writer.
@@ -190,6 +208,15 @@ type Server struct {
 	cache resultCache
 	queue chan *Job
 
+	// arcsMu guards the one-entry per-epoch live-arcs cache behind
+	// GET /v1/graph: an exact arc count is an O(V+E) chain scan, and a
+	// monitoring poller between mutations should pay it once per epoch,
+	// not per request.
+	arcsMu    sync.Mutex
+	arcsEpoch uint64
+	arcsVal   int
+	arcsOK    bool
+
 	// standing hosts the resident delta-maintained queries; its hooks
 	// (precomposed once into streamOnEdge/streamEmit) ride every
 	// mutation batch.
@@ -199,8 +226,10 @@ type Server struct {
 
 	// mutSeq is a seqlock over mutation batches: odd while a batch is
 	// being applied, bumped again once its standing-side bookkeeping
-	// (batchCommitted) is delivered. Standing repairs read it around
-	// their summary build — an unchanged even value proves no batch was
+	// (batchCommitted) is delivered. Its single writer is the
+	// handleEdges bracket under mutMu — seqlock parity is meaningless
+	// with concurrent writers. Standing repairs read it around their
+	// summary build — an unchanged even value proves no batch was
 	// mid-commit while the summary's advisory word reads ran, which is
 	// what lets a publish claim exactness without excluding mutators.
 	mutSeq atomic.Uint64
@@ -283,7 +312,14 @@ func (s *Server) gcLoop() {
 		// starves the mutation plane of arena space.
 		rewritten, err := s.dyn.GCCtx(s.baseCtx, 16*s.cfg.MaxBatch)
 		if err != nil {
-			return // baseCtx cancelled mid-pass
+			if s.baseCtx.Err() != nil {
+				return // shutdown cancelled the pass
+			}
+			// A transient scheduler/space failure must not disable
+			// reclamation for the daemon's lifetime: count it and try
+			// again next tick.
+			s.met.gcErrors.Add(1)
+			continue
 		}
 		if rewritten > 0 {
 			s.met.gcChains.Add(uint64(rewritten))
@@ -406,7 +442,11 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	s.mutMu.Lock()  // single-writer seqlock bracket; see the field docs
 	s.mutSeq.Add(1) // odd: batch in flight
+	if s.cfg.mutGate != nil {
+		s.cfg.mutGate()
+	}
 	s.topo.RLock()
 	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{
 		Window: s.cfg.Window,
@@ -422,6 +462,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		s.standing.batchCommitted(stats, ops)
 	}
 	s.mutSeq.Add(1) // even: batch and its bookkeeping fully delivered
+	s.mutMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "apply: "+err.Error())
 		return
@@ -570,9 +611,34 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 		Removed    uint64 `json:"removed"`
 		NoOps      uint64 `json:"noops"`
 	}{
-		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), view.Arcs(),
+		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), s.liveArcs(view),
 		s.dyn.Undirected(), view.Epoch(), ins, rem, noops,
 	})
+}
+
+// liveArcs returns view's exact live arc count, serving repeat polls
+// of an unchanged epoch from a one-entry cache: the count is a full
+// O(V+E) multi-version chain scan, far too heavy to rerun for every
+// stats request between mutations. The scan runs outside arcsMu (it
+// can overlap a concurrent miss at another epoch); epochs are
+// monotone, so last-writer-wins publication keyed by ≥ keeps the
+// cache at the newest computed epoch.
+func (s *Server) liveArcs(view *tufast.GraphView) int {
+	e := view.Epoch()
+	s.arcsMu.Lock()
+	if s.arcsOK && s.arcsEpoch == e {
+		n := s.arcsVal
+		s.arcsMu.Unlock()
+		return n
+	}
+	s.arcsMu.Unlock()
+	n := view.Arcs()
+	s.arcsMu.Lock()
+	if !s.arcsOK || e >= s.arcsEpoch {
+		s.arcsEpoch, s.arcsVal, s.arcsOK = e, n, true
+	}
+	s.arcsMu.Unlock()
+	return n
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
