@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-mvcc bench-diff loadgen-smoke
+.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-mvcc bench-wal bench-diff loadgen-smoke
 
 build:
 	go build ./...
@@ -61,6 +61,15 @@ bench-standing:
 # MVCC path.
 bench-mvcc:
 	go run ./cmd/tufast-loadgen -compare-mvcc -gen-n 5000 -duration 2s -clients 4 -algos degree -snapshot BENCH_pr8.json
+
+# bench-wal runs the WAL-overhead figure: four phases of the same
+# pure-write closed loop — no WAL, then durable daemons at fsync
+# policy none/interval/always, each on a fresh daemon over a fresh
+# temp data dir — and writes throughput per phase to the snapshot CI
+# archives. The acceptance line: sync=interval within 25% of the
+# no-WAL baseline.
+bench-wal:
+	go run ./cmd/tufast-loadgen -compare-wal -gen-n 5000 -duration 2s -clients 4 -snapshot BENCH_pr9.json
 
 # bench-diff prints per-workload throughput deltas between the two
 # most recent BENCH_*.json snapshots. Trend report, never a gate.

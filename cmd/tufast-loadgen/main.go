@@ -36,6 +36,7 @@ import (
 	"tufast/internal/bench"
 	"tufast/internal/obs"
 	"tufast/internal/server"
+	"tufast/internal/wal"
 )
 
 type options struct {
@@ -57,7 +58,9 @@ type options struct {
 	standing    bool
 	compare     bool
 	compareMVCC bool
-	legacy      bool
+	compareWAL  bool
+	dataDir     string
+	walSync     string
 	readPace    time.Duration
 	writePace   time.Duration
 	snapshot    string
@@ -83,7 +86,10 @@ func main() {
 	flag.IntVar(&o.workers, "job-workers", 2, "in-process server: concurrent analytics jobs")
 	flag.BoolVar(&o.standing, "standing", false, "submit analytics jobs as standing queries (restricts -algos to pagerank,cc)")
 	flag.BoolVar(&o.compare, "compare-standing", false, "run two phases over one in-process daemon — per-epoch recompute, then standing — and write both to -snapshot")
-	flag.BoolVar(&o.compareMVCC, "compare-mvcc", false, "measure mutation throughput under 0/1/4 concurrent analytics clients, once on the RWMutex-era snapshot path and once on MVCC views, and write both to -snapshot")
+	flag.BoolVar(&o.compareMVCC, "compare-mvcc", false, "measure mutation throughput on MVCC views under 0/1/4 concurrent analytics clients and write it to -snapshot")
+	flag.BoolVar(&o.compareWAL, "compare-wal", false, "measure pure-write throughput without a WAL and at each WAL sync policy (none/interval/always), and write all phases to -snapshot")
+	flag.StringVar(&o.dataDir, "data-dir", "", "in-process server: durability directory (WAL + checkpoints); empty = ephemeral")
+	flag.StringVar(&o.walSync, "wal-sync", "always", "in-process server: WAL fsync policy (always|interval|none)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "write a serving-throughput snapshot (BENCH_*.json shape) to this file")
 	flag.Parse()
 	o.algos = strings.Split(algoList, ",")
@@ -92,6 +98,10 @@ func main() {
 	}
 	if o.compareMVCC {
 		runCompareMVCC(o)
+		return
+	}
+	if o.compareWAL {
+		runCompareWAL(o)
 		return
 	}
 	if o.compare {
@@ -208,91 +218,159 @@ func runCompare(o options) {
 	}
 }
 
-// runCompareMVCC produces the MVCC mutation-throughput figure. Per
-// snapshot path — first the RWMutex era (compaction under the
-// exclusive topology lock, every batch queued behind it), then MVCC
-// views — it measures closed-loop write capacity, then offers a fixed
-// ~30% of that capacity while 0, 1, and 4 paced analytics clients run.
-// The question the figure answers is how much of a constant offered
-// mutation load each path still delivers when snapshots are being
-// compacted: the legacy path stalls every batch for the full
-// compaction, the MVCC path keeps committing.
+// runCompareMVCC produces the MVCC mutation-throughput figure: it
+// measures closed-loop write capacity on MVCC views, then offers a
+// fixed ~30% of that capacity while 0, 1, and 4 paced analytics
+// clients run. The question the figure answers is how much of a
+// constant offered mutation load the serving path still delivers while
+// snapshots are being compacted. (The RWMutex-era baseline this was
+// originally compared against is retired with its code path; its
+// numbers live in the BENCH_pr8 snapshot.)
 //
 // Both client pools are paced (writers to the offered load, readers
 // with think time) rather than closed-loop: on a small box unpaced
-// pools just starve each other of CPU in both modes, burying the
-// locking difference under scheduler noise. Every phase gets a fresh
-// daemon so overlay growth from one phase doesn't distort another —
-// snapshot cost scales with accumulated history, and comparing a
-// cold 0-job phase against a 4-job phase run over four phases' worth
-// of edits would measure history depth, not locking.
+// pools just starve each other of CPU, burying the locking difference
+// under scheduler noise. Every phase gets a fresh daemon so overlay
+// growth from one phase doesn't distort another — snapshot cost scales
+// with accumulated history, and comparing a cold 0-job phase against a
+// 4-job phase run over four phases' worth of edits would measure
+// history depth, not locking.
 func runCompareMVCC(o options) {
 	o.inprocess = true
 	o.readPace = 250 * time.Millisecond
 	var entries []bench.PerfEntry
 	var snap obs.Snapshot
 	rates := map[string]float64{}
-	for _, legacy := range []bool{true, false} {
-		oo := o
-		oo.legacy = legacy
-		mode := "mvcc"
-		if legacy {
-			mode = "legacy"
+	// runPhase boots a fresh daemon, drives one phase, and tears it
+	// down. grabMetrics captures /metrics before shutdown so the final
+	// report entry can carry the server-side counters.
+	runPhase := func(jobs int, grabMetrics bool) *report {
+		srvOpts := o
+		srvOpts.duration = o.duration + 2*time.Second
+		srv, err := startInProcess(srvOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
 		}
-		// runPhase boots a fresh daemon, drives one phase, and tears it
-		// down. grabMetrics captures /metrics before shutdown so the MVCC
-		// report entry can carry the server-side counters.
-		runPhase := func(jobs int, grabMetrics bool) *report {
-			srvOpts := oo
-			srvOpts.duration = o.duration + 2*time.Second
-			srv, err := startInProcess(srvOpts)
+		o.addr = srv.Addr()
+		rep := runMixed(o, o.clients, jobs)
+		if grabMetrics {
+			if err := fetchJSON("http://"+o.addr+"/metrics", &snap); err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
+		}
+		cancel()
+		return rep
+	}
+
+	fmt.Printf("loadgen: mvcc — closed-loop write capacity (%v)\n", o.duration)
+	capRep := runPhase(0, false)
+	capacity := float64(capRep.writeOps) / capRep.duration.Seconds()
+	rates["mut-mvcc-capacity"] = capacity
+	entries = append(entries, bench.PerfEntry{
+		Workload: "mut-mvcc-capacity", TxnPerSec: capacity,
+	})
+	fmt.Printf("  capacity %.0f ops/s (%d batches)\n", capacity, capRep.writes)
+
+	offered := 0.3 * capacity
+	o.writePace = time.Duration(float64(o.clients*o.batch) / offered * float64(time.Second))
+	for _, jobs := range []int{0, 1, 4} {
+		fmt.Printf("loadgen: mvcc — %.0f ops/s offered vs %d analytics clients (%v)\n",
+			offered, jobs, o.duration)
+		rep := runPhase(jobs, jobs == 4 && o.snapshot != "")
+		rate := float64(rep.writeOps) / rep.duration.Seconds()
+		name := fmt.Sprintf("mut-mvcc-%djobs", jobs)
+		rates[name] = rate
+		entries = append(entries, bench.PerfEntry{Workload: name, TxnPerSec: rate})
+		fmt.Printf("  writes %.0f ops/s (%d batches), reads done %d, errors %d\n",
+			rate, rep.writes, rep.readsDone, rep.httpErrors)
+	}
+	if base, loaded := rates["mut-mvcc-0jobs"], rates["mut-mvcc-4jobs"]; base > 0 {
+		fmt.Printf("loadgen: mvcc mutation goodput under 4 analytics clients: %.0f%% of zero-analytics (%.0f/s vs %.0f/s)\n",
+			100*loaded/base, loaded, base)
+	}
+	if o.snapshot != "" {
+		if len(entries) > 0 {
+			entries[len(entries)-1].Metrics = snap
+		}
+		out := bench.PerfReport{
+			Dataset: "serving-powerlaw",
+			Threads: o.clients,
+			Scale:   1,
+			Entries: entries,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(o.snapshot, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", o.snapshot)
+	}
+}
+
+// runCompareWAL produces the WAL-overhead figure: pure-write
+// closed-loop throughput on a fresh daemon per phase — no durability,
+// then a WAL at each sync policy (none, interval, always) — so
+// BENCH_pr9.json answers what crash durability costs at each fsync
+// policy. Each durable phase writes into its own temp data dir, torn
+// down after the run.
+func runCompareWAL(o options) {
+	o.inprocess = true
+	phases := []struct{ name, sync string }{
+		{"nowal", ""},
+		{"wal-none", "none"},
+		{"wal-interval", "interval"},
+		{"wal-always", "always"},
+	}
+	var entries []bench.PerfEntry
+	var snap obs.Snapshot
+	rates := map[string]float64{}
+	for i, ph := range phases {
+		oo := o
+		if ph.sync != "" {
+			dir, err := os.MkdirTemp("", "tufast-walbench-")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
 				os.Exit(1)
 			}
-			oo.addr = srv.Addr()
-			rep := runMixed(oo, oo.clients, jobs)
-			if grabMetrics {
-				if err := fetchJSON("http://"+oo.addr+"/metrics", &snap); err != nil {
-					fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
-				}
-			}
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			if err := srv.Shutdown(ctx); err != nil {
-				fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
-			}
-			cancel()
-			return rep
+			defer os.RemoveAll(dir)
+			oo.dataDir, oo.walSync = dir, ph.sync
 		}
-
-		fmt.Printf("loadgen: %s — closed-loop write capacity (%v)\n", mode, oo.duration)
-		capRep := runPhase(0, false)
-		capacity := float64(capRep.writeOps) / capRep.duration.Seconds()
-		rates["mut-"+mode+"-capacity"] = capacity
-		entries = append(entries, bench.PerfEntry{
-			Workload: "mut-" + mode + "-capacity", TxnPerSec: capacity,
-		})
-		fmt.Printf("  capacity %.0f ops/s (%d batches)\n", capacity, capRep.writes)
-
-		offered := 0.3 * capacity
-		oo.writePace = time.Duration(float64(oo.clients*oo.batch) / offered * float64(time.Second))
-		for _, jobs := range []int{0, 1, 4} {
-			fmt.Printf("loadgen: %s — %.0f ops/s offered vs %d analytics clients (%v)\n",
-				mode, offered, jobs, oo.duration)
-			rep := runPhase(jobs, !legacy && jobs == 4 && o.snapshot != "")
-			rate := float64(rep.writeOps) / rep.duration.Seconds()
-			name := fmt.Sprintf("mut-%s-%djobs", mode, jobs)
-			rates[name] = rate
-			entries = append(entries, bench.PerfEntry{Workload: name, TxnPerSec: rate})
-			fmt.Printf("  writes %.0f ops/s (%d batches), reads done %d, errors %d\n",
-				rate, rep.writes, rep.readsDone, rep.httpErrors)
+		srv, err := startInProcess(oo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
 		}
+		oo.addr = srv.Addr()
+		fmt.Printf("loadgen: phase %s — pure-write closed loop (%v)\n", ph.name, o.duration)
+		rep := runMixed(oo, oo.clients, 0)
+		if i == len(phases)-1 && o.snapshot != "" {
+			if err := fetchJSON("http://"+oo.addr+"/metrics", &snap); err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
+		}
+		cancel()
+		rate := float64(rep.writeOps) / rep.duration.Seconds()
+		rates[ph.name] = rate
+		entries = append(entries, bench.PerfEntry{Workload: "mut-" + ph.name, TxnPerSec: rate})
+		fmt.Printf("  writes %.0f ops/s (%d batches), errors %d\n", rate, rep.writes, rep.httpErrors)
 	}
-	for _, mode := range []string{"legacy", "mvcc"} {
-		base, loaded := rates["mut-"+mode+"-0jobs"], rates["mut-"+mode+"-4jobs"]
-		if base > 0 {
-			fmt.Printf("loadgen: %s mutation goodput under 4 analytics clients: %.0f%% of zero-analytics (%.0f/s vs %.0f/s)\n",
-				mode, 100*loaded/base, loaded, base)
+	if base := rates["nowal"]; base > 0 {
+		for _, ph := range phases[1:] {
+			fmt.Printf("loadgen: %s throughput %.0f%% of no-WAL (%.0f/s vs %.0f/s)\n",
+				ph.name, 100*rates[ph.name]/base, rates[ph.name], base)
 		}
 	}
 	if o.snapshot != "" {
@@ -373,28 +451,56 @@ func runMixed(o options, writeClients, readClients int) *report {
 
 // startInProcess builds a generated-graph daemon in this process,
 // with the routing thresholds the streaming benchmarks use so laptop
-// graphs still spread mutations across H/O/L.
+// graphs still spread mutations across H/O/L. A non-empty o.dataDir
+// boots the durable path (WAL + checkpoints) instead of an ephemeral
+// server.
 func startInProcess(o options) (*server.Server, error) {
-	g := tufast.GeneratePowerLaw(o.genN, o.genN*o.genDeg, 2.1, o.seed).Undirect()
-	budget := int(float64(o.batch*o.clients) * (o.duration.Seconds() + 1) * 200)
-	if budget < 1_000_000 {
-		budget = 1_000_000
+	loadBase := func() (*tufast.Graph, error) {
+		return tufast.GeneratePowerLaw(o.genN, o.genN*o.genDeg, 2.1, o.seed).Undirect(), nil
 	}
-	// Eight standing slots at up to four vertex arrays each, matching
-	// tufastd's sizing.
-	standingWords := 8 * 4 * (g.NumVertices() + 8)
-	sys := tufast.NewSystem(g, tufast.Options{
-		SpaceWords: tufast.DynSpaceWords(g, budget) + standingWords,
-		HMaxHint:   64,
-		OMaxHint:   256,
-	})
-	dyn := tufast.NewDynGraph(sys)
-	srv := server.New(dyn, server.Config{
-		Addr:           "127.0.0.1:0",
-		QueueDepth:     o.queue,
-		JobWorkers:     o.workers,
-		LegacySnapshot: o.legacy,
-	})
+	mkDyn := func(g *tufast.Graph) *tufast.DynGraph {
+		budget := int(float64(o.batch*o.clients) * (o.duration.Seconds() + 1) * 200)
+		if budget < 1_000_000 {
+			budget = 1_000_000
+		}
+		// Eight standing slots at up to four vertex arrays each, matching
+		// tufastd's sizing.
+		standingWords := 8 * 4 * (g.NumVertices() + 8)
+		sys := tufast.NewSystem(g, tufast.Options{
+			SpaceWords: tufast.DynSpaceWords(g, budget) + standingWords,
+			HMaxHint:   64,
+			OMaxHint:   256,
+		})
+		return tufast.NewDynGraph(sys)
+	}
+	cfg := server.Config{
+		Addr:       "127.0.0.1:0",
+		QueueDepth: o.queue,
+		JobWorkers: o.workers,
+	}
+	var srv *server.Server
+	if o.dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(o.walSync)
+		if err != nil {
+			return nil, err
+		}
+		srv, err = server.OpenDurable(cfg, server.DurabilityConfig{
+			DataDir: o.dataDir,
+			Sync:    pol,
+			// Benchmark phases are seconds long; a mid-phase background
+			// checkpoint would perturb the figure.
+			CheckpointInterval: -1,
+		}, loadBase, mkDyn)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g, err := loadBase()
+		if err != nil {
+			return nil, err
+		}
+		srv = server.New(mkDyn(g), cfg)
+	}
 	if err := srv.Start(); err != nil {
 		return nil, err
 	}

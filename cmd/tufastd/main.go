@@ -8,6 +8,7 @@
 //
 //	tufastd -addr :8080 -gen-n 100000 -gen-deg 8
 //	tufastd -addr :8080 -graph edges.bin -mutations 2000000
+//	tufastd -addr :8080 -data-dir /var/lib/tufastd -wal-sync always
 //
 // Endpoints:
 //
@@ -17,8 +18,16 @@
 //	GET  /v1/jobs/{id}  job status and result
 //	GET  /v1/standing   resident standing queries and repair state
 //	GET  /v1/graph      topology summary and mutation epoch
+//	POST /v1/checkpoint write a checkpoint now (durable daemons)
+//	GET  /v1/health     JSON health + recovery/durability status
 //	GET  /metrics       runtime + serving observability snapshot
 //	GET  /healthz       200 while serving, 503 while draining
+//
+// With -data-dir the daemon is durable: every acknowledged mutation
+// batch is appended to a write-ahead log before the 200 (fsync policy
+// -wal-sync), checkpoints bound the log, and a restart recovers the
+// newest checkpoint plus the WAL tail — a kill at any instant loses at
+// most unacknowledged batches.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight jobs
 // finish (or are cancelled after the grace period), and the final
@@ -37,6 +46,7 @@ import (
 
 	"tufast"
 	"tufast/internal/server"
+	"tufast/internal/wal"
 )
 
 func main() {
@@ -60,30 +70,34 @@ func main() {
 		drainGrace = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets jobs finish before cancelling")
 		hMax       = flag.Int("h-max-hint", 0, "route txns with size hint ≤ this to H mode (0 = paper default)")
 		oMax       = flag.Int("o-max-hint", 0, "route txns with size hint > this straight to L mode (0 = paper default)")
+		dataDir    = flag.String("data-dir", "", "durability directory (WAL + checkpoints + crash recovery); empty = ephemeral")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (durable acks), interval (bounded loss), none (crash-consistent only)")
+		walSyncInt = flag.Duration("wal-sync-interval", 50*time.Millisecond, "fsync period for -wal-sync=interval")
+		walSegSize = flag.Int64("wal-segment-bytes", 64<<20, "WAL segment rotation size")
+		ckptEvery  = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (<0 disables; POST /v1/checkpoint always works)")
+		ckptKeep   = flag.Int("checkpoint-keep", 2, "retained checkpoints (older pruned, WAL truncated below the oldest)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphIn, *genN, *genDeg, *genAlpha, *seed, !*directed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tufastd:", err)
-		os.Exit(1)
+	loadBase := func() (*tufast.Graph, error) {
+		return loadGraph(*graphIn, *genN, *genDeg, *genAlpha, *seed, !*directed)
 	}
-	fmt.Printf("tufastd: graph |V|=%d |E|=%d maxdeg=%d undirected=%v\n",
-		g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.Undirected())
-
-	// Each resident standing query owns vertex arrays in the shared
-	// space (3 for delta pagerank, 1 for incremental cc); budget four
-	// per slot on top of the mutation-overlay sizing.
-	standingWords := *maxStand * 4 * (g.NumVertices() + 8)
-	sys := tufast.NewSystem(g, tufast.Options{
-		Threads:    *threads,
-		SpaceWords: tufast.DynSpaceWords(g, *mutations) + standingWords,
-		HMaxHint:   *hMax,
-		OMaxHint:   *oMax,
-	})
-	dyn := tufast.NewDynGraph(sys)
-
-	srv := server.New(dyn, server.Config{
+	mkDyn := func(g *tufast.Graph) *tufast.DynGraph {
+		fmt.Printf("tufastd: graph |V|=%d |E|=%d maxdeg=%d undirected=%v\n",
+			g.NumVertices(), g.NumEdges(), g.MaxDegree(), g.Undirected())
+		// Each resident standing query owns vertex arrays in the shared
+		// space (3 for delta pagerank, 1 for incremental cc); budget four
+		// per slot on top of the mutation-overlay sizing.
+		standingWords := *maxStand * 4 * (g.NumVertices() + 8)
+		sys := tufast.NewSystem(g, tufast.Options{
+			Threads:    *threads,
+			SpaceWords: tufast.DynSpaceWords(g, *mutations) + standingWords,
+			HMaxHint:   *hMax,
+			OMaxHint:   *oMax,
+		})
+		return tufast.NewDynGraph(sys)
+	}
+	cfg := server.Config{
 		Addr:           *addr,
 		JobWorkers:     *jobWorkers,
 		JobThreads:     *jobThreads,
@@ -93,7 +107,45 @@ func main() {
 		DrainGrace:     *drainGrace,
 		MaxJobs:        *maxJobs,
 		MaxStanding:    *maxStand,
-	})
+	}
+
+	var srv *server.Server
+	if *dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufastd:", err)
+			os.Exit(2)
+		}
+		srv, err = server.OpenDurable(cfg, server.DurabilityConfig{
+			DataDir:            *dataDir,
+			Sync:               pol,
+			SyncInterval:       *walSyncInt,
+			SegmentBytes:       *walSegSize,
+			CheckpointInterval: *ckptEvery,
+			CheckpointKeep:     *ckptKeep,
+		}, loadBase, mkDyn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufastd:", err)
+			os.Exit(1)
+		}
+		rec := srv.Recovery()
+		fmt.Printf("tufastd: recovered from %s: checkpoint epoch %d, replayed %d batches (%d ops)",
+			*dataDir, rec.CheckpointEpoch, rec.ReplayedBatches, rec.ReplayedOps)
+		if rec.TornTail {
+			fmt.Printf(", torn WAL tail truncated")
+		}
+		if rec.CheckpointFallbacks > 0 {
+			fmt.Printf(", %d corrupt checkpoint(s) skipped", rec.CheckpointFallbacks)
+		}
+		fmt.Println()
+	} else {
+		g, err := loadBase()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufastd:", err)
+			os.Exit(1)
+		}
+		srv = server.New(mkDyn(g), cfg)
+	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "tufastd:", err)
 		os.Exit(1)

@@ -140,6 +140,20 @@ func (d *DynGraph) Compact() (*Graph, error) {
 // epoch; batch all serving-path mutations through ApplyStream.
 func (d *DynGraph) Epoch() uint64 { return d.epoch.Load() }
 
+// RestoreEpoch sets the mutation epoch to e, for boot-time recovery
+// only: a daemon reloading a checkpoint taken at epoch e restores the
+// counter before replaying the WAL tail, so replayed batches re-commit
+// at the same epochs they originally published and epoch-keyed
+// consumers (result caches, checkpoints, clients that recorded an ack
+// epoch) stay consistent across the restart. The write stamp advances
+// with it, exactly as an ApplyStream bump would have left it. Must be
+// called before any transaction, batch, or view exists — it takes no
+// lock and moves the visibility horizon.
+func (d *DynGraph) RestoreEpoch(e uint64) {
+	d.epoch.Store(e)
+	d.st.SetWriteStamp(e + 1)
+}
+
 // MutationStats returns how many ApplyStream operations actually
 // inserted an edge, actually removed one, and were no-ops (duplicate
 // insert / missing delete).

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tufast/internal/fsx"
 	"tufast/internal/graph"
 )
 
@@ -147,17 +148,13 @@ func WriteStream(w io.Writer, s *Stream) error {
 	return bw.Flush()
 }
 
-// WriteStreamFile writes s to path in the stream text format.
+// WriteStreamFile writes s to path in the stream text format,
+// crash-atomically (temp file, fsync, rename): a kill mid-write can
+// never clobber a previously written stream with a torn one.
 func WriteStreamFile(path string, s *Stream) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteStream(f, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteStream(w, s)
+	})
 }
 
 // ReadStream parses the stream text format written by WriteStream.

@@ -1,0 +1,88 @@
+// Package fsx holds the one durability primitive every persistent
+// artifact in the repo routes through: crash-atomic file replacement.
+//
+// A plain Create-write-Close sequence has two crash windows a daemon
+// cannot afford: a kill mid-write leaves a half-written file where the
+// previous good one used to be, and even a completed write may still be
+// sitting in the page cache when the power goes. WriteFileAtomic closes
+// both: the new bytes go to a temp file in the destination directory,
+// are fsynced there, and only then renamed over the target — rename
+// within one directory is atomic on POSIX — followed by an fsync of the
+// directory itself so the rename survives a crash too. A reader
+// therefore always observes either the complete old file or the
+// complete new one, never a torn hybrid.
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the content produced by write to path
+// crash-atomically: temp file in the same directory, fsync, rename
+// over path, directory fsync. On any error the target is left exactly
+// as it was and the temp file is removed.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	if err != nil {
+		return fmt.Errorf("fsx: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("fsx: fsync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fsx: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("fsx: rename over %s: %w", path, err)
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a preceding rename, create, or remove
+// within it is durable. Filesystems that reject directory fsync
+// (returning EINVAL on some platforms) are tolerated: the close path
+// ignores the sync error there, matching what databases do.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsx: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems (and all of Windows) refuse to fsync a
+		// directory handle; the rename itself still happened, so treat
+		// the refusal as best-effort rather than failing the write.
+		return nil
+	}
+	return nil
+}
+
+// RemoveDurable removes path and fsyncs its parent directory, so the
+// removal (e.g. of an obsolete WAL segment or pruned checkpoint)
+// survives a crash. Missing files are not an error.
+func RemoveDurable(path string) error {
+	if err := os.Remove(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}

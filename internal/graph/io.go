@@ -4,39 +4,69 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"tufast/internal/fsx"
 )
 
 // binaryMagic identifies the CSR binary format.
 const binaryMagic = 0x54554641 // "TUFA"
 
-// WriteBinary streams the CSR in a compact binary format.
+// binaryFooterMagic introduces the integrity footer appended after the
+// adjacency: [footerMagic uint64][crc32c uint64]. The checksum covers
+// every byte before the footer (header, offsets, adjacency), so a
+// checkpoint loader can tell a bit-flipped or truncated file from a
+// good one instead of trusting the bytes blindly. Files written before
+// the footer existed simply end at the adjacency; ReadBinary accepts
+// them (legacy fallback) since their structural validation still runs.
+const binaryFooterMagic = 0x43524332_54554641 // "TUFA" | "CRC2"
+
+// crcTable is Castagnoli, the hardware-accelerated polynomial.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteBinary streams the CSR in a compact binary format, with a
+// trailing CRC32-C footer over the whole body.
 func (g *CSR) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
+	crc := crc32.New(crcTable)
+	cw := io.MultiWriter(bw, crc)
 	hdr := []uint64{binaryMagic, uint64(g.n), uint64(len(g.adj)), boolWord(g.undirected)}
 	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, h); err != nil {
 			return fmt.Errorf("graph: write header: %w", err)
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.offsets); err != nil {
 		return fmt.Errorf("graph: write offsets: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, g.adj); err != nil {
 		return fmt.Errorf("graph: write adjacency: %w", err)
+	}
+	footer := []uint64{binaryFooterMagic, uint64(crc.Sum32())}
+	for _, f := range footer {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return fmt.Errorf("graph: write footer: %w", err)
+		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary loads a CSR written by WriteBinary and validates it.
+// ReadBinary loads a CSR written by WriteBinary and validates it: the
+// structural invariants always, and the CRC32-C footer when present.
+// Legacy files (written before the footer existed) end right after the
+// adjacency and are accepted; any other trailing bytes, or a checksum
+// mismatch, are corruption.
 func ReadBinary(r io.Reader) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	crc := crc32.New(crcTable)
+	cr := io.TeeReader(br, crc)
 	var hdr [4]uint64
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+		if err := binary.Read(cr, binary.LittleEndian, &hdr[i]); err != nil {
 			return nil, fmt.Errorf("graph: read header: %w", err)
 		}
 	}
@@ -48,27 +78,39 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
 	}
 	offsets := make([]uint64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, offsets); err != nil {
 		return nil, fmt.Errorf("graph: read offsets: %w", err)
 	}
 	adj := make([]uint32, m)
-	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, adj); err != nil {
 		return nil, fmt.Errorf("graph: read adjacency: %w", err)
+	}
+	sum := uint64(crc.Sum32()) // body checksum, before the footer bytes are consumed
+	var footer [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, &footer[0]); err != nil {
+		if err == io.EOF {
+			// Legacy format: no footer. Structural validation below is
+			// the only integrity check such files get.
+			return FromCSRParts(n, offsets, adj, hdr[3] != 0)
+		}
+		return nil, fmt.Errorf("graph: read footer: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &footer[1]); err != nil {
+		return nil, fmt.Errorf("graph: read footer checksum: %w", err)
+	}
+	if footer[0] != binaryFooterMagic {
+		return nil, fmt.Errorf("graph: trailing bytes are not a CRC footer (magic %#x)", footer[0])
+	}
+	if footer[1] != sum {
+		return nil, fmt.Errorf("graph: checksum mismatch: file %#x, computed %#x", footer[1], sum)
 	}
 	return FromCSRParts(n, offsets, adj, hdr[3] != 0)
 }
 
-// SaveBinary writes the CSR to a file.
+// SaveBinary writes the CSR to a file crash-atomically: a kill mid-save
+// leaves the previous file (if any) untouched, never a torn hybrid.
 func (g *CSR) SaveBinary(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := g.WriteBinary(f); err != nil {
-		return err
-	}
-	return f.Sync()
+	return fsx.WriteFileAtomic(path, g.WriteBinary)
 }
 
 // LoadBinary reads a CSR from a file.

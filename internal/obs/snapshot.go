@@ -65,6 +65,25 @@ type ServerSnapshot struct {
 	StandingRepairs       uint64 `json:"standing_repairs,omitempty"`
 	StandingRecomputes    uint64 `json:"standing_recomputes,omitempty"`
 	StandingDeleteRepairs uint64 `json:"standing_delete_repairs,omitempty"`
+	// Durability plane (all zero/omitted on an ephemeral daemon).
+	// WALAppendedBatches / WALAppendedOps / WALFsyncs count write-ahead
+	// log activity; WALErrors counts appends that failed (batch
+	// committed in memory, client answered 5xx). Checkpoints /
+	// CheckpointErrors count checkpoint outcomes. CheckpointEpoch and
+	// WALLagEpochs are gauges: the newest checkpoint's epoch and how
+	// many epochs the graph is ahead of it (the replay debt a crash
+	// right now would incur). RecoveryReplayedBatches / ReplayedOps
+	// record what the last boot's recovery re-applied.
+	WALAppendedBatches      uint64 `json:"wal_appended_batches,omitempty"`
+	WALAppendedOps          uint64 `json:"wal_appended_ops,omitempty"`
+	WALFsyncs               uint64 `json:"wal_fsyncs,omitempty"`
+	WALErrors               uint64 `json:"wal_errors,omitempty"`
+	Checkpoints             uint64 `json:"checkpoints,omitempty"`
+	CheckpointErrors        uint64 `json:"checkpoint_errors,omitempty"`
+	CheckpointEpoch         uint64 `json:"checkpoint_epoch,omitempty"`
+	WALLagEpochs            uint64 `json:"wal_lag_epochs,omitempty"`
+	RecoveryReplayedBatches uint64 `json:"recovery_replayed_batches,omitempty"`
+	RecoveryReplayedOps     uint64 `json:"recovery_replayed_ops,omitempty"`
 	// GCPasses / GCChains count MVCC chain-compaction passes that
 	// rewrote at least one adjacency chain, and the chains rewritten.
 	// GCErrors counts passes abandoned on a transient error; the GC
@@ -101,6 +120,16 @@ func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
 	out.GCPasses += other.GCPasses
 	out.GCChains += other.GCChains
 	out.GCErrors += other.GCErrors
+	out.WALAppendedBatches += other.WALAppendedBatches
+	out.WALAppendedOps += other.WALAppendedOps
+	out.WALFsyncs += other.WALFsyncs
+	out.WALErrors += other.WALErrors
+	out.Checkpoints += other.Checkpoints
+	out.CheckpointErrors += other.CheckpointErrors
+	out.RecoveryReplayedBatches += other.RecoveryReplayedBatches
+	out.RecoveryReplayedOps += other.RecoveryReplayedOps
+	out.CheckpointEpoch = other.CheckpointEpoch
+	out.WALLagEpochs = other.WALLagEpochs
 	out.Epoch = other.Epoch
 	out.QueueDepth = other.QueueDepth
 	out.QueueCap = other.QueueCap

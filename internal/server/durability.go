@@ -1,0 +1,456 @@
+// Durability plane: WAL + atomic checkpoints + crash recovery.
+//
+// The unit of durability is the committed mutation batch. handleEdges
+// appends one WAL record per effective batch inside the same mutMu
+// bracket that serializes batches, so log order equals commit order
+// and a record's epoch is exactly the epoch its bump published. A
+// checkpoint is a compacted CSR of an epoch-pinned view written
+// crash-atomically (temp file + fsync + rename, CRC-validated on
+// read), recorded in MANIFEST.json; the WAL is truncated below the
+// OLDEST retained checkpoint, never the newest, so a corrupt-newest
+// fallback still has the tail it needs to replay.
+//
+// Recovery (OpenDurable) inverts the write path: load the newest
+// checkpoint that passes its CRC (falling back to older ones), restore
+// the epoch counter to the checkpoint's epoch, then replay every WAL
+// record above it through the ordinary stream-apply path. The WAL's
+// own open already repaired any torn tail, so a kill at any instant
+// costs at most the batch that was mid-append — which was never
+// acknowledged.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tufast"
+	"tufast/internal/fsx"
+	"tufast/internal/obs"
+	"tufast/internal/wal"
+)
+
+// DurabilityConfig tunes the durability plane. Zero values take the
+// documented defaults.
+type DurabilityConfig struct {
+	// DataDir roots the on-disk state: <DataDir>/wal/ holds log
+	// segments, <DataDir>/checkpoints/ the compacted snapshots,
+	// <DataDir>/MANIFEST.json the checkpoint index.
+	DataDir string
+	// Sync is the WAL fsync policy (default wal.SyncAlways);
+	// SyncInterval is the flush period under wal.SyncInterval.
+	Sync         wal.SyncPolicy
+	SyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation size (default 64 MiB).
+	SegmentBytes int64
+	// CheckpointInterval is the background checkpoint period (default
+	// 1m; < 0 disables the loop — POST /v1/checkpoint still works).
+	CheckpointInterval time.Duration
+	// CheckpointKeep is how many checkpoints to retain (default 2).
+	// Older ones are pruned and the WAL truncated below the oldest
+	// survivor; keeping ≥ 2 means a corrupt newest checkpoint still
+	// has a valid fallback with its replay tail intact.
+	CheckpointKeep int
+
+	// walHooks injects faults into the WAL file layer; crash tests
+	// only.
+	walHooks *wal.Hooks
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = time.Minute
+	}
+	if c.CheckpointKeep <= 0 {
+		c.CheckpointKeep = 2
+	}
+	return c
+}
+
+// RecoveryInfo describes what one boot's recovery did; static once the
+// server is constructed.
+type RecoveryInfo struct {
+	// Recovered is true when the durability plane is enabled and boot
+	// recovery completed (trivially true for a fresh data dir).
+	Recovered bool `json:"recovered"`
+	// CheckpointEpoch is the epoch of the checkpoint recovery loaded
+	// (0 when booting from the base graph).
+	CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	// ReplayedBatches / ReplayedOps count the WAL tail re-applied on
+	// top of the checkpoint.
+	ReplayedBatches uint64 `json:"replayed_batches"`
+	ReplayedOps     uint64 `json:"replayed_ops"`
+	// TornTail is true when the WAL had a torn final record (a crash
+	// mid-append) that open truncated away.
+	TornTail bool `json:"torn_tail,omitempty"`
+	// CheckpointFallbacks counts corrupt checkpoints skipped on the
+	// way to a loadable one.
+	CheckpointFallbacks int `json:"checkpoint_fallbacks,omitempty"`
+	// EpochAdjusts counts replayed records whose re-application
+	// published a different epoch than originally logged (possible
+	// when same-edge ops shared an apply window) and were realigned.
+	EpochAdjusts uint64 `json:"epoch_adjusts,omitempty"`
+}
+
+// errNotDurable answers durability endpoints on an ephemeral server.
+var errNotDurable = errors.New("durability disabled (start with a data dir)")
+
+// manifestEntry is one retained checkpoint: its epoch and its file
+// name under checkpoints/.
+type manifestEntry struct {
+	Epoch uint64 `json:"epoch"`
+	File  string `json:"file"`
+}
+
+// manifest is the checkpoint index, oldest first. Written atomically,
+// and only after the checkpoint file it names is durable, so every
+// listed file exists in full.
+type manifest struct {
+	Checkpoints []manifestEntry `json:"checkpoints"`
+}
+
+func walDir(dataDir string) string       { return filepath.Join(dataDir, "wal") }
+func ckptDir(dataDir string) string      { return filepath.Join(dataDir, "checkpoints") }
+func manifestPath(dataDir string) string { return filepath.Join(dataDir, "MANIFEST.json") }
+
+func loadManifest(dataDir string) (manifest, error) {
+	var man manifest
+	raw, err := os.ReadFile(manifestPath(dataDir))
+	if os.IsNotExist(err) {
+		return man, nil
+	}
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		// The manifest is written atomically, so a parse failure means
+		// something outside the daemon damaged it. The checkpoints
+		// themselves are self-validating (CRC footer): rebuild the
+		// index from the directory rather than refusing to boot.
+		return rebuildManifest(dataDir)
+	}
+	return man, nil
+}
+
+// rebuildManifest reconstructs the checkpoint index from the files on
+// disk (epoch is encoded in the name; the loader's CRC check decides
+// validity later).
+func rebuildManifest(dataDir string) (manifest, error) {
+	ents, err := os.ReadDir(ckptDir(dataDir))
+	if err != nil {
+		return manifest{}, err
+	}
+	var man manifest
+	for _, e := range ents {
+		var epoch uint64
+		if _, err := fmt.Sscanf(e.Name(), "ckpt-%016x.bin", &epoch); err != nil {
+			continue
+		}
+		man.Checkpoints = append(man.Checkpoints, manifestEntry{Epoch: epoch, File: e.Name()})
+	}
+	// ReadDir sorts by name and the names zero-pad the epoch, so the
+	// slice is already oldest-first.
+	return man, nil
+}
+
+func saveManifest(dataDir string, man manifest) error {
+	return fsx.WriteFileAtomic(manifestPath(dataDir), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	})
+}
+
+// OpenDurable boots a durable server from dcfg.DataDir: newest valid
+// checkpoint (or loadBase on a fresh dir), epoch restored, WAL tail
+// replayed, then a Server wired to append every committed batch to the
+// log. loadBase loads or generates the day-zero graph; mkDyn builds
+// the runtime and overlay around whichever graph recovery produced
+// (checkpoints change the base topology, so sizing must happen inside
+// it). Call Start on the result as usual.
+func OpenDurable(cfg Config, dcfg DurabilityConfig,
+	loadBase func() (*tufast.Graph, error),
+	mkDyn func(*tufast.Graph) *tufast.DynGraph) (*Server, error) {
+
+	dcfg = dcfg.withDefaults()
+	if dcfg.DataDir == "" {
+		return nil, errors.New("server: OpenDurable requires DataDir")
+	}
+	for _, d := range []string{dcfg.DataDir, ckptDir(dcfg.DataDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	// A kill between an atomic write's temp file and its rename leaves
+	// a .tmp- orphan; sweep them so they never accumulate.
+	if ents, err := os.ReadDir(ckptDir(dcfg.DataDir)); err == nil {
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				_ = os.Remove(filepath.Join(ckptDir(dcfg.DataDir), e.Name()))
+			}
+		}
+	}
+
+	man, err := loadManifest(dcfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	var rec RecoveryInfo
+	var g *tufast.Graph
+	ckptEpoch := uint64(0)
+	found := false
+	for i := len(man.Checkpoints) - 1; i >= 0; i-- {
+		ent := man.Checkpoints[i]
+		gg, err := tufast.LoadGraphBinary(filepath.Join(ckptDir(dcfg.DataDir), ent.File))
+		if err != nil {
+			// CRC or structural failure: fall back to the previous
+			// checkpoint. The WAL was only ever truncated below the
+			// oldest RETAINED checkpoint, so the older one's replay
+			// tail is still on disk.
+			rec.CheckpointFallbacks++
+			continue
+		}
+		g, ckptEpoch, found = gg, ent.Epoch, true
+		man.Checkpoints = man.Checkpoints[:i+1] // forget the corrupt newer entries
+		break
+	}
+	switch {
+	case found:
+	case len(man.Checkpoints) > 0:
+		// Checkpoints existed but none loads: the WAL below the oldest
+		// one is gone, so rebuilding from the base graph would silently
+		// lose acknowledged batches. Refuse instead of serving wrong data.
+		return nil, fmt.Errorf("server: all %d checkpoints in %s failed validation",
+			len(man.Checkpoints), ckptDir(dcfg.DataDir))
+	default:
+		if g, err = loadBase(); err != nil {
+			return nil, err
+		}
+	}
+
+	dyn := mkDyn(g)
+	// Replayed batches must re-commit at the epochs they originally
+	// published, so epoch-keyed state (caches, checkpoint names, client
+	// ack epochs) stays consistent across the restart.
+	dyn.RestoreEpoch(ckptEpoch)
+
+	wlog, scan, err := wal.Open(walDir(dcfg.DataDir), wal.Options{
+		Sync:         dcfg.Sync,
+		SyncInterval: dcfg.SyncInterval,
+		SegmentBytes: dcfg.SegmentBytes,
+		Hooks:        dcfg.walHooks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec.TornTail = scan.TornTail
+
+	window := cfg.withDefaults().Window
+	err = wlog.Replay(ckptEpoch, func(epoch uint64, ops []wal.Op) error {
+		stats, err := dyn.ApplyStreamCtx(context.Background(), ops,
+			tufast.StreamOptions{Window: window})
+		if err != nil {
+			return fmt.Errorf("server: wal replay at epoch %d: %w", epoch, err)
+		}
+		if stats.Epoch != epoch {
+			// Re-application can publish a different epoch than the
+			// original run (ops on one edge sharing a window race, so a
+			// batch effective then can replay as a no-op). Realign: the
+			// log's epoch is the authoritative one.
+			dyn.RestoreEpoch(epoch)
+			rec.EpochAdjusts++
+		}
+		rec.ReplayedBatches++
+		rec.ReplayedOps += uint64(len(ops))
+		return nil
+	})
+	if err != nil {
+		wlog.Close()
+		return nil, err
+	}
+	rec.Recovered = true
+	rec.CheckpointEpoch = ckptEpoch
+
+	s := New(dyn, cfg)
+	s.wlog, s.dur, s.man, s.recovery = wlog, dcfg, man, rec
+	s.ckptEpochGauge.Store(ckptEpoch)
+	if !found {
+		// Day zero: checkpoint the base graph at epoch 0 so the next
+		// boot never depends on loadBase reproducing it (generators are
+		// seeded, but input files move).
+		if _, err := s.checkpointNow(); err != nil {
+			wlog.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Recovery returns what boot recovery did (zero value on an ephemeral
+// server).
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// Durable reports whether the durability plane is enabled.
+func (s *Server) Durable() bool { return s.wlog != nil }
+
+// checkpointNow writes a checkpoint of the current epoch, prunes old
+// ones past CheckpointKeep, and truncates the WAL below the oldest
+// survivor. Single-flight under ckptMu; a no-op (returning the existing
+// epoch) when nothing committed since the last checkpoint. Safe while
+// mutators run: the compaction reads an epoch-pinned view.
+func (s *Server) checkpointNow() (uint64, error) {
+	if s.wlog == nil {
+		return 0, errNotDurable
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	view := s.dyn.View()
+	e := view.Epoch()
+	if n := len(s.man.Checkpoints); n > 0 && e <= s.man.Checkpoints[n-1].Epoch {
+		view.Close()
+		return s.man.Checkpoints[n-1].Epoch, nil
+	}
+	g, err := view.Compact()
+	view.Close()
+	if err != nil {
+		s.met.checkpointErrors.Add(1)
+		return 0, err
+	}
+	file := fmt.Sprintf("ckpt-%016x.bin", e)
+	if err := g.SaveBinary(filepath.Join(ckptDir(s.dur.DataDir), file)); err != nil {
+		s.met.checkpointErrors.Add(1)
+		return 0, err
+	}
+	next := append(append([]manifestEntry(nil), s.man.Checkpoints...), manifestEntry{Epoch: e, File: file})
+	var pruned []manifestEntry
+	if len(next) > s.dur.CheckpointKeep {
+		pruned = next[:len(next)-s.dur.CheckpointKeep]
+		next = next[len(next)-s.dur.CheckpointKeep:]
+	}
+	// Publish the manifest before deleting anything it no longer
+	// names: a crash between the two leaves orphan files (harmless),
+	// never a manifest pointing at removed ones.
+	if err := saveManifest(s.dur.DataDir, manifest{Checkpoints: next}); err != nil {
+		s.met.checkpointErrors.Add(1)
+		return 0, err
+	}
+	s.man.Checkpoints = next
+	for _, p := range pruned {
+		_ = fsx.RemoveDurable(filepath.Join(ckptDir(s.dur.DataDir), p.File))
+	}
+	// Oldest retained epoch, not e: the older checkpoints are kept as
+	// corruption fallbacks and need their replay tails.
+	if err := s.wlog.TruncateBelow(next[0].Epoch); err != nil {
+		s.met.checkpointErrors.Add(1)
+		return e, err
+	}
+	s.ckptEpochGauge.Store(e)
+	s.met.checkpoints.Add(1)
+	return e, nil
+}
+
+// checkpointLoop checkpoints on a timer until shutdown; an unchanged
+// epoch makes the tick a no-op.
+func (s *Server) checkpointLoop() {
+	defer s.gcWG.Done()
+	tick := time.NewTicker(s.dur.CheckpointInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-tick.C:
+			// Errors are counted in checkpointErrors; the loop keeps
+			// ticking — a transient disk failure must not end
+			// checkpointing for the daemon's lifetime.
+			_, _ = s.checkpointNow()
+		}
+	}
+}
+
+// handleCheckpoint serves POST /v1/checkpoint: an operator-triggered
+// inline checkpoint (before planned maintenance, after a bulk load).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.wlog == nil {
+		writeError(w, http.StatusBadRequest, errNotDurable.Error())
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	e, err := s.checkpointNow()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+	}{e})
+}
+
+// healthDurability is the durability slice of GET /v1/health.
+type healthDurability struct {
+	Enabled            bool   `json:"enabled"`
+	Recovered          bool   `json:"recovered,omitempty"`
+	CheckpointEpoch    uint64 `json:"checkpoint_epoch,omitempty"`
+	ReplayedBatches    uint64 `json:"replayed_batches,omitempty"`
+	ReplayedOps        uint64 `json:"replayed_ops,omitempty"`
+	TornTail           bool   `json:"torn_tail,omitempty"`
+	WALAppendedBatches uint64 `json:"wal_appended_batches,omitempty"`
+	WALFsyncs          uint64 `json:"wal_fsyncs,omitempty"`
+}
+
+// handleHealthV1 serves GET /v1/health: a JSON health document with
+// the recovery/durability status a readiness probe or operator wants,
+// where /healthz stays the one-byte liveness check.
+func (s *Server) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	dur := healthDurability{Enabled: s.wlog != nil}
+	if s.wlog != nil {
+		st := s.wlog.Stats()
+		dur.Recovered = s.recovery.Recovered
+		dur.CheckpointEpoch = s.ckptEpochGauge.Load()
+		dur.ReplayedBatches = s.recovery.ReplayedBatches
+		dur.ReplayedOps = s.recovery.ReplayedOps
+		dur.TornTail = s.recovery.TornTail
+		dur.WALAppendedBatches = st.Appends
+		dur.WALFsyncs = st.Fsyncs
+	}
+	writeJSON(w, code, struct {
+		Status     string           `json:"status"`
+		Epoch      uint64           `json:"epoch"`
+		Durability healthDurability `json:"durability"`
+	}{status, s.dyn.Epoch(), dur})
+}
+
+// fillDurability adds the durability counters to a metrics snapshot.
+func (s *Server) fillDurability(sv *obs.ServerSnapshot, epoch uint64) {
+	if s.wlog == nil {
+		return
+	}
+	st := s.wlog.Stats()
+	sv.WALAppendedBatches = st.Appends
+	sv.WALAppendedOps = st.AppendedOps
+	sv.WALFsyncs = st.Fsyncs
+	sv.WALErrors = s.met.walErrors.Load()
+	sv.Checkpoints = s.met.checkpoints.Load()
+	sv.CheckpointErrors = s.met.checkpointErrors.Load()
+	ce := s.ckptEpochGauge.Load()
+	sv.CheckpointEpoch = ce
+	if epoch > ce {
+		sv.WALLagEpochs = epoch - ce
+	}
+	sv.RecoveryReplayedBatches = s.recovery.ReplayedBatches
+	sv.RecoveryReplayedOps = s.recovery.ReplayedOps
+}

@@ -1,0 +1,582 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"tufast"
+	"tufast/internal/dyngraph"
+	"tufast/internal/graph"
+	"tufast/internal/wal"
+)
+
+// The crash matrix: every test here produces, through fault-injection
+// hooks or direct file surgery, an on-disk state a SIGKILL can leave
+// behind — torn WAL tail, orphan checkpoint temp file, corrupt newest
+// checkpoint, record durable but unacknowledged — then reboots and
+// checks the recovered topology against the ReplayEdges oracle over
+// exactly the acknowledged batches, and that epochs stay monotonic
+// across the restart.
+
+// durBase is the deterministic day-zero graph every durability test
+// boots from.
+func durBase() *tufast.Graph {
+	return tufast.GenerateUniform(200, 4, 42).Undirect()
+}
+
+// startDurableServer boots (or reboots) a durable server over dir. No
+// background checkpoints unless the test sets an interval — the matrix
+// drives checkpoints explicitly.
+func startDurableServer(t *testing.T, dir string, dcfg DurabilityConfig) *Server {
+	t.Helper()
+	dcfg.DataDir = dir
+	if dcfg.CheckpointInterval == 0 {
+		dcfg.CheckpointInterval = -1
+	}
+	s, err := OpenDurable(Config{Addr: "127.0.0.1:0", Window: 256}, dcfg,
+		func() (*tufast.Graph, error) { return durBase(), nil },
+		func(g *tufast.Graph) *tufast.DynGraph {
+			sys := tufast.NewSystem(g, tufast.Options{
+				Threads:    4,
+				SpaceWords: tufast.DynSpaceWords(g, 200_000),
+				HMaxHint:   64,
+				OMaxHint:   256,
+			})
+			return tufast.NewDynGraph(sys)
+		})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return s
+}
+
+// shutdownServer is the graceful path (final checkpoint + WAL close).
+func shutdownServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// crashServer abandons s the way a kill would: no final checkpoint, no
+// graceful anything — background goroutines are reaped (the test
+// process lives on) and the WAL file handle is closed, but whatever
+// the on-disk state is at this instant is what recovery gets.
+func crashServer(s *Server) {
+	s.admitMu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+	s.cancelJobs()
+	s.workerWG.Wait()
+	s.standing.stop()
+	s.gcWG.Wait()
+	s.mutMu.Lock()
+	_ = s.wlog.Close()
+	s.mutMu.Unlock()
+	_ = s.hsrv.Close()
+}
+
+// ackedBatch is one acknowledged (HTTP 200) mutation batch: the epoch
+// the ack carried and the ops as sent.
+type ackedBatch struct {
+	epoch uint64
+	ops   []edgeOp
+}
+
+// distinctBatch returns size ops touching distinct undirected edges.
+// Distinctness within the batch is what makes replay deterministic:
+// ops on different edges commute, so any within-window application
+// order — original or replayed — yields the same topology and the
+// same effectiveness.
+func distinctBatch(rng *rand.Rand, n, size int) []edgeOp {
+	seen := make(map[uint64]bool, size)
+	ops := make([]edgeOp, 0, size)
+	for len(ops) < size {
+		u, v := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		k := uint64(a)<<32 | uint64(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ops = append(ops, edgeOp{U: u, V: v, Del: rng.Float64() < 0.25})
+	}
+	return ops
+}
+
+// postBatch sends one mutation batch, returning the HTTP status and
+// (on 200) the ack epoch.
+func postBatch(t *testing.T, client *http.Client, base string, ops []edgeOp) (int, uint64) {
+	t.Helper()
+	code, out, _ := postJSON(t, client, base+"/v1/edges", edgeBatch{Ops: ops})
+	var epoch uint64
+	if e, ok := out["epoch"].(float64); ok {
+		epoch = uint64(e)
+	}
+	return code, epoch
+}
+
+// assertRecoveredTopology compares s's live topology against the
+// ReplayEdges oracle: base graph + the acknowledged batches' ops in
+// commit (epoch) order must equal the recovered graph byte for byte.
+func assertRecoveredTopology(t *testing.T, s *Server, acked []ackedBatch) {
+	t.Helper()
+	sort.Slice(acked, func(i, j int) bool { return acked[i].epoch < acked[j].epoch })
+	base := durBase()
+	st := &dyngraph.Stream{N: base.NumVertices(), Undirected: true}
+	for u := uint32(0); int(u) < base.NumVertices(); u++ {
+		for _, v := range base.Neighbors(u) {
+			if v >= u {
+				st.Base = append(st.Base, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	tick := uint64(1)
+	for _, b := range acked {
+		for _, op := range b.ops {
+			st.Ops = append(st.Ops, dyngraph.Op{Time: tick, U: op.U, V: op.V, Del: op.Del})
+			tick++
+		}
+	}
+	want, err := graph.Build(st.N, st.ReplayEdges(), graph.BuildOptions{Symmetrize: true})
+	if err != nil {
+		t.Fatalf("oracle build: %v", err)
+	}
+	view := s.dyn.View()
+	defer view.Close()
+	got, err := view.Compact()
+	if err != nil {
+		t.Fatalf("compact recovered graph: %v", err)
+	}
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("vertices: got %d want %d", got.NumVertices(), want.NumVertices())
+	}
+	for u := uint32(0); int(u) < want.NumVertices(); u++ {
+		g, w := got.Neighbors(u), want.Neighbors(u)
+		if len(g) != len(w) {
+			t.Fatalf("vertex %d: degree %d, oracle %d", u, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("vertex %d neighbor %d: got %d, oracle %d", u, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestCrashRecoveryTornTailMidAppend kills the daemon mid-WAL-append
+// (via the fault-injection hook, so the torn frame goes through the
+// real write path), then reboots: every acknowledged batch must
+// survive, the torn batch must not, and the epoch counter must resume
+// exactly after the last acknowledged epoch.
+func TestCrashRecoveryTornTailMidAppend(t *testing.T) {
+	dir := t.TempDir()
+	const crashAfter = 8
+	var frames int
+	hooks := &wal.Hooks{TrimAppend: func(frame []byte) int {
+		frames++
+		if frames > crashAfter {
+			return len(frame) / 2
+		}
+		return len(frame)
+	}}
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways, walHooks: hooks})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(7))
+
+	var acked []ackedBatch
+	sawCrash := false
+	for i := 0; i < crashAfter+3; i++ {
+		ops := distinctBatch(rng, 200, 24)
+		code, epoch := postBatch(t, client, base, ops)
+		switch code {
+		case http.StatusOK:
+			if sawCrash {
+				t.Fatal("batch acknowledged after the log died")
+			}
+			acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+		case http.StatusInternalServerError:
+			sawCrash = true
+		default:
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+	}
+	if !sawCrash || len(acked) != crashAfter {
+		t.Fatalf("acked %d batches, sawCrash=%v (want %d, true)", len(acked), sawCrash, crashAfter)
+	}
+	lastAcked := acked[len(acked)-1].epoch
+	crashServer(s)
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	rec := s2.Recovery()
+	if !rec.TornTail {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if rec.ReplayedBatches != uint64(len(acked)) {
+		t.Fatalf("replayed %d batches, want %d", rec.ReplayedBatches, len(acked))
+	}
+	assertRecoveredTopology(t, s2, acked)
+
+	// Epochs must be monotonic across the restart: the next effective
+	// batch commits exactly one past the last acknowledged epoch.
+	code, epoch := postBatch(t, client, "http://"+s2.Addr(), distinctBatch(rng, 200, 8))
+	if code != http.StatusOK || epoch != lastAcked+1 {
+		t.Fatalf("post-reboot batch: status %d epoch %d, want 200 epoch %d", code, epoch, lastAcked+1)
+	}
+
+	// The health document must expose the recovery.
+	hcode, health := getJSON(t, client, "http://"+s2.Addr()+"/v1/health")
+	if hcode != http.StatusOK {
+		t.Fatalf("/v1/health: %d", hcode)
+	}
+	dur, _ := health["durability"].(map[string]any)
+	if dur == nil || dur["enabled"] != true || dur["recovered"] != true {
+		t.Fatalf("/v1/health durability section: %v", health["durability"])
+	}
+	if rb, _ := dur["replayed_batches"].(float64); int(rb) != len(acked) {
+		t.Fatalf("/v1/health replayed_batches %v, want %d", dur["replayed_batches"], len(acked))
+	}
+}
+
+// TestCrashRecoveryMidCheckpointRename kills between a checkpoint's
+// temp-file write and its rename: the orphan .tmp- file must not
+// confuse boot, and recovery proceeds from the previous checkpoint.
+func TestCrashRecoveryMidCheckpointRename(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(11))
+
+	var acked []ackedBatch
+	for i := 0; i < 5; i++ {
+		ops := distinctBatch(rng, 200, 16)
+		code, epoch := postBatch(t, client, base, ops)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+	}
+	crashServer(s)
+
+	// The on-disk state a kill mid-atomic-write leaves: a partial temp
+	// file in checkpoints/ that never got renamed.
+	orphan := filepath.Join(ckptDir(dir), ".tmp-ckpt-0000000000000005.bin-1234")
+	if err := os.WriteFile(orphan, []byte("half a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	if got := s2.Recovery().ReplayedBatches; got != uint64(len(acked)) {
+		t.Fatalf("replayed %d batches, want %d", got, len(acked))
+	}
+	assertRecoveredTopology(t, s2, acked)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan temp file survived boot (err=%v)", err)
+	}
+}
+
+// TestCrashRecoveryCorruptNewestCheckpoint flips a byte in the newest
+// checkpoint: its CRC footer must reject it and recovery must fall
+// back to the older checkpoint plus a longer WAL replay — which is why
+// the WAL is truncated below the OLDEST retained checkpoint only.
+func TestCrashRecoveryCorruptNewestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(13))
+
+	var acked []ackedBatch
+	post := func(k int) {
+		for i := 0; i < k; i++ {
+			ops := distinctBatch(rng, 200, 16)
+			code, epoch := postBatch(t, client, base, ops)
+			if code != http.StatusOK {
+				t.Fatalf("batch: status %d", code)
+			}
+			acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+		}
+	}
+	post(4)
+	code, out, _ := postJSON(t, client, base+"/v1/checkpoint", struct{}{})
+	if code != http.StatusOK {
+		t.Fatalf("POST /v1/checkpoint: %d (%v)", code, out)
+	}
+	ckptEpoch := uint64(out["checkpoint_epoch"].(float64))
+	if ckptEpoch != acked[len(acked)-1].epoch {
+		t.Fatalf("checkpoint epoch %d, want %d", ckptEpoch, acked[len(acked)-1].epoch)
+	}
+	post(3)
+	crashServer(s)
+
+	// Corrupt the newest checkpoint (the one at ckptEpoch).
+	name := filepath.Join(ckptDir(dir), fmt.Sprintf("ckpt-%016x.bin", ckptEpoch))
+	raw, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(name, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	rec := s2.Recovery()
+	if rec.CheckpointFallbacks != 1 {
+		t.Fatalf("checkpoint fallbacks %d, want 1", rec.CheckpointFallbacks)
+	}
+	if rec.CheckpointEpoch != 0 {
+		t.Fatalf("fell back to checkpoint epoch %d, want 0 (the initial one)", rec.CheckpointEpoch)
+	}
+	// The fallback replays the WHOLE history, not just the post-
+	// checkpoint tail.
+	if rec.ReplayedBatches != uint64(len(acked)) {
+		t.Fatalf("replayed %d batches, want %d", rec.ReplayedBatches, len(acked))
+	}
+	assertRecoveredTopology(t, s2, acked)
+}
+
+// TestCrashRecoveryDurableUnacked covers the crash between append and
+// respond: the record is durable but the client never saw the 200.
+// Recovery must include it — durability is decided at the fsync, and
+// an indeterminate batch resolving to "applied" is the documented
+// contract for unacknowledged writes.
+func TestCrashRecoveryDurableUnacked(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(17))
+
+	var acked []ackedBatch
+	for i := 0; i < 4; i++ {
+		ops := distinctBatch(rng, 200, 16)
+		code, epoch := postBatch(t, client, base, ops)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+	}
+	lastEpoch := acked[len(acked)-1].epoch
+	crashServer(s)
+
+	// Re-create the durable-but-unacked state through the real append
+	// path: one more well-formed record at the next epoch, written
+	// directly to the closed daemon's log.
+	extra := distinctBatch(rng, 200, 8)
+	wops := make([]wal.Op, len(extra))
+	for i, op := range extra {
+		wops[i] = wal.Op{U: op.U, V: op.V, Del: op.Del}
+	}
+	l, _, err := wal.Open(walDir(dir), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(lastEpoch+1, wops); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	if got := s2.Recovery().ReplayedBatches; got != uint64(len(acked)+1) {
+		t.Fatalf("replayed %d batches, want %d", got, len(acked)+1)
+	}
+	withExtra := append(append([]ackedBatch(nil), acked...),
+		ackedBatch{epoch: lastEpoch + 1, ops: extra})
+	assertRecoveredTopology(t, s2, withExtra)
+}
+
+// TestCrashRecoveryConcurrentMutators is the kill-and-restart test
+// under load: several clients post batches concurrently while the
+// fault hook tears an append mid-frame. Everything acknowledged before
+// the tear must survive the reboot byte for byte; nothing after the
+// tear may be acknowledged at all.
+func TestCrashRecoveryConcurrentMutators(t *testing.T) {
+	dir := t.TempDir()
+	const crashAfter = 30
+	var hookMu sync.Mutex
+	frames := 0
+	hooks := &wal.Hooks{TrimAppend: func(frame []byte) int {
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		frames++
+		if frames > crashAfter {
+			return len(frame) - 3
+		}
+		return len(frame)
+	}}
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways, walHooks: hooks})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+
+	var mu sync.Mutex
+	var acked []ackedBatch
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + id)))
+			for i := 0; i < crashAfter; i++ {
+				ops := distinctBatch(rng, 200, 12)
+				code, epoch := postBatch(t, client, base, ops)
+				if code != http.StatusOK {
+					return // the log died underneath us
+				}
+				mu.Lock()
+				acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if len(acked) != crashAfter {
+		t.Fatalf("acked %d batches, want exactly %d (every pre-tear append, nothing after)",
+			len(acked), crashAfter)
+	}
+	crashServer(s)
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	rec := s2.Recovery()
+	if !rec.TornTail {
+		t.Fatal("recovery did not report the torn tail")
+	}
+	if rec.ReplayedBatches != uint64(len(acked)) {
+		t.Fatalf("replayed %d batches, want %d", rec.ReplayedBatches, len(acked))
+	}
+	assertRecoveredTopology(t, s2, acked)
+
+	// Monotonic epochs: the highest acknowledged epoch is crashAfter
+	// (batches serialize), and the next commit lands right after it.
+	code, epoch := postBatch(t, client, "http://"+s2.Addr(),
+		distinctBatch(rand.New(rand.NewSource(999)), 200, 8))
+	if code != http.StatusOK || epoch != uint64(crashAfter)+1 {
+		t.Fatalf("post-reboot batch: status %d epoch %d, want 200 epoch %d",
+			code, epoch, crashAfter+1)
+	}
+}
+
+// TestCrashRecoveryCheckpointRetention drives enough batches through
+// tiny WAL segments to rotate several times, checkpoints with keep=1,
+// and verifies the WAL actually shrank and a reboot replays only the
+// post-checkpoint tail.
+func TestCrashRecoveryCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	dcfg := DurabilityConfig{Sync: wal.SyncAlways, SegmentBytes: 512, CheckpointKeep: 1}
+	s := startDurableServer(t, dir, dcfg)
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(23))
+
+	var acked []ackedBatch
+	for i := 0; i < 12; i++ {
+		ops := distinctBatch(rng, 200, 16)
+		code, epoch := postBatch(t, client, base, ops)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+	}
+	before, _ := os.ReadDir(walDir(dir))
+	if len(before) < 3 {
+		t.Fatalf("expected several WAL segments before checkpoint, got %d", len(before))
+	}
+	if code, out, _ := postJSON(t, client, base+"/v1/checkpoint", struct{}{}); code != http.StatusOK {
+		t.Fatalf("POST /v1/checkpoint: %d (%v)", code, out)
+	}
+	after, _ := os.ReadDir(walDir(dir))
+	if len(after) >= len(before) {
+		t.Fatalf("checkpoint did not truncate the WAL: %d -> %d segments", len(before), len(after))
+	}
+
+	// Two more batches after the checkpoint, then a crash: only they
+	// need replay.
+	var tail []ackedBatch
+	for i := 0; i < 2; i++ {
+		ops := distinctBatch(rng, 200, 16)
+		code, epoch := postBatch(t, client, base, ops)
+		if code != http.StatusOK {
+			t.Fatalf("tail batch: status %d", code)
+		}
+		tail = append(tail, ackedBatch{epoch: epoch, ops: ops})
+	}
+	acked = append(acked, tail...)
+	crashServer(s)
+
+	s2 := startDurableServer(t, dir, dcfg)
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	rec := s2.Recovery()
+	if rec.ReplayedBatches != uint64(len(tail)) {
+		t.Fatalf("replayed %d batches, want just the %d post-checkpoint ones",
+			rec.ReplayedBatches, len(tail))
+	}
+	assertRecoveredTopology(t, s2, acked)
+}
+
+// TestCrashRecoveryCleanRestart: a graceful shutdown checkpoints, so
+// the next boot replays nothing and serves the same topology at the
+// same epoch.
+func TestCrashRecoveryCleanRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	client := &http.Client{}
+	base := "http://" + s.Addr()
+	rng := rand.New(rand.NewSource(29))
+
+	var acked []ackedBatch
+	for i := 0; i < 6; i++ {
+		ops := distinctBatch(rng, 200, 16)
+		code, epoch := postBatch(t, client, base, ops)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d: status %d", i, code)
+		}
+		acked = append(acked, ackedBatch{epoch: epoch, ops: ops})
+	}
+	last := acked[len(acked)-1].epoch
+	shutdownServer(t, s)
+
+	s2 := startDurableServer(t, dir, DurabilityConfig{Sync: wal.SyncAlways})
+	t.Cleanup(func() { shutdownServer(t, s2) })
+	rec := s2.Recovery()
+	if rec.ReplayedBatches != 0 {
+		t.Fatalf("clean restart replayed %d batches, want 0", rec.ReplayedBatches)
+	}
+	if rec.CheckpointEpoch != last {
+		t.Fatalf("recovered checkpoint epoch %d, want %d", rec.CheckpointEpoch, last)
+	}
+	assertRecoveredTopology(t, s2, acked)
+	code, epoch := postBatch(t, client, "http://"+s2.Addr(), distinctBatch(rng, 200, 8))
+	if code != http.StatusOK || epoch != last+1 {
+		t.Fatalf("post-restart batch: status %d epoch %d, want 200 epoch %d", code, epoch, last+1)
+	}
+}

@@ -30,6 +30,14 @@ type metrics struct {
 	standingRecomputes    atomic.Uint64
 	standingDeleteRepairs atomic.Uint64
 
+	// Durability plane: appends that failed (the batch committed in
+	// memory but was answered 5xx), checkpoints written, and checkpoint
+	// attempts that errored. Append/fsync counts live in the wal
+	// package's own counters and are folded in by fillDurability.
+	walErrors        atomic.Uint64
+	checkpoints      atomic.Uint64
+	checkpointErrors atomic.Uint64
+
 	// MVCC chain GC: passes that rewrote at least one chain, the total
 	// chains compacted, and passes abandoned on a transient error (the
 	// loop keeps ticking; only shutdown stops it).

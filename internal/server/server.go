@@ -54,6 +54,7 @@ import (
 
 	"tufast"
 	"tufast/internal/obs"
+	"tufast/internal/wal"
 )
 
 // Config tunes a Server. Zero values take the documented defaults.
@@ -99,11 +100,6 @@ type Config struct {
 	// garbage-collected down to the oldest live view pin (default 2s;
 	// < 0 disables the background pass).
 	GCInterval time.Duration
-	// LegacySnapshot restores the pre-MVCC analytics plane: jobs
-	// compact under the exclusive topology lock instead of reading an
-	// epoch-pinned view. Kept for A/B benchmarking (bench-mvcc); not
-	// for production use.
-	LegacySnapshot bool
 
 	// jobGate, when non-nil, runs at job start before the algorithm —
 	// a test hook to hold workers deterministically (block the pool,
@@ -174,8 +170,7 @@ type Server struct {
 	// topo orders mutation batches (shared) against standing-query
 	// seeding (exclusive), which reads a quiescent initial state. The
 	// analytics plane no longer takes it: jobs read epoch-pinned MVCC
-	// views. (LegacySnapshot restores the old exclusive compaction for
-	// benchmarking.)
+	// views.
 	//
 	//tufast:lockorder 20
 	topo sync.RWMutex
@@ -248,6 +243,19 @@ type Server struct {
 	workerWG   sync.WaitGroup
 	gcWG       sync.WaitGroup
 
+	// Durability plane (nil wlog = ephemeral daemon). ckptMu
+	// single-flights checkpoints and guards the manifest; it brackets
+	// an epoch-pinned compaction plus file writes and takes no other
+	// server lock besides (in Shutdown's close path) mutMu.
+	//
+	//tufast:lockorder 5
+	ckptMu         sync.Mutex
+	wlog           *wal.Log
+	dur            DurabilityConfig
+	man            manifest
+	recovery       RecoveryInfo
+	ckptEpochGauge atomic.Uint64
+
 	met  metrics
 	hsrv *http.Server
 	ln   net.Listener
@@ -286,9 +294,13 @@ func (s *Server) Start() error {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	if s.cfg.GCInterval > 0 && !s.cfg.LegacySnapshot {
+	if s.cfg.GCInterval > 0 {
 		s.gcWG.Add(1)
 		go s.gcLoop()
+	}
+	if s.wlog != nil && s.dur.CheckpointInterval > 0 {
+		s.gcWG.Add(1)
+		go s.checkpointLoop()
 	}
 	go func() { _ = s.hsrv.Serve(ln) }()
 	return nil
@@ -368,6 +380,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// overlay GC pass.
 	s.standing.stop()
 	s.gcWG.Wait()
+	if s.wlog != nil {
+		// Best-effort final checkpoint (no-op when nothing committed
+		// since the last one), then close the log. mutMu excludes any
+		// mutation request that slipped past the draining check: once
+		// we hold it, no append is in flight and none can start without
+		// hitting the closed-log error.
+		_, _ = s.checkpointNow()
+		s.mutMu.Lock()
+		_ = s.wlog.Close()
+		s.mutMu.Unlock()
+	}
 	return s.hsrv.Shutdown(ctx)
 }
 
@@ -376,8 +399,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // serves.
 func (s *Server) MetricsSnapshot() tufast.MetricsSnapshot {
 	snap := s.sys.MetricsSnapshot()
-	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), s.dyn.Epoch(),
+	epoch := s.dyn.Epoch()
+	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), epoch,
 		s.standing.count(), s.standing.repairingCount())
+	s.fillDurability(snap.Server, epoch)
 	return snap
 }
 
@@ -389,6 +414,8 @@ func (s *Server) mux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/standing", s.handleStandingList)
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/health", s.handleHealthV1)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
@@ -454,7 +481,20 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		Emit:   s.streamEmit,
 	})
 	s.topo.RUnlock()
+	var walErr error
 	if stats.Inserted+stats.Removed > 0 {
+		if s.wlog != nil {
+			// Log the batch inside the same bracket that serialized it:
+			// WAL order is commit order by construction, and the record
+			// carries the exact epoch this batch's bump published. The
+			// ops slice was sorted in place by ApplyStreamCtx, so the
+			// log holds applied order and replay's re-sort is a no-op.
+			// Under SyncAlways the append is durable before the 200
+			// below — an acknowledged batch survives any crash.
+			if walErr = s.wlog.Append(stats.Epoch, ops); walErr != nil {
+				s.met.walErrors.Add(1)
+			}
+		}
 		// Even a batch that failed partway committed changes; standing
 		// queries must repair over them like any other effective batch.
 		// The ops ride along so cc queries can log the batch's deletes
@@ -465,6 +505,14 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.mutMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "apply: "+err.Error())
+		return
+	}
+	if walErr != nil {
+		// The in-memory commit stands but its durability record failed:
+		// never acknowledge. The client must treat the batch as
+		// indeterminate (it may or may not survive a crash), exactly as
+		// for any 5xx on a mutation.
+		writeError(w, http.StatusInternalServerError, "wal append: "+walErr.Error())
 		return
 	}
 	s.met.mutBatches.Add(1)
@@ -659,9 +707,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // while writers keep appending. Concurrent misses on the same epoch
 // coalesce on the builder's claim channel.
 func (s *Server) snapshot() (*tufast.Graph, uint64, error) {
-	if s.cfg.LegacySnapshot {
-		return s.snapshotLegacy()
-	}
 	view := s.dyn.View()
 	defer view.Close()
 	cur := view.Epoch()
@@ -705,29 +750,6 @@ func (s *Server) snapshot() (*tufast.Graph, uint64, error) {
 		}
 		return g, cur, nil
 	}
-}
-
-// snapshotLegacy is the RWMutex-era snapshot path (Config.
-// LegacySnapshot): compaction requires quiescence, so it excludes the
-// whole mutation plane via the exclusive topology lock and holds
-// snapMu throughout — cache hits queue behind it. Kept only as the
-// bench-mvcc baseline.
-func (s *Server) snapshotLegacy() (*tufast.Graph, uint64, error) {
-	cur := s.dyn.Epoch()
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-	if s.snapGraph != nil && s.snapEpoch == cur {
-		return s.snapGraph, cur, nil
-	}
-	s.topo.Lock()
-	cur = s.dyn.Epoch()
-	g, err := s.dyn.Compact()
-	s.topo.Unlock()
-	if err != nil {
-		return nil, cur, err
-	}
-	s.snapGraph, s.snapEpoch = g, cur
-	return g, cur, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,655 @@
+// Package wal is tufastd's write-ahead log: the durability record of
+// the mutation plane.
+//
+// The unit of logging is the committed mutation batch — exactly the
+// epoch-bump points of the MVCC overlay. The serving layer appends one
+// record per effective POST /v1/edges batch, inside the same
+// single-writer bracket that serializes batches, so log order equals
+// commit order by construction and a record's epoch is the epoch its
+// batch published. Recovery is then trivial to state: load the newest
+// valid checkpoint (a compacted CSR at epoch C) and re-apply every
+// record with epoch > C through the normal stream-apply path; the
+// result is byte-identical to the pre-crash topology for every
+// acknowledged batch.
+//
+// On disk the log is a directory of segments (`wal-<seq>.seg`), each a
+// 16-byte header followed by length+CRC32-C framed records:
+//
+//	frame:   [payload len uint32][crc32c(payload) uint32][payload]
+//	payload: [epoch uint64][nops uint32] nops × [time uint64][u uint32][v uint32][flags uint32]
+//
+// A crash can tear at most the frame being written when the process
+// died, and only at the log's tail (frames are appended under one
+// lock, fsync barriers never reorder them). Open therefore repairs
+// rather than refuses: it scans every segment, truncates the file at
+// the first bad frame (length insane, payload short, or CRC mismatch),
+// drops any later segments, and reports what it did — a torn tail
+// costs exactly the unacknowledged batch that was mid-write, never the
+// boot.
+//
+// Sync policy is the durability/throughput dial: SyncAlways fsyncs
+// inside every Append (an acknowledged batch is durable, period),
+// SyncInterval fsyncs on a timer (a crash loses at most the last
+// interval of acknowledged batches), SyncNone leaves flushing to the
+// OS (crash-consistent but not crash-durable — the torn-tail repair
+// still applies). Checkpoints bound replay: TruncateBelow removes
+// whole segments whose records are all covered by a retained
+// checkpoint.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tufast/internal/dyngraph"
+	"tufast/internal/fsx"
+)
+
+// Op is one edge mutation, as streamed through the mutation plane.
+type Op = dyngraph.Op
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs inside every Append: when Append returns, the
+	// record is durable. The policy the acknowledged-batch contract
+	// assumes, and the default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.SyncInterval): a crash
+	// loses at most the trailing interval of acknowledged batches.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes when it likes.
+	SyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the flag spelling ("always", "interval",
+// "none").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or none)", s)
+}
+
+// Hooks injects faults into the WAL's file layer. Test-only: crash
+// tests use them to produce, through the real append path, exactly the
+// on-disk states a SIGKILL leaves behind.
+type Hooks struct {
+	// TrimAppend, when non-nil, is consulted with every frame about to
+	// be written; returning n < len(frame) writes only that prefix (a
+	// torn append) and fails the Append with ErrInjectedCrash, after
+	// which the log refuses further appends — the process "died".
+	TrimAppend func(frame []byte) int
+	// SyncErr, when non-nil, runs before every fsync; a non-nil return
+	// is reported as the fsync's error.
+	SyncErr func() error
+}
+
+// ErrInjectedCrash is returned by Append when Hooks.TrimAppend
+// simulated a mid-write crash.
+var ErrInjectedCrash = errors.New("wal: injected crash during append")
+
+// errLogFailed is returned by Append after an injected crash killed
+// the log.
+var errLogFailed = errors.New("wal: log failed (simulated crash); reopen to recover")
+
+// Options tunes a Log. Zero values take the documented defaults.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// SyncInterval is the SyncInterval timer period (default 50ms).
+	SyncInterval time.Duration
+	// SegmentBytes rotates to a fresh segment once the active one
+	// exceeds this size (default 64 MiB).
+	SegmentBytes int64
+	// Hooks injects faults for crash tests; nil in production.
+	Hooks *Hooks
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+const (
+	segMagic   = uint64(0x314c4157_46555431) // "1TUF" | "WAL1"
+	headerSize = 16                          // magic + reserved word
+	frameHead  = 8                           // payload len + crc32c
+	opBytes    = 20                          // time(8) u(4) v(4) flags(4)
+	recHead    = 12                          // epoch(8) + nops(4)
+	flagDel    = uint32(1)
+
+	// maxPayload rejects insane length fields during scan so a torn
+	// length word cannot make the reader allocate gigabytes. Generous:
+	// ~3.3M ops per record, far above any MaxBatch.
+	maxPayload = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segment is one on-disk log file.
+type segment struct {
+	seq       uint64
+	path      string
+	size      int64  // valid bytes (post-repair)
+	records   int    // valid records
+	lastEpoch uint64 // epoch of the last record (0 when records == 0)
+}
+
+// Stats are the log's cumulative counters since Open.
+type Stats struct {
+	// Appends / AppendedOps count successful Append calls and the ops
+	// they carried.
+	Appends     uint64
+	AppendedOps uint64
+	// Fsyncs counts fdatasync/fsync calls on segment files.
+	Fsyncs uint64
+	// Rotations counts segment rollovers.
+	Rotations uint64
+	// TruncatedSegments counts segments removed by TruncateBelow.
+	TruncatedSegments uint64
+}
+
+// ScanResult describes what Open found (and repaired) on disk.
+type ScanResult struct {
+	// Batches / Ops count the valid records surviving repair.
+	Batches, Ops int
+	// FirstEpoch / LastEpoch bound the surviving records' epochs
+	// (both 0 when the log is empty).
+	FirstEpoch, LastEpoch uint64
+	// TornTail is true when a bad frame was found and the log was
+	// truncated at it.
+	TornTail bool
+	// DroppedSegments counts whole segments discarded because they
+	// followed a torn frame.
+	DroppedSegments int
+}
+
+// Log is an append-only segmented write-ahead log. One writer
+// (Append/Rotate/TruncateBelow are serialized internally); Replay must
+// run before the first Append, which is how recovery uses it.
+type Log struct {
+	dir string
+	opt Options
+
+	mu     sync.Mutex
+	f      *os.File // active segment, open for append
+	active segment
+	sealed []segment // older segments, oldest first
+	dirty  bool      // bytes appended since the last fsync
+	failed bool      // an injected crash killed the log
+
+	appends     atomic.Uint64
+	appendedOps atomic.Uint64
+	fsyncs      atomic.Uint64
+	rotations   atomic.Uint64
+	truncated   atomic.Uint64
+
+	syncStop chan struct{} // closes to stop the interval-sync goroutine
+	syncDone chan struct{}
+}
+
+// Open opens (creating if needed) the log directory, repairs any torn
+// tail, and readies the log for Replay-then-Append. The returned
+// ScanResult reports the surviving records and whatever repair was
+// done.
+func Open(dir string, opt Options) (*Log, ScanResult, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ScanResult{}, err
+	}
+	l := &Log{dir: dir, opt: opt}
+	res, err := l.scanAndRepair()
+	if err != nil {
+		return nil, res, err
+	}
+	if err := l.openActive(); err != nil {
+		return nil, res, err
+	}
+	if opt.Sync == SyncInterval {
+		l.syncStop = make(chan struct{})
+		l.syncDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, res, nil
+}
+
+// scanAndRepair walks the segments in sequence order, validating every
+// frame. The first bad frame truncates its segment there and drops all
+// later segments; an unreadable header truncates the segment to empty.
+func (l *Log) scanAndRepair() (ScanResult, error) {
+	var res ScanResult
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return res, err
+	}
+	var segs []segment
+	for _, e := range ents {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%016x.seg", &seq); err != nil {
+			continue
+		}
+		segs = append(segs, segment{seq: seq, path: filepath.Join(l.dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	torn := false
+	for i := range segs {
+		s := &segs[i]
+		if torn {
+			// Records after a torn frame are unreachable in commit
+			// order; keeping them would replay a gap. Drop the segment.
+			if err := fsx.RemoveDurable(s.path); err != nil {
+				return res, err
+			}
+			res.DroppedSegments++
+			continue
+		}
+		segTorn, err := scanSegment(s, func(epoch uint64, nops int) {
+			if res.Batches == 0 {
+				res.FirstEpoch = epoch
+			}
+			res.LastEpoch = epoch
+			res.Batches++
+			res.Ops += nops
+		})
+		if err != nil {
+			return res, err
+		}
+		if segTorn {
+			torn = true
+			res.TornTail = true
+			if err := os.Truncate(s.path, s.size); err != nil {
+				return res, err
+			}
+		}
+		l.sealed = append(l.sealed, *s)
+	}
+	return res, nil
+}
+
+// scanSegment validates s's frames, filling size/records/lastEpoch
+// with the valid prefix. Returns whether a bad frame (or header) was
+// found. onRecord fires per valid record in order.
+func scanSegment(s *segment, onRecord func(epoch uint64, nops int)) (bool, error) {
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		return false, err
+	}
+	if len(raw) < headerSize || binary.LittleEndian.Uint64(raw[0:8]) != segMagic {
+		// Torn before the header finished (or foreign bytes): keep the
+		// file but treat it as empty; openActive rewrites the header.
+		s.size = 0
+		return true, nil
+	}
+	off := int64(headerSize)
+	for {
+		rest := raw[off:]
+		if len(rest) == 0 {
+			return false, nil // clean end
+		}
+		if len(rest) < frameHead {
+			return true, nil // torn frame head
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen < recHead || plen > maxPayload || int(plen)%opBytes != recHead%opBytes {
+			return true, nil // insane length word
+		}
+		if len(rest) < frameHead+int(plen) {
+			return true, nil // torn payload
+		}
+		payload := rest[frameHead : frameHead+int(plen)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return true, nil // corrupt payload
+		}
+		epoch := binary.LittleEndian.Uint64(payload[0:8])
+		nops := int(binary.LittleEndian.Uint32(payload[8:12]))
+		if recHead+nops*opBytes != int(plen) {
+			return true, nil // op count disagrees with length
+		}
+		off += int64(frameHead + int(plen))
+		s.size = off
+		s.records++
+		s.lastEpoch = epoch
+		onRecord(epoch, nops)
+	}
+}
+
+// openActive opens the last surviving segment for append (creating
+// segment 1 on a fresh log, or rewriting the header of a
+// truncated-to-empty one).
+func (l *Log) openActive() error {
+	if len(l.sealed) == 0 {
+		return l.createSegment(1)
+	}
+	s := l.sealed[len(l.sealed)-1]
+	l.sealed = l.sealed[:len(l.sealed)-1]
+	if s.size == 0 {
+		// Header was torn: rewrite the file from scratch.
+		if err := fsx.RemoveDurable(s.path); err != nil {
+			return err
+		}
+		return l.createSegment(s.seq)
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.active = f, s
+	return nil
+}
+
+// createSegment creates and headers a fresh segment with the given
+// sequence number and makes it active.
+func (l *Log) createSegment(seq uint64) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], segMagic)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	l.fsyncs.Add(1)
+	if err := fsx.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.active = segment{seq: seq, path: path, size: headerSize}
+	return nil
+}
+
+// encodeRecord frames one batch record into buf (reused across calls).
+func encodeRecord(buf []byte, epoch uint64, ops []Op) []byte {
+	plen := recHead + len(ops)*opBytes
+	need := frameHead + plen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	payload := buf[frameHead:]
+	binary.LittleEndian.PutUint64(payload[0:8], epoch)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(len(ops)))
+	off := recHead
+	for _, op := range ops {
+		binary.LittleEndian.PutUint64(payload[off:], op.Time)
+		binary.LittleEndian.PutUint32(payload[off+8:], op.U)
+		binary.LittleEndian.PutUint32(payload[off+12:], op.V)
+		var flags uint32
+		if op.Del {
+			flags = flagDel
+		}
+		binary.LittleEndian.PutUint32(payload[off+16:], flags)
+		off += opBytes
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// Append logs one committed batch: the epoch its bump published and
+// the ops it carried (in applied order). Under SyncAlways the record
+// is durable when Append returns; the caller acknowledges the batch
+// only after that. Epochs must be appended in nondecreasing order —
+// the serving layer's single-writer mutation bracket provides that.
+func (l *Log) Append(epoch uint64, ops []Op) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed {
+		return errLogFailed
+	}
+	if l.f == nil {
+		return errors.New("wal: log closed")
+	}
+	frame := encodeRecord(nil, epoch, ops)
+	if l.active.size+int64(len(frame)) > l.opt.SegmentBytes && l.active.records > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n := len(frame)
+	if h := l.opt.Hooks; h != nil && h.TrimAppend != nil {
+		n = h.TrimAppend(frame)
+	}
+	if _, err := l.f.Write(frame[:n]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if n < len(frame) {
+		// Injected mid-write crash: the torn frame is on disk, the
+		// process is "dead" — no record bookkeeping, no acknowledgment.
+		l.failed = true
+		return ErrInjectedCrash
+	}
+	l.active.size += int64(len(frame))
+	l.active.records++
+	l.active.lastEpoch = epoch
+	l.dirty = true
+	if l.opt.Sync == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	}
+	l.appends.Add(1)
+	l.appendedOps.Add(uint64(len(ops)))
+	return nil
+}
+
+// syncLocked fsyncs the active segment; callers hold l.mu.
+func (l *Log) syncLocked() error {
+	if !l.dirty || l.f == nil {
+		return nil
+	}
+	if h := l.opt.Hooks; h != nil && h.SyncErr != nil {
+		if err := h.SyncErr(); err != nil {
+			return err
+		}
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+// Sync forces an fsync of any unflushed appends (used by drain, and as
+// the interval policy's timer body).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+// syncLoop is the SyncInterval flusher.
+func (l *Log) syncLoop() {
+	defer close(l.syncDone)
+	tick := time.NewTicker(l.opt.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.syncStop:
+			return
+		case <-tick.C:
+			_ = l.Sync() // a failed interval fsync retries next tick
+		}
+	}
+}
+
+// rotateLocked seals the active segment and opens the next one;
+// callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, l.active)
+	seq := l.active.seq + 1
+	l.f = nil
+	if err := l.createSegment(seq); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	return nil
+}
+
+// TruncateBelow removes segments made fully redundant by a checkpoint
+// at epoch: every record in them has epoch ≤ the argument, so replay
+// from that checkpoint never needs them. The active segment rotates
+// first when it too is fully covered, so a long-quiet log still
+// shrinks to one empty segment. Pass the OLDEST retained checkpoint's
+// epoch — truncating below the newest would strand older checkpoints
+// kept as corruption fallbacks without the tail that follows them.
+func (l *Log) TruncateBelow(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil && l.active.records > 0 && l.active.lastEpoch <= epoch {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	kept := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.records > 0 && s.lastEpoch <= epoch {
+			if err := fsx.RemoveDurable(s.path); err != nil {
+				return err
+			}
+			l.truncated.Add(1)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.sealed = kept
+	return nil
+}
+
+// Replay streams every surviving record with epoch > after, in log
+// order, to fn. It must run before the first Append (recovery does:
+// open, replay, then serve); fn errors abort the replay.
+func (l *Log) Replay(after uint64, fn func(epoch uint64, ops []Op) error) error {
+	l.mu.Lock()
+	segs := append(append([]segment(nil), l.sealed...), l.active)
+	l.mu.Unlock()
+	for _, s := range segs {
+		if s.records == 0 {
+			continue
+		}
+		if err := replaySegment(s, after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment decodes s's (already validated) frames.
+func replaySegment(s segment, after uint64, fn func(epoch uint64, ops []Op) error) error {
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		return err
+	}
+	if int64(len(raw)) < s.size {
+		return fmt.Errorf("wal: %s shrank under us", s.path)
+	}
+	raw = raw[:s.size]
+	off := headerSize
+	var ops []Op
+	for off < len(raw) {
+		plen := int(binary.LittleEndian.Uint32(raw[off : off+4]))
+		payload := raw[off+frameHead : off+frameHead+plen]
+		epoch := binary.LittleEndian.Uint64(payload[0:8])
+		nops := int(binary.LittleEndian.Uint32(payload[8:12]))
+		if epoch > after {
+			ops = ops[:0]
+			p := recHead
+			for i := 0; i < nops; i++ {
+				ops = append(ops, Op{
+					Time: binary.LittleEndian.Uint64(payload[p:]),
+					U:    binary.LittleEndian.Uint32(payload[p+8:]),
+					V:    binary.LittleEndian.Uint32(payload[p+12:]),
+					Del:  binary.LittleEndian.Uint32(payload[p+16:])&flagDel != 0,
+				})
+				p += opBytes
+			}
+			if err := fn(epoch, ops); err != nil {
+				return err
+			}
+		}
+		off += frameHead + plen
+	}
+	return nil
+}
+
+// Stats returns the cumulative counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:           l.appends.Load(),
+		AppendedOps:       l.appendedOps.Load(),
+		Fsyncs:            l.fsyncs.Load(),
+		Rotations:         l.rotations.Load(),
+		TruncatedSegments: l.truncated.Load(),
+	}
+}
+
+// Close flushes and closes the log. Idempotent.
+func (l *Log) Close() error {
+	if l.syncStop != nil {
+		select {
+		case <-l.syncStop:
+		default:
+			close(l.syncStop)
+			<-l.syncDone
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

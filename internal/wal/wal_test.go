@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mkOps(base uint64, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Time: base + uint64(i), U: uint32(i), V: uint32(i + 1), Del: i%3 == 0}
+	}
+	return ops
+}
+
+// collect replays everything after `after` into a flat record list.
+func collect(t *testing.T, l *Log, after uint64) (epochs []uint64, ops [][]Op) {
+	t.Helper()
+	err := l.Replay(after, func(epoch uint64, batch []Op) error {
+		epochs = append(epochs, epoch)
+		ops = append(ops, append([]Op(nil), batch...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, res, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 0 || res.TornTail {
+		t.Fatalf("fresh log scan: %+v", res)
+	}
+	want := [][]Op{mkOps(1, 3), mkOps(10, 1), mkOps(20, 7), nil}
+	for i, ops := range want {
+		if err := l.Append(uint64(i+1), ops); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res2.Batches != 4 || res2.Ops != 11 || res2.TornTail {
+		t.Fatalf("reopen scan: %+v", res2)
+	}
+	if res2.FirstEpoch != 1 || res2.LastEpoch != 4 {
+		t.Fatalf("epoch bounds: %+v", res2)
+	}
+	epochs, got := collect(t, l2, 0)
+	if len(epochs) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(epochs))
+	}
+	for i, ops := range got {
+		if epochs[i] != uint64(i+1) {
+			t.Fatalf("record %d epoch %d", i, epochs[i])
+		}
+		if len(ops) != len(want[i]) {
+			t.Fatalf("record %d: %d ops, want %d", i, len(ops), len(want[i]))
+		}
+		for j, op := range ops {
+			if op != want[i][j] {
+				t.Fatalf("record %d op %d: %+v != %+v", i, j, op, want[i][j])
+			}
+		}
+	}
+	// Replay-after skips covered epochs.
+	epochs, _ = collect(t, l2, 2)
+	if len(epochs) != 2 || epochs[0] != 3 {
+		t.Fatalf("replay after 2: %v", epochs)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		if err := l.Append(e, mkOps(e*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a kill mid-append: garbage partial frame at the tail.
+	seg := filepath.Join(dir, "wal-0000000000000001.seg")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2c, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if !res.TornTail || res.Batches != 3 || res.LastEpoch != 3 {
+		t.Fatalf("scan: %+v", res)
+	}
+	// The repaired log must accept new appends and replay cleanly.
+	if err := l2.Append(4, mkOps(40, 1)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, res3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if res3.TornTail || res3.Batches != 4 || res3.LastEpoch != 4 {
+		t.Fatalf("post-repair scan: %+v", res3)
+	}
+}
+
+func TestCorruptMidFrameDropsSuffixAndLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 200}) // force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 10; e++ {
+		if err := l.Append(e, mkOps(e*10, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Rotations == 0 {
+		t.Fatal("expected rotations with a 200-byte segment cap")
+	}
+	l.Close()
+
+	// Corrupt a payload byte inside the FIRST segment: everything from
+	// that frame on — including all later segments — must be dropped.
+	seg1 := filepath.Join(dir, "wal-0000000000000001.seg")
+	raw, err := os.ReadFile(seg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+frameHead+4] ^= 0xff // inside first record's payload
+	if err := os.WriteFile(seg1, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l2.Close()
+	if !res.TornTail || res.Batches != 0 || res.DroppedSegments == 0 {
+		t.Fatalf("scan: %+v", res)
+	}
+	epochs, _ := collect(t, l2, 0)
+	if len(epochs) != 0 {
+		t.Fatalf("replayed %v from a fully corrupt log", epochs)
+	}
+}
+
+func TestRotationAndTruncateBelow(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for e := uint64(1); e <= 20; e++ {
+		if err := l.Append(e, mkOps(e, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := os.ReadDir(dir)
+	if len(before) < 3 {
+		t.Fatalf("expected several segments, got %d", len(before))
+	}
+	if err := l.TruncateBelow(15); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) >= len(before) {
+		t.Fatalf("truncate removed nothing: %d -> %d segments", len(before), len(after))
+	}
+	// Epochs 16..20 must survive; nothing above 15 may be lost.
+	epochs, _ := collect(t, l, 15)
+	if len(epochs) != 5 || epochs[0] != 16 || epochs[4] != 20 {
+		t.Fatalf("replay after truncate: %v", epochs)
+	}
+	// Truncating everything rotates the active segment away too.
+	if err := l.TruncateBelow(20); err != nil {
+		t.Fatal(err)
+	}
+	epochs, _ = collect(t, l, 0)
+	if len(epochs) != 0 {
+		t.Fatalf("records survived full truncate: %v", epochs)
+	}
+	// And the log still accepts appends afterwards.
+	if err := l.Append(21, mkOps(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		base := l.Stats().Fsyncs
+		for e := uint64(1); e <= 5; e++ {
+			if err := l.Append(e, mkOps(e, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := l.Stats().Fsyncs - base; got != 5 {
+			t.Fatalf("SyncAlways: %d fsyncs for 5 appends", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), Options{Sync: SyncInterval, SyncInterval: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		base := l.Stats().Fsyncs
+		if err := l.Append(1, mkOps(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for l.Stats().Fsyncs == base {
+			if time.Now().After(deadline) {
+				t.Fatal("interval sync never fired")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	t.Run("none", func(t *testing.T) {
+		l, _, err := Open(t.TempDir(), Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := l.Stats().Fsyncs
+		for e := uint64(1); e <= 5; e++ {
+			if err := l.Append(e, mkOps(e, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := l.Stats().Fsyncs - base; got != 0 {
+			t.Fatalf("SyncNone: %d fsyncs before close", got)
+		}
+		l.Close() // close still flushes
+	})
+}
+
+func TestInjectedCrashTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	crashAt := 3 // batches to accept before tearing the 4th
+	var seen int
+	hooks := &Hooks{TrimAppend: func(frame []byte) int {
+		seen++
+		if seen > crashAt {
+			return len(frame) / 2 // tear the frame mid-payload
+		}
+		return len(frame)
+	}}
+	l, _, err := Open(dir, Options{Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastAcked uint64
+	for e := uint64(1); ; e++ {
+		err := l.Append(e, mkOps(e, 2))
+		if errors.Is(err, ErrInjectedCrash) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastAcked = e
+	}
+	if lastAcked != 3 {
+		t.Fatalf("acked %d batches before crash, want 3", lastAcked)
+	}
+	// The "dead" log refuses further work.
+	if err := l.Append(99, nil); err == nil {
+		t.Fatal("append succeeded after simulated crash")
+	}
+	l.Close()
+
+	// Reboot: exactly the acknowledged batches survive.
+	l2, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !res.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if res.Batches != int(lastAcked) || res.LastEpoch != lastAcked {
+		t.Fatalf("scan after crash: %+v, want %d batches", res, lastAcked)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"", SyncAlways, false},
+		{"interval", SyncInterval, false},
+		{"none", SyncNone, false},
+		{"fsync-maybe", SyncAlways, true},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if SyncInterval.String() != "interval" {
+		t.Fatal("String round trip")
+	}
+}

@@ -59,6 +59,15 @@ begin "go test -race (short)"
 go test -race -short ./...
 end
 
+# The crash matrix is the executable form of the durability argument
+# (kill-and-restart at every awkward instant, recovered topology
+# cross-examined against the ReplayEdges oracle over the acknowledged
+# batches). It runs inside ./... above; re-run it by name so a
+# recovery regression fails with the matrix's own diagnostics.
+begin "crash recovery matrix (race)"
+go test -race -short -run 'TestCrashRecovery' ./internal/server
+end
+
 # The MVCC view oracle is the executable form of the lock-free-read
 # safety argument (pinned views cross-examined against replayed truth
 # while 8 mutator workers commit around them). It runs inside ./...
