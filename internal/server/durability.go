@@ -406,6 +406,11 @@ type healthDurability struct {
 	TornTail           bool   `json:"torn_tail,omitempty"`
 	WALAppendedBatches uint64 `json:"wal_appended_batches,omitempty"`
 	WALFsyncs          uint64 `json:"wal_fsyncs,omitempty"`
+	// WALFailed carries the fail-stop cause once the log poisoned
+	// itself (write/fsync error, partial-apply divergence): mutations
+	// are refused un-acknowledged until the daemon restarts and
+	// recovers. Empty while healthy.
+	WALFailed string `json:"wal_failed,omitempty"`
 }
 
 // handleHealthV1 serves GET /v1/health: a JSON health document with
@@ -426,6 +431,10 @@ func (s *Server) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
 		dur.TornTail = s.recovery.TornTail
 		dur.WALAppendedBatches = st.Appends
 		dur.WALFsyncs = st.Fsyncs
+		if werr := s.wlog.Err(); werr != nil {
+			dur.WALFailed = werr.Error()
+			status = "degraded" // reads serve; mutations 500 until restart
+		}
 	}
 	writeJSON(w, code, struct {
 		Status     string           `json:"status"`

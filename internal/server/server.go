@@ -475,7 +475,15 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		s.cfg.mutGate()
 	}
 	s.topo.RLock()
-	stats, err := s.dyn.ApplyStreamCtx(r.Context(), ops, tufast.StreamOptions{
+	// Once a batch enters the bracket it runs to completion: a client
+	// disconnect mid-apply must not cancel it halfway, because memory
+	// would then hold a subset of the batch that no WAL record can
+	// reproduce (committed ops within the failing window are an
+	// arbitrary subset, not a prefix). The work is bounded by MaxBatch,
+	// so finishing an orphaned batch is cheap — and the client gets no
+	// response either way, which is exactly the indeterminate outcome
+	// a disconnected mutation always had.
+	stats, err := s.dyn.ApplyStreamCtx(context.WithoutCancel(r.Context()), ops, tufast.StreamOptions{
 		Window: s.cfg.Window,
 		OnEdge: s.streamOnEdge,
 		Emit:   s.streamEmit,
@@ -483,7 +491,22 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	s.topo.RUnlock()
 	var walErr error
 	if stats.Inserted+stats.Removed > 0 {
-		if s.wlog != nil {
+		switch {
+		case s.wlog == nil:
+		case err != nil:
+			// A partially applied batch (only possible through an
+			// erroring OnEdge hook now that cancellation is out) left
+			// memory holding an unknown subset of ops. Logging the full
+			// slice would make recovery replay ops that never committed,
+			// shifting the base state under every later acknowledged
+			// batch; logging nothing would drop the committed subset the
+			// same way. Neither preserves byte-identical recovery, so
+			// fail-stop the log: later mutations 500 un-acknowledged,
+			// and every batch acknowledged before this one still
+			// recovers exactly.
+			s.wlog.Poison(fmt.Errorf("partially applied batch at epoch %d: %w", stats.Epoch, err))
+			s.met.walErrors.Add(1)
+		default:
 			// Log the batch inside the same bracket that serialized it:
 			// WAL order is commit order by construction, and the record
 			// carries the exact epoch this batch's bump published. The

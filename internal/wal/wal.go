@@ -35,6 +35,18 @@
 // still applies). Checkpoints bound replay: TruncateBelow removes
 // whole segments whose records are all covered by a retained
 // checkpoint.
+//
+// The log is fail-stop: the first write or fsync error poisons it and
+// every later Append returns ErrLogFailed. The torn-tail repair is
+// only sound because nothing valid can follow a torn frame — a log
+// that shrugged off a failed write and kept appending (the file is
+// O_APPEND, so later writes would land after the torn bytes) would
+// have the next boot truncate away frames that were fsynced and
+// acknowledged AFTER the error. Likewise a failed fsync may already
+// have lost its dirty pages (the kernel marks them clean regardless),
+// so retrying it cannot restore the contract. Recovery from poison is
+// a restart: the next Open repairs the tail and the acknowledged
+// prefix replays intact.
 package wal
 
 import (
@@ -108,7 +120,8 @@ type Hooks struct {
 	// which the log refuses further appends — the process "died".
 	TrimAppend func(frame []byte) int
 	// SyncErr, when non-nil, runs before every fsync; a non-nil return
-	// is reported as the fsync's error.
+	// is reported as the fsync's error and poisons the log like a real
+	// one would.
 	SyncErr func() error
 }
 
@@ -116,9 +129,9 @@ type Hooks struct {
 // simulated a mid-write crash.
 var ErrInjectedCrash = errors.New("wal: injected crash during append")
 
-// errLogFailed is returned by Append after an injected crash killed
-// the log.
-var errLogFailed = errors.New("wal: log failed (simulated crash); reopen to recover")
+// ErrLogFailed is returned (wrapping the original cause) by every
+// operation on a log that fail-stopped; see Poison.
+var ErrLogFailed = errors.New("wal: log failed")
 
 // Options tunes a Log. Zero values take the documented defaults.
 type Options struct {
@@ -204,12 +217,13 @@ type Log struct {
 	dir string
 	opt Options
 
-	mu     sync.Mutex
-	f      *os.File // active segment, open for append
-	active segment
-	sealed []segment // older segments, oldest first
-	dirty  bool      // bytes appended since the last fsync
-	failed bool      // an injected crash killed the log
+	mu      sync.Mutex
+	f       *os.File // active segment, open for append
+	active  segment
+	sealed  []segment // older segments, oldest first
+	dirty   bool      // bytes appended since the last fsync
+	failErr error     // non-nil once the log fail-stopped; see Poison
+	buf     []byte    // frame scratch, reused across Appends (under mu)
 
 	appends     atomic.Uint64
 	appendedOps atomic.Uint64
@@ -290,13 +304,34 @@ func (l *Log) scanAndRepair() (ScanResult, error) {
 		if segTorn {
 			torn = true
 			res.TornTail = true
-			if err := os.Truncate(s.path, s.size); err != nil {
+			// The repair must be durable before the first new append: a
+			// truncate left sitting in the page cache can, after a second
+			// crash, resurface the stale torn bytes beneath frames
+			// acknowledged since this boot — which the NEXT scan would
+			// then truncate away.
+			if err := truncateDurable(s.path, s.size); err != nil {
 				return res, err
 			}
+			l.fsyncs.Add(1)
 		}
 		l.sealed = append(l.sealed, *s)
 	}
 	return res, nil
+}
+
+// truncateDurable truncates path to size and fsyncs it (truncation is
+// inode metadata plus data-page drops, so the file fsync alone makes
+// it durable — no directory entry changes).
+func truncateDurable(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // scanSegment validates s's frames, filling size/records/lastEpoch
@@ -435,13 +470,14 @@ func encodeRecord(buf []byte, epoch uint64, ops []Op) []byte {
 func (l *Log) Append(epoch uint64, ops []Op) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.failed {
-		return errLogFailed
+	if l.failErr != nil {
+		return l.failedLocked()
 	}
 	if l.f == nil {
 		return errors.New("wal: log closed")
 	}
-	frame := encodeRecord(nil, epoch, ops)
+	l.buf = encodeRecord(l.buf, epoch, ops)
+	frame := l.buf
 	if l.active.size+int64(len(frame)) > l.opt.SegmentBytes && l.active.records > 0 {
 		if err := l.rotateLocked(); err != nil {
 			return err
@@ -452,12 +488,17 @@ func (l *Log) Append(epoch uint64, ops []Op) error {
 		n = h.TrimAppend(frame)
 	}
 	if _, err := l.f.Write(frame[:n]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		// A failed write (ENOSPC, EIO) may have landed a prefix of the
+		// frame; O_APPEND would put the next frame after those torn
+		// bytes, and the next boot's repair would then discard it —
+		// acknowledged or not. Fail-stop instead (see package doc).
+		l.poisonLocked(fmt.Errorf("wal: append: %w", err))
+		return l.failedLocked()
 	}
 	if n < len(frame) {
 		// Injected mid-write crash: the torn frame is on disk, the
 		// process is "dead" — no record bookkeeping, no acknowledgment.
-		l.failed = true
+		l.poisonLocked(ErrInjectedCrash)
 		return ErrInjectedCrash
 	}
 	l.active.size += int64(len(frame))
@@ -474,18 +515,58 @@ func (l *Log) Append(epoch uint64, ops []Op) error {
 	return nil
 }
 
+// Poison fail-stops the log: every later Append, Sync, or rotation
+// returns ErrLogFailed wrapping cause. The log poisons itself on any
+// write or fsync error of its own; the serving layer calls it when the
+// in-memory commit state diverges from anything a record could replay
+// (a partially applied batch). The first cause sticks. Recovery is a
+// restart — the next Open repairs the tail and replays exactly the
+// acknowledged records.
+func (l *Log) Poison(cause error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.poisonLocked(cause)
+}
+
+// Err returns the cause the log fail-stopped with, or nil while the
+// log is healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failErr
+}
+
+func (l *Log) poisonLocked(cause error) {
+	if l.failErr == nil {
+		l.failErr = cause
+	}
+}
+
+func (l *Log) failedLocked() error {
+	return fmt.Errorf("%w: %w; restart to recover", ErrLogFailed, l.failErr)
+}
+
 // syncLocked fsyncs the active segment; callers hold l.mu.
 func (l *Log) syncLocked() error {
+	if l.failErr != nil {
+		return l.failedLocked()
+	}
 	if !l.dirty || l.f == nil {
 		return nil
 	}
 	if h := l.opt.Hooks; h != nil && h.SyncErr != nil {
 		if err := h.SyncErr(); err != nil {
-			return err
+			l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
+			return l.failedLocked()
 		}
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+		// The failed fsync may already have dropped the dirty pages
+		// (the kernel cleans them whether or not the write-back
+		// succeeded), so a retry that "succeeds" proves nothing —
+		// the classic fsync-gate trap. Fail-stop.
+		l.poisonLocked(fmt.Errorf("wal: fsync: %w", err))
+		return l.failedLocked()
 	}
 	l.fsyncs.Add(1)
 	l.dirty = false
@@ -510,7 +591,10 @@ func (l *Log) syncLoop() {
 		case <-l.syncStop:
 			return
 		case <-tick.C:
-			_ = l.Sync() // a failed interval fsync retries next tick
+			// A failed interval fsync poisons the log (see syncLocked);
+			// later ticks then return immediately. The loop keeps
+			// running only so Close's handshake stays uniform.
+			_ = l.Sync()
 		}
 	}
 }

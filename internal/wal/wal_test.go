@@ -316,6 +316,126 @@ func TestInjectedCrashTornAppend(t *testing.T) {
 	}
 }
 
+// A failed segment write must fail-stop the log: the tail may hold
+// torn bytes, and any append accepted after them would be silently
+// truncated away by the next boot's repair — after being acknowledged.
+func TestWriteErrorFailStops(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 2; e++ {
+		if err := l.Append(e, mkOps(e*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// White-box: yank the fd so the next Write fails like EIO would.
+	l.f.Close()
+	if err := l.Append(3, mkOps(30, 1)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append on broken file: %v, want ErrLogFailed", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil after a failed write")
+	}
+	// The poison sticks even though the fd trouble "cleared": a torn
+	// tail might be on disk, so nothing may be appended over it.
+	if err := l.Append(4, mkOps(40, 1)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after fail-stop: %v, want ErrLogFailed", err)
+	}
+	l.Close()
+
+	// Reboot recovers: the acknowledged batches, and only those.
+	l2, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if res.Batches != 2 || res.LastEpoch != 2 {
+		t.Fatalf("scan after fail-stop: %+v", res)
+	}
+	if err := l2.Append(3, mkOps(30, 1)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// A failed fsync under SyncAlways must fail-stop too: the kernel may
+// have discarded the dirty pages, so bookkeeping that already advanced
+// cannot be trusted and no later append may be acknowledged.
+func TestSyncErrorFailStops(t *testing.T) {
+	dir := t.TempDir()
+	failing := false
+	hooks := &Hooks{SyncErr: func() error {
+		if failing {
+			return errors.New("injected fsync error")
+		}
+		return nil
+	}}
+	l, _, err := Open(dir, Options{Sync: SyncAlways, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 2; e++ {
+		if err := l.Append(e, mkOps(e*10, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	failing = true
+	if err := l.Append(3, mkOps(30, 1)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append with failing fsync: %v, want ErrLogFailed", err)
+	}
+	failing = false // "disk recovered" — too late, the pages may be gone
+	if err := l.Append(4, mkOps(40, 1)); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after fsync fail-stop: %v, want ErrLogFailed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("sync after fail-stop: %v, want ErrLogFailed", err)
+	}
+	l.Close()
+
+	// Reboot: both acknowledged batches survive. Batch 3's frame was
+	// written before its fsync failed, so it may legitimately survive
+	// too (it was never acknowledged — indeterminate is allowed);
+	// batch 4 must not exist.
+	l2, res, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	epochs, _ := collect(t, l2, 0)
+	if len(epochs) < 2 || epochs[0] != 1 || epochs[1] != 2 {
+		t.Fatalf("acknowledged epochs lost: %v", epochs)
+	}
+	if res.LastEpoch > 3 {
+		t.Fatalf("unacknowledged epoch survived: %+v", res)
+	}
+}
+
+// Poison is the serving layer's fail-stop entry point (used when a
+// partially applied batch makes memory unrepresentable in the log).
+func TestPoisonRefusesAppends(t *testing.T) {
+	l, _, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(1, mkOps(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cause := errors.New("partially applied batch")
+	l.Poison(cause)
+	if err := l.Append(2, mkOps(2, 1)); !errors.Is(err, ErrLogFailed) || !errors.Is(err, cause) {
+		t.Fatalf("append after Poison: %v", err)
+	}
+	if !errors.Is(l.Err(), cause) {
+		t.Fatalf("Err() = %v, want the first cause", l.Err())
+	}
+	l.Poison(errors.New("second cause"))
+	if !errors.Is(l.Err(), cause) {
+		t.Fatal("second Poison overwrote the first cause")
+	}
+}
+
 func TestParseSyncPolicy(t *testing.T) {
 	for _, tc := range []struct {
 		in   string
