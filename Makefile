@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-mvcc bench-wal bench-diff loadgen-smoke
+.PHONY: build test lint check bench bench-snapshot bench-stream bench-serve bench-standing bench-mvcc bench-wal bench-tenancy bench-diff loadgen-smoke
 
 build:
 	go build ./...
@@ -70,6 +70,16 @@ bench-mvcc:
 # no-WAL baseline.
 bench-wal:
 	go run ./cmd/tufast-loadgen -compare-wal -gen-n 5000 -duration 2s -clients 4 -snapshot BENCH_pr9.json
+
+# bench-tenancy runs the multi-graph tenancy figure: aggregate
+# pure-write goodput with the same client pool split across 1, 2, and
+# 4 tenant graphs (fresh daemon per phase), then a noisy-neighbor pair
+# — a paced victim tenant sharing the daemon with a closed-loop
+# aggressor — without and with admission quotas on the aggressor. The
+# acceptance line: the victim's write p99 in the quota phase stays
+# bounded (no worse than the unquota'd phase).
+bench-tenancy:
+	go run ./cmd/tufast-loadgen -compare-tenancy -gen-n 5000 -duration 2s -clients 4 -snapshot BENCH_pr10.json
 
 # bench-diff prints per-workload throughput deltas between the two
 # most recent BENCH_*.json snapshots. Trend report, never a gate.

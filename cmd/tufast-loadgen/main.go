@@ -15,6 +15,14 @@
 //
 // -inprocess starts a daemon in this process over a generated graph —
 // the self-contained mode `make bench-serve` and the CI smoke use.
+//
+// -tenants N creates N named tenant graphs (t1..tN) on the daemon and
+// splits the client pool across them, driving each through its
+// /v1/graphs/{name}/... routes. -compare-tenancy produces the tenancy
+// figure: aggregate write goodput at 1/2/4 tenants, then a
+// noisy-neighbor pair — a paced victim sharing the daemon with a
+// closed-loop aggressor — with and without admission quotas on the
+// aggressor.
 package main
 
 import (
@@ -59,11 +67,29 @@ type options struct {
 	compare     bool
 	compareMVCC bool
 	compareWAL  bool
+	compareTen  bool
+	tenants     int
 	dataDir     string
 	walSync     string
 	readPace    time.Duration
 	writePace   time.Duration
 	snapshot    string
+
+	// prefix roots every per-graph request; empty means the legacy
+	// unnamed routes (the "default" graph). Set to "/v1/graphs/<name>"
+	// to drive one tenant.
+	prefix string
+}
+
+// url builds a per-graph endpoint URL under the active route prefix,
+// e.g. o.url("/edges") is /v1/edges for the default graph and
+// /v1/graphs/t1/edges for tenant t1.
+func (o options) url(path string) string {
+	pre := o.prefix
+	if pre == "" {
+		pre = "/v1"
+	}
+	return "http://" + o.addr + pre + path
 }
 
 func main() {
@@ -88,6 +114,8 @@ func main() {
 	flag.BoolVar(&o.compare, "compare-standing", false, "run two phases over one in-process daemon — per-epoch recompute, then standing — and write both to -snapshot")
 	flag.BoolVar(&o.compareMVCC, "compare-mvcc", false, "measure mutation throughput on MVCC views under 0/1/4 concurrent analytics clients and write it to -snapshot")
 	flag.BoolVar(&o.compareWAL, "compare-wal", false, "measure pure-write throughput without a WAL and at each WAL sync policy (none/interval/always), and write all phases to -snapshot")
+	flag.BoolVar(&o.compareTen, "compare-tenancy", false, "measure aggregate goodput at 1/2/4 tenants plus noisy-neighbor victim latency with and without quotas, and write all phases to -snapshot")
+	flag.IntVar(&o.tenants, "tenants", 0, "create N named tenant graphs and split the client pool across them (0 = drive the default graph)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "in-process server: durability directory (WAL + checkpoints); empty = ephemeral")
 	flag.StringVar(&o.walSync, "wal-sync", "always", "in-process server: WAL fsync policy (always|interval|none)")
 	flag.StringVar(&o.snapshot, "snapshot", "", "write a serving-throughput snapshot (BENCH_*.json shape) to this file")
@@ -102,6 +130,10 @@ func main() {
 	}
 	if o.compareWAL {
 		runCompareWAL(o)
+		return
+	}
+	if o.compareTen {
+		runCompareTenancy(o)
 		return
 	}
 	if o.compare {
@@ -125,7 +157,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := run(o)
+	var rep *report
+	if o.tenants > 0 {
+		rep = runTenants(o)
+	} else {
+		rep = run(o)
+	}
 	rep.print()
 
 	var snap obs.Snapshot
@@ -396,6 +433,256 @@ func runCompareWAL(o options) {
 	}
 }
 
+// putTenant registers a named graph on the daemon via
+// PUT /v1/graphs/{name}, generated server-side from a vertex count and
+// average degree, optionally quota-governed.
+func putTenant(addr, name string, vertices, deg int, quotas *server.Quotas) error {
+	body := map[string]any{"vertices": vertices, "avg_degree": deg, "undirected": true}
+	if quotas != nil {
+		body["quotas"] = quotas
+	}
+	buf, _ := json.Marshal(body)
+	req, err := http.NewRequest(http.MethodPut, "http://"+addr+"/v1/graphs/"+name, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("PUT /v1/graphs/%s: %s", name, resp.Status)
+	}
+	return nil
+}
+
+// mergeReports folds per-tenant reports into one aggregate: counters
+// sum, latency samples pool, and the duration is the longest phase so
+// aggregate rates stay conservative.
+func mergeReports(reps []*report) *report {
+	out := &report{}
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		if r.duration > out.duration {
+			out.duration = r.duration
+		}
+		out.readsDone += r.readsDone
+		out.cacheHits += r.cacheHits
+		out.standingHits += r.standingHits
+		out.rejected += r.rejected
+		out.deadlines += r.deadlines
+		out.canceled += r.canceled
+		out.failed += r.failed
+		out.writes += r.writes
+		out.writeOps += r.writeOps
+		out.httpErrors += r.httpErrors
+		out.readLat = append(out.readLat, r.readLat...)
+		out.writeLat = append(out.writeLat, r.writeLat...)
+	}
+	return out
+}
+
+// runTenants is the -tenants N mode: create t1..tN on the daemon,
+// split the client pool evenly, and drive each tenant's named routes
+// with run()'s mixed workload concurrently. Returns the aggregate
+// report.
+func runTenants(o options) *report {
+	per := o.clients / o.tenants
+	if per < 1 {
+		per = 1
+	}
+	reps := make([]*report, o.tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < o.tenants; i++ {
+		name := fmt.Sprintf("t%d", i+1)
+		if err := putTenant(o.addr, name, o.genN, o.genDeg, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		oo := o
+		oo.prefix = "/v1/graphs/" + name
+		oo.clients = per
+		oo.seed = o.seed + uint64(i)*1_000_003
+		wg.Add(1)
+		go func(i int, oo options) {
+			defer wg.Done()
+			reps[i] = run(oo)
+		}(i, oo)
+	}
+	wg.Wait()
+	agg := mergeReports(reps)
+	for i, r := range reps {
+		fmt.Printf("loadgen: tenant t%d — %d reads (%.1f/s), %d batches (%.0f ops/s)\n",
+			i+1, r.readsDone, float64(r.readsDone)/r.duration.Seconds(),
+			r.writes, float64(r.writeOps)/r.duration.Seconds())
+	}
+	fmt.Printf("loadgen: aggregate over %d tenants (%d clients each):\n", o.tenants, per)
+	return agg
+}
+
+// runCompareTenancy produces the tenancy figure in two halves. First,
+// aggregate pure-write goodput at 1, 2, and 4 tenants — same total
+// client pool split across the fleet, fresh daemon per phase — which
+// answers what fan-out across per-graph seqlocks costs (or buys) over
+// one shared write lock. Second, a noisy-neighbor pair: a paced victim
+// tenant shares the daemon with a closed-loop aggressor driving writes
+// and analytics, once with no quotas and once with the aggressor
+// quota-capped (mutation token bucket + one inflight job). The figure's
+// acceptance line is the victim's write p99 staying bounded in the
+// quota phase.
+func runCompareTenancy(o options) {
+	o.inprocess = true
+	var entries []bench.PerfEntry
+	var snap obs.Snapshot
+	gauges := map[string]int64{}
+
+	boot := func() *server.Server {
+		srv, err := startInProcess(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		return srv
+	}
+	stop := func(srv *server.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen: shutdown:", err)
+		}
+	}
+
+	for _, tenants := range []int{1, 2, 4} {
+		srv := boot()
+		o.addr = srv.Addr()
+		per := o.clients / tenants
+		if per < 1 {
+			per = 1
+		}
+		fmt.Printf("loadgen: tenancy — %d tenant(s) × %d writer(s), pure-write closed loop (%v)\n",
+			tenants, per, o.duration)
+		reps := make([]*report, tenants)
+		var wg sync.WaitGroup
+		for i := 0; i < tenants; i++ {
+			name := fmt.Sprintf("t%d", i+1)
+			if err := putTenant(o.addr, name, o.genN, o.genDeg, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+				os.Exit(1)
+			}
+			oo := o
+			oo.prefix = "/v1/graphs/" + name
+			oo.seed = o.seed + uint64(i)*1_000_003
+			wg.Add(1)
+			go func(i int, oo options) {
+				defer wg.Done()
+				reps[i] = runMixed(oo, per, 0)
+			}(i, oo)
+		}
+		wg.Wait()
+		stop(srv)
+		agg := mergeReports(reps)
+		rate := float64(agg.writeOps) / agg.duration.Seconds()
+		entries = append(entries, bench.PerfEntry{
+			Workload: fmt.Sprintf("tenancy-goodput-%dg", tenants), TxnPerSec: rate,
+		})
+		fmt.Printf("  aggregate %.0f ops/s (%d batches), errors %d\n", rate, agg.writes, agg.httpErrors)
+	}
+
+	// Noisy-neighbor phases: the victim offers a fixed paced load; the
+	// aggressor runs closed-loop writers plus two closed-loop analytics
+	// clients. The quota phase caps the aggressor's mutation rate and
+	// inflight jobs.
+	noisyQuotas := &server.Quotas{
+		MaxInflightJobs: 1,
+		MutBatchRate:    50,
+		MutBatchBurst:   10,
+	}
+	for _, ph := range []struct {
+		key    string
+		quotas *server.Quotas
+	}{
+		{"noquota", nil},
+		{"quota", noisyQuotas},
+	} {
+		srv := boot()
+		o.addr = srv.Addr()
+		if err := putTenant(o.addr, "victim", o.genN, o.genDeg, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := putTenant(o.addr, "noisy", o.genN, o.genDeg, ph.quotas); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: tenancy — noisy neighbor, %s (%v)\n", ph.key, o.duration)
+		victim := o
+		victim.prefix = "/v1/graphs/victim"
+		victim.writePace = 25 * time.Millisecond
+		noisy := o
+		noisy.prefix = "/v1/graphs/noisy"
+		noisy.seed = o.seed + 7_368_787
+		var vicRep, noisyRep *report
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); vicRep = runMixed(victim, 2, 0) }()
+		go func() { defer wg.Done(); noisyRep = runMixed(noisy, o.clients, 2) }()
+		wg.Wait()
+		if ph.key == "quota" && o.snapshot != "" {
+			if err := fetchJSON("http://"+o.addr+"/metrics", &snap); err != nil {
+				fmt.Fprintln(os.Stderr, "tufast-loadgen: fetch metrics:", err)
+			}
+		}
+		stop(srv)
+		sort.Slice(vicRep.writeLat, func(i, j int) bool { return vicRep.writeLat[i] < vicRep.writeLat[j] })
+		p99 := pct(vicRep.writeLat, 0.99)
+		gauges["victim_write_p99_"+ph.key+"_us"] = p99.Microseconds()
+		vicRate := float64(vicRep.writeOps) / vicRep.duration.Seconds()
+		noisyRate := float64(noisyRep.writeOps) / noisyRep.duration.Seconds()
+		entries = append(entries,
+			bench.PerfEntry{Workload: "tenancy-victim-" + ph.key, TxnPerSec: vicRate},
+			bench.PerfEntry{Workload: "tenancy-noisy-" + ph.key, TxnPerSec: noisyRate},
+		)
+		fmt.Printf("  victim %.0f ops/s p99=%v; noisy %.0f ops/s (%d quota rejections)\n",
+			vicRate, p99.Round(time.Microsecond), noisyRate, noisyRep.rejected)
+	}
+
+	if no, q := gauges["victim_write_p99_noquota_us"], gauges["victim_write_p99_quota_us"]; no > 0 {
+		fmt.Printf("loadgen: tenancy victim write p99 %dµs unquota'd vs %dµs with aggressor quotas\n", no, q)
+	}
+	if o.snapshot != "" {
+		if snap.Gauges == nil {
+			snap.Gauges = make(map[string]int64)
+		}
+		for k, v := range gauges {
+			snap.Gauges[k] = v
+		}
+		if len(entries) > 0 {
+			entries[len(entries)-1].Metrics = snap
+		}
+		out := bench.PerfReport{
+			Dataset: "serving-powerlaw",
+			Threads: o.clients,
+			Scale:   1,
+			Entries: entries,
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(o.snapshot, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tufast-loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", o.snapshot)
+	}
+}
+
 // runMixed drives writeClients pure-writer loops and readClients
 // pure-analytics loops for one phase — the fixed-role split the MVCC
 // figure needs, vs run()'s per-request coin flip.
@@ -405,7 +692,7 @@ func runMixed(o options, writeClients, readClients int) *report {
 	var info struct {
 		Vertices int `json:"vertices"`
 	}
-	if err := fetchJSON("http://"+o.addr+"/v1/graph", &info); err != nil || info.Vertices == 0 {
+	if err := fetchJSON(o.url("/graph"), &info); err != nil || info.Vertices == 0 {
 		fmt.Fprintln(os.Stderr, "tufast-loadgen: cannot reach daemon:", err)
 		os.Exit(1)
 	}
@@ -568,7 +855,7 @@ func run(o options) *report {
 	var info struct {
 		Vertices int `json:"vertices"`
 	}
-	if err := fetchJSON("http://"+o.addr+"/v1/graph", &info); err != nil || info.Vertices == 0 {
+	if err := fetchJSON(o.url("/graph"), &info); err != nil || info.Vertices == 0 {
 		fmt.Fprintln(os.Stderr, "tufast-loadgen: cannot reach daemon:", err)
 		os.Exit(1)
 	}
@@ -626,7 +913,7 @@ func doWrite(o options, client *http.Client, rng *rand.Rand, n int, rep *report)
 		Ops []op `json:"ops"`
 	}{ops})
 	start := time.Now()
-	resp, err := client.Post("http://"+o.addr+"/v1/edges", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(o.url("/edges"), "application/json", bytes.NewReader(body))
 	if err != nil {
 		rep.mu.Lock()
 		rep.httpErrors++
@@ -636,15 +923,22 @@ func doWrite(o options, client *http.Client, rng *rand.Rand, n int, rep *report)
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	rep.mu.Lock()
-	if resp.StatusCode == http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
 		rep.writes++
 		rep.writeOps += len(ops)
-	} else {
+	case http.StatusTooManyRequests:
+		// Mutation quota exhausted — a designed answer, not a failure.
+		rep.rejected++
+	default:
 		rep.httpErrors++
 	}
 	rep.mu.Unlock()
-	if resp.StatusCode == http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
 		rep.record(false, time.Since(start))
+	case http.StatusTooManyRequests:
+		time.Sleep(10 * time.Millisecond) // honor backpressure
 	}
 }
 
@@ -658,7 +952,7 @@ func doRead(o options, client *http.Client, rng *rand.Rand, n int, rep *report, 
 	}
 	body, _ := json.Marshal(req)
 	start := time.Now()
-	resp, err := client.Post("http://"+o.addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(o.url("/jobs"), "application/json", bytes.NewReader(body))
 	if err != nil {
 		rep.mu.Lock()
 		rep.httpErrors++
@@ -708,7 +1002,7 @@ func doRead(o options, client *http.Client, rng *rand.Rand, n int, rep *report, 
 		var st struct {
 			Status string `json:"status"`
 		}
-		if err := fetchJSONClient(client, "http://"+o.addr+"/v1/jobs/"+view.JobID, &st); err != nil {
+		if err := fetchJSONClient(client, o.url("/jobs/"+view.JobID), &st); err != nil {
 			rep.mu.Lock()
 			rep.httpErrors++
 			rep.mu.Unlock()

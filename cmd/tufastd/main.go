@@ -23,6 +23,15 @@
 //	GET  /metrics       runtime + serving observability snapshot
 //	GET  /healthz       200 while serving, 503 while draining
 //
+// Multi-graph tenancy: one daemon serves a fleet of named graphs, each
+// with its own topology, durability plane, and admission quotas. The
+// unnamed routes above alias the reserved "default" graph.
+//
+//	GET    /v1/graphs              list registered graphs
+//	PUT    /v1/graphs/{name}       create (body: vertices, edges | avg_degree, quotas…)
+//	DELETE /v1/graphs/{name}       drain, close, and durably remove
+//	*      /v1/graphs/{name}/...   every unnamed endpoint, per graph
+//
 // With -data-dir the daemon is durable: every acknowledged mutation
 // batch is appended to a write-ahead log before the 200 (fsync policy
 // -wal-sync), checkpoints bound the log, and a restart recovers the
@@ -138,6 +147,9 @@ func main() {
 			fmt.Printf(", %d corrupt checkpoint(s) skipped", rec.CheckpointFallbacks)
 		}
 		fmt.Println()
+		if names := srv.NamedGraphs(); len(names) > 0 {
+			fmt.Printf("tufastd: recovered %d named graph(s): %v\n", len(names), names)
+		}
 	} else {
 		g, err := loadBase()
 		if err != nil {

@@ -56,6 +56,11 @@ type DynGraph struct {
 	// its pin, so GC can never collect underneath an in-flight pin.
 	pinMu sync.Mutex
 	pins  map[uint64]int
+
+	// gcAppended counts effective stream ops since the last GC pass;
+	// GCCtx drains it to scale its minimum-chain threshold with the
+	// observed append rate (see gcMinChainWords).
+	gcAppended atomic.Uint64
 }
 
 // NewDynGraph layers a mutable edge overlay over s's graph. The
@@ -268,6 +273,16 @@ func (v *GraphView) Compact() (*Graph, error) {
 // Runs concurrently with mutators and readers: each per-vertex rebuild
 // is one transaction owning that vertex. Returns the number of chains
 // rewritten.
+//
+// The pass is load-adaptive: it drains the count of effective stream
+// ops applied since the previous pass and skips chains smaller than
+// gcMinChainWords of that rate. On a quiet graph the threshold is 1 —
+// every non-empty chain compacts, the historical behavior — while
+// under a heavy append stream the pass concentrates on the chains
+// worth rewriting: each rebuild copies the survivors into fresh blocks
+// (the arena never reuses), so compacting a tiny chain that mutators
+// are about to regrow spends headroom and vertex-ownership conflicts
+// to reclaim almost nothing.
 func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
 	d.pinMu.Lock()
 	keep := d.epoch.Load()
@@ -277,6 +292,7 @@ func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
 		}
 	}
 	d.pinMu.Unlock()
+	minWords := gcMinChainWords(d.gcAppended.Swap(0), d.st.NumVertices())
 	w := d.sys.Worker()
 	defer d.sys.Release(w)
 	rewritten := 0
@@ -285,7 +301,7 @@ func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
 			return rewritten, err
 		}
 		words := d.st.ChainWords(uint32(u))
-		if words == 0 {
+		if words < minWords {
 			continue
 		}
 		if d.sys.sp.Cap()-d.sys.sp.Used() < words+reserveWords {
@@ -308,6 +324,24 @@ func (d *DynGraph) GCCtx(ctx context.Context, reserveWords int) (int, error) {
 		}
 	}
 	return rewritten, nil
+}
+
+// gcMinChainWords maps the effective-op count since the last GC pass
+// to the smallest chain (in words) that pass will rebuild. Scaling by
+// ops-per-vertex approximates how much fresh garbage the average chain
+// accumulated while GC slept: 1 at quiescence (compact everything),
+// growing ~3 words per op of average per-vertex pressure, capped so a
+// burst can never push the threshold past every real chain and turn
+// the pass into a permanent no-op.
+func gcMinChainWords(opsSince uint64, numVertices int) int {
+	if numVertices <= 0 {
+		return 1
+	}
+	min := 1 + 3*int(opsSince/uint64(numVertices))
+	if min > 256 {
+		min = 256
+	}
+	return min
 }
 
 // AddEdge inserts edge (u, v) into g within tx, returning whether the
@@ -503,6 +537,7 @@ func (d *DynGraph) ApplyStreamCtx(ctx context.Context, ops []StreamOp, opt Strea
 	d.inserted.Add(ins.Load())
 	d.removed.Add(rem.Load())
 	d.noops.Add(noop.Load())
+	d.gcAppended.Add(ins.Load() + rem.Load())
 	if ins.Load()+rem.Load() > 0 {
 		// Advance the write stamp past the new epoch BEFORE publishing
 		// it, so a direct Tx mutation racing with the bump can never

@@ -1,0 +1,78 @@
+package tufast
+
+import (
+	"context"
+	"testing"
+)
+
+// TestGCMinChainWords pins the load-adaptive threshold curve: 1 at
+// quiescence (compact every non-empty chain, the historical behavior),
+// growing with per-vertex append pressure, capped at 256.
+func TestGCMinChainWords(t *testing.T) {
+	cases := []struct {
+		ops  uint64
+		n    int
+		want int
+	}{
+		{0, 1000, 1},          // quiet: everything compacts
+		{999, 1000, 1},        // sub-one op per vertex rounds down to quiet
+		{2000, 1000, 7},       // 2 ops/vertex → skip chains under 7 words
+		{10_000, 1000, 31},    // 10 ops/vertex
+		{1_000_000, 100, 256}, // burst: capped, never a permanent no-op
+		{5, 0, 1},             // degenerate vertex count
+	}
+	for _, c := range cases {
+		if got := gcMinChainWords(c.ops, c.n); got != c.want {
+			t.Errorf("gcMinChainWords(%d, %d) = %d, want %d", c.ops, c.n, c.want, c.want)
+		}
+	}
+}
+
+// TestGCAdaptiveSkip drives the threshold end to end: a pass right
+// after a heavy stream skips the small chains, and the next (quiet)
+// pass reclaims them.
+func TestGCAdaptiveSkip(t *testing.T) {
+	const n = 64
+	g, err := BuildGraph(n, nil, false)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys := NewSystem(g, Options{Threads: 2, SpaceWords: DynSpaceWords(g, 4096)})
+	d := NewDynGraph(sys)
+
+	// Two batches per edge — insert then delete — leave each touched
+	// vertex a chain that is pure garbage below the watermark: the
+	// superseded insert plus a tombstone matching the (absent) base.
+	var ins, del []StreamOp
+	for i := uint32(1); i <= 10; i++ {
+		ins = append(ins, StreamOp{Time: uint64(i), U: i, V: i + 20})
+		del = append(del, StreamOp{Time: uint64(i), U: i, V: i + 20, Del: true})
+	}
+	if _, err := d.ApplyStream(ins, StreamOptions{}); err != nil {
+		t.Fatalf("insert batch: %v", err)
+	}
+	if _, err := d.ApplyStream(del, StreamOptions{}); err != nil {
+		t.Fatalf("delete batch: %v", err)
+	}
+
+	// Simulate a heavy interval: enough pressure to cap the threshold
+	// at 256 words, far above these one-block chains.
+	d.gcAppended.Store(uint64(n) * 1000)
+	rewritten, err := d.GCCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("busy pass: %v", err)
+	}
+	if rewritten != 0 {
+		t.Fatalf("busy pass rewrote %d chains, want 0 (threshold should skip small chains)", rewritten)
+	}
+
+	// The busy pass drained the counter, so this pass runs quiet and
+	// must reclaim all 10 garbage chains.
+	rewritten, err = d.GCCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("quiet pass: %v", err)
+	}
+	if rewritten != 10 {
+		t.Fatalf("quiet pass rewrote %d chains, want 10", rewritten)
+	}
+}

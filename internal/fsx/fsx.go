@@ -74,6 +74,16 @@ func SyncDir(dir string) error {
 	return nil
 }
 
+// RemoveTreeDurable removes the directory tree rooted at path and
+// fsyncs its parent, so the removal (e.g. of a deleted tenant graph's
+// whole data dir) survives a crash. A missing tree is not an error.
+func RemoveTreeDurable(path string) error {
+	if err := os.RemoveAll(path); err != nil {
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
 // RemoveDurable removes path and fsyncs its parent directory, so the
 // removal (e.g. of an obsolete WAL segment or pruned checkpoint)
 // survives a crash. Missing files are not an error.

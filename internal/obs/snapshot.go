@@ -19,8 +19,12 @@ type Snapshot struct {
 	// Server carries serving-layer counters when the snapshot comes
 	// from a tufastd daemon (nil for bare library runs): admission,
 	// cache, and lifecycle counts for the analytics job plane plus
-	// batch counts for the mutation plane.
+	// batch counts for the mutation plane. On a multi-graph daemon it
+	// is the fleet-wide aggregate.
 	Server *ServerSnapshot `json:"server,omitempty"`
+	// Graphs breaks Server down per tenant graph, keyed by graph name
+	// ("default" included); nil outside a daemon.
+	Graphs map[string]*ServerSnapshot `json:"graphs,omitempty"`
 }
 
 // ServerSnapshot is the serving-layer slice of a Snapshot, produced by
@@ -33,6 +37,10 @@ type ServerSnapshot struct {
 	// Rejected counts submissions turned away with 429 (queue full).
 	Admitted uint64 `json:"admitted"`
 	Rejected uint64 `json:"rejected"`
+	// QuotaRejected counts requests refused 429 by per-tenant quotas
+	// (inflight-job cap, mutation-rate bucket) rather than shared-pool
+	// backpressure.
+	QuotaRejected uint64 `json:"quota_rejected,omitempty"`
 	// CacheHits counts submissions served from the epoch-tagged result
 	// cache without touching the queue.
 	CacheHits uint64 `json:"cache_hits"`
@@ -100,12 +108,20 @@ type ServerSnapshot struct {
 	RepairLag HistSnapshot `json:"repair_lag_ns,omitempty"`
 }
 
+// Merge folds other into a copy of s: counters add, histograms merge,
+// gauges from other win (matching Snapshot.Merge's gauge rule). The
+// server uses it to aggregate per-graph sections into a fleet total.
+func (s ServerSnapshot) Merge(other ServerSnapshot) ServerSnapshot {
+	return s.merge(other)
+}
+
 // merge folds other into a copy of s: counters add, histograms merge,
 // gauges from other win (matching Snapshot.Merge's gauge rule).
 func (s ServerSnapshot) merge(other ServerSnapshot) ServerSnapshot {
 	out := s
 	out.Admitted += other.Admitted
 	out.Rejected += other.Rejected
+	out.QuotaRejected += other.QuotaRejected
 	out.CacheHits += other.CacheHits
 	out.Completed += other.Completed
 	out.Failed += other.Failed
@@ -257,6 +273,22 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	case other.Server != nil:
 		sv := *other.Server
 		out.Server = &sv
+	}
+	if s.Graphs != nil || other.Graphs != nil {
+		out.Graphs = make(map[string]*ServerSnapshot, len(s.Graphs)+len(other.Graphs))
+		for name, sv := range s.Graphs {
+			cp := *sv
+			out.Graphs[name] = &cp
+		}
+		for name, sv := range other.Graphs {
+			if have, ok := out.Graphs[name]; ok {
+				merged := have.merge(*sv)
+				out.Graphs[name] = &merged
+			} else {
+				cp := *sv
+				out.Graphs[name] = &cp
+			}
+		}
 	}
 	for name, m := range s.Modes {
 		out.Modes[name] = m

@@ -10,13 +10,21 @@
 // OLDEST retained checkpoint, never the newest, so a corrupt-newest
 // fallback still has the tail it needs to replay.
 //
-// Recovery (OpenDurable) inverts the write path: load the newest
+// Recovery (recoverDataDir) inverts the write path: load the newest
 // checkpoint that passes its CRC (falling back to older ones), restore
 // the epoch counter to the checkpoint's epoch, then replay every WAL
-// record above it through the ordinary stream-apply path. The WAL's
-// own open already repaired any torn tail, so a kill at any instant
-// costs at most the batch that was mid-append — which was never
-// acknowledged.
+// record above it through the ordinary stream-apply path — decode
+// pipelined against apply (wal.ReplayPipelined) so a fleet of graphs
+// boots without serializing each graph's replay on segment decode. The
+// WAL's own open already repaired any torn tail, so a kill at any
+// instant costs at most the batch that was mid-append — which was
+// never acknowledged.
+//
+// Tenancy: every graphInstance owns one such plane. The default graph
+// roots it at DataDir itself (so PR 9 single-tenant data dirs recover
+// unchanged); named graphs root theirs at DataDir/graphs/<name>/,
+// recovered on boot by Server.recoverNamedGraphs from the GRAPH.json
+// spec each create wrote first.
 package server
 
 import (
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,7 +51,8 @@ import (
 type DurabilityConfig struct {
 	// DataDir roots the on-disk state: <DataDir>/wal/ holds log
 	// segments, <DataDir>/checkpoints/ the compacted snapshots,
-	// <DataDir>/MANIFEST.json the checkpoint index.
+	// <DataDir>/MANIFEST.json the checkpoint index, and
+	// <DataDir>/graphs/<name>/ the same layout per named graph.
 	DataDir string
 	// Sync is the WAL fsync policy (default wal.SyncAlways);
 	// SyncInterval is the flush period under wal.SyncInterval.
@@ -74,8 +84,8 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 	return c
 }
 
-// RecoveryInfo describes what one boot's recovery did; static once the
-// server is constructed.
+// RecoveryInfo describes what one boot's recovery did for one graph;
+// static once the instance is constructed.
 type RecoveryInfo struct {
 	// Recovered is true when the durability plane is enabled and boot
 	// recovery completed (trivially true for a fresh data dir).
@@ -99,7 +109,7 @@ type RecoveryInfo struct {
 	EpochAdjusts uint64 `json:"epoch_adjusts,omitempty"`
 }
 
-// errNotDurable answers durability endpoints on an ephemeral server.
+// errNotDurable answers durability endpoints on an ephemeral graph.
 var errNotDurable = errors.New("durability disabled (start with a data dir)")
 
 // manifestEntry is one retained checkpoint: its epoch and its file
@@ -168,24 +178,37 @@ func saveManifest(dataDir string, man manifest) error {
 	})
 }
 
-// OpenDurable boots a durable server from dcfg.DataDir: newest valid
-// checkpoint (or loadBase on a fresh dir), epoch restored, WAL tail
-// replayed, then a Server wired to append every committed batch to the
-// log. loadBase loads or generates the day-zero graph; mkDyn builds
-// the runtime and overlay around whichever graph recovery produced
-// (checkpoints change the base topology, so sizing must happen inside
-// it). Call Start on the result as usual.
-func OpenDurable(cfg Config, dcfg DurabilityConfig,
-	loadBase func() (*tufast.Graph, error),
-	mkDyn func(*tufast.Graph) *tufast.DynGraph) (*Server, error) {
+// recoveredState is what recoverDataDir hands back: the rebuilt
+// overlay, the open log, and the manifest/recovery bookkeeping the
+// instance wires in via attachDurability.
+type recoveredState struct {
+	dyn  *tufast.DynGraph
+	wlog *wal.Log
+	man  manifest
+	rec  RecoveryInfo
+	// fromCheckpoint is false on a fresh dir (booted from loadBase):
+	// the instance then writes its day-zero checkpoint so no later
+	// boot ever depends on loadBase reproducing the base graph.
+	fromCheckpoint bool
+}
 
-	dcfg = dcfg.withDefaults()
-	if dcfg.DataDir == "" {
-		return nil, errors.New("server: OpenDurable requires DataDir")
-	}
+// replayDepth bounds the decode-ahead of pipelined WAL replay: decoded
+// batches buffered between the segment reader and the apply loop.
+const replayDepth = 8
+
+// recoverDataDir runs one graph's boot recovery against dcfg.DataDir:
+// newest valid checkpoint (or loadBase on a fresh dir), epoch
+// restored, WAL tail replayed. loadBase loads or generates the
+// day-zero graph; mkDyn builds the runtime and overlay around
+// whichever graph recovery produced.
+func recoverDataDir(dcfg DurabilityConfig, window int,
+	loadBase func() (*tufast.Graph, error),
+	mkDyn func(*tufast.Graph) *tufast.DynGraph) (recoveredState, error) {
+
+	var rv recoveredState
 	for _, d := range []string{dcfg.DataDir, ckptDir(dcfg.DataDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, err
+			return rv, err
 		}
 	}
 	// A kill between an atomic write's temp file and its rename leaves
@@ -200,9 +223,8 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig,
 
 	man, err := loadManifest(dcfg.DataDir)
 	if err != nil {
-		return nil, err
+		return rv, err
 	}
-	var rec RecoveryInfo
 	var g *tufast.Graph
 	ckptEpoch := uint64(0)
 	found := false
@@ -214,7 +236,7 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig,
 			// checkpoint. The WAL was only ever truncated below the
 			// oldest RETAINED checkpoint, so the older one's replay
 			// tail is still on disk.
-			rec.CheckpointFallbacks++
+			rv.rec.CheckpointFallbacks++
 			continue
 		}
 		g, ckptEpoch, found = gg, ent.Epoch, true
@@ -227,11 +249,11 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig,
 		// Checkpoints existed but none loads: the WAL below the oldest
 		// one is gone, so rebuilding from the base graph would silently
 		// lose acknowledged batches. Refuse instead of serving wrong data.
-		return nil, fmt.Errorf("server: all %d checkpoints in %s failed validation",
+		return rv, fmt.Errorf("server: all %d checkpoints in %s failed validation",
 			len(man.Checkpoints), ckptDir(dcfg.DataDir))
 	default:
 		if g, err = loadBase(); err != nil {
-			return nil, err
+			return rv, err
 		}
 	}
 
@@ -248,12 +270,11 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig,
 		Hooks:        dcfg.walHooks,
 	})
 	if err != nil {
-		return nil, err
+		return rv, err
 	}
-	rec.TornTail = scan.TornTail
+	rv.rec.TornTail = scan.TornTail
 
-	window := cfg.withDefaults().Window
-	err = wlog.Replay(ckptEpoch, func(epoch uint64, ops []wal.Op) error {
+	err = wlog.ReplayPipelined(ckptEpoch, replayDepth, func(epoch uint64, ops []wal.Op) error {
 		stats, err := dyn.ApplyStreamCtx(context.Background(), ops,
 			tufast.StreamOptions{Window: window})
 		if err != nil {
@@ -265,47 +286,172 @@ func OpenDurable(cfg Config, dcfg DurabilityConfig,
 			// batch effective then can replay as a no-op). Realign: the
 			// log's epoch is the authoritative one.
 			dyn.RestoreEpoch(epoch)
-			rec.EpochAdjusts++
+			rv.rec.EpochAdjusts++
 		}
-		rec.ReplayedBatches++
-		rec.ReplayedOps += uint64(len(ops))
+		rv.rec.ReplayedBatches++
+		rv.rec.ReplayedOps += uint64(len(ops))
 		return nil
 	})
 	if err != nil {
 		wlog.Close()
+		return rv, err
+	}
+	rv.rec.Recovered = true
+	rv.rec.CheckpointEpoch = ckptEpoch
+	rv.dyn, rv.wlog, rv.man, rv.fromCheckpoint = dyn, wlog, man, found
+	return rv, nil
+}
+
+// attachDurability wires a recovered durability plane into the
+// instance, writing the day-zero checkpoint on a fresh dir.
+func (g *graphInstance) attachDurability(rv recoveredState, dcfg DurabilityConfig) error {
+	g.wlog, g.dur, g.man, g.recovery = rv.wlog, dcfg, rv.man, rv.rec
+	g.ckptEpochGauge.Store(rv.rec.CheckpointEpoch)
+	if !rv.fromCheckpoint {
+		// Day zero: checkpoint the base graph so the next boot never
+		// depends on loadBase reproducing it (generators are seeded,
+		// but input files move).
+		if _, err := g.checkpointNow(); err != nil {
+			_ = rv.wlog.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenDurable boots a durable server from dcfg.DataDir: the default
+// graph recovers from the dir root, then every named graph under
+// graphs/<name>/ recovers through the same checkpoint-plus-replay
+// path. loadBase loads or generates the default graph's day-zero
+// topology; mkDyn builds the runtime and overlay around whichever
+// graph recovery produced (checkpoints change the base topology, so
+// sizing must happen inside it). mkDyn applies to the DEFAULT graph
+// only — named graphs size themselves from their create spec (or
+// cfg.MkDyn, when the embedder sets it). Call Start on the result as
+// usual.
+func OpenDurable(cfg Config, dcfg DurabilityConfig,
+	loadBase func() (*tufast.Graph, error),
+	mkDyn func(*tufast.Graph) *tufast.DynGraph) (*Server, error) {
+
+	dcfg = dcfg.withDefaults()
+	if dcfg.DataDir == "" {
+		return nil, errors.New("server: OpenDurable requires DataDir")
+	}
+	cfg = cfg.withDefaults()
+	rv, err := recoverDataDir(dcfg, cfg.Window, loadBase, mkDyn)
+	if err != nil {
 		return nil, err
 	}
-	rec.Recovered = true
-	rec.CheckpointEpoch = ckptEpoch
-
-	s := New(dyn, cfg)
-	s.wlog, s.dur, s.man, s.recovery = wlog, dcfg, man, rec
-	s.ckptEpochGauge.Store(ckptEpoch)
-	if !found {
-		// Day zero: checkpoint the base graph at epoch 0 so the next
-		// boot never depends on loadBase reproducing it (generators are
-		// seeded, but input files move).
-		if _, err := s.checkpointNow(); err != nil {
-			wlog.Close()
-			return nil, err
-		}
+	s := New(rv.dyn, cfg)
+	s.dataDir, s.durTpl = dcfg.DataDir, dcfg
+	if err := s.def.attachDurability(rv, dcfg); err != nil {
+		return nil, err
+	}
+	if err := s.recoverNamedGraphs(); err != nil {
+		s.closeWALs()
+		return nil, err
 	}
 	return s, nil
 }
 
-// Recovery returns what boot recovery did (zero value on an ephemeral
-// server).
-func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+// recoverNamedGraphs scans <dataDir>/graphs/ on boot, recovering every
+// named graph from its own durability plane. A directory without a
+// GRAPH.json is a create that crashed before its spec landed — nothing
+// under that name was ever acknowledged — and is removed durably.
+func (s *Server) recoverNamedGraphs() error {
+	root := filepath.Join(s.dataDir, "graphs")
+	ents, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		dir := filepath.Join(root, name)
+		spec, err := loadGraphSpec(dir)
+		if os.IsNotExist(err) {
+			if rerr := fsx.RemoveTreeDurable(dir); rerr != nil {
+				return fmt.Errorf("server: sweep partial graph %q: %w", name, rerr)
+			}
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("server: graph %q: %w", name, err)
+		}
+		g, err := s.openNamedInstance(name, dir, spec)
+		if err != nil {
+			return fmt.Errorf("server: recover graph %q: %w", name, err)
+		}
+		s.graphs[name] = g
+	}
+	return nil
+}
+
+// openNamedInstance recovers (or, on a fresh dir, creates day-zero
+// state for) one named graph's durability plane and builds its serving
+// plane. The GRAPH.json spec doubles as loadBase: creation is
+// deterministic from it, so a create that crashed before its first
+// checkpoint rebuilds identically.
+func (s *Server) openNamedInstance(name, dir string, spec createSpec) (*graphInstance, error) {
+	dcfg := s.durTpl
+	dcfg.DataDir = dir
+	rv, err := recoverDataDir(dcfg, s.cfg.Window,
+		func() (*tufast.Graph, error) { return buildFromSpec(spec) },
+		func(base *tufast.Graph) *tufast.DynGraph { return s.buildDyn(base, spec.MutationBudget) })
+	if err != nil {
+		return nil, err
+	}
+	g := s.newInstance(name, rv.dyn, spec.Quotas)
+	if err := g.attachDurability(rv, dcfg); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// closeWALs closes every registered graph's log; boot-failure cleanup
+// only.
+func (s *Server) closeWALs() {
+	for _, g := range s.graphs {
+		if g.wlog != nil {
+			_ = g.wlog.Close()
+		}
+	}
+}
+
+// Recovery returns what boot recovery did for the default graph (zero
+// value on an ephemeral server). Per-graph recovery documents are on
+// each graph's /v1/graphs/{name}/health.
+func (s *Server) Recovery() RecoveryInfo { return s.def.recovery }
 
 // Durable reports whether the durability plane is enabled.
-func (s *Server) Durable() bool { return s.wlog != nil }
+func (s *Server) Durable() bool { return s.def.wlog != nil }
+
+// NamedGraphs returns the registered non-default graph names, sorted;
+// tufastd's boot banner reports them.
+func (s *Server) NamedGraphs() []string {
+	s.regMu.RLock()
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		if name != DefaultGraph {
+			names = append(names, name)
+		}
+	}
+	s.regMu.RUnlock()
+	sort.Strings(names)
+	return names
+}
 
 // checkpointNow writes a checkpoint of the current epoch, prunes old
 // ones past CheckpointKeep, and truncates the WAL below the oldest
 // survivor. Single-flight under ckptMu; a no-op (returning the existing
 // epoch) when nothing committed since the last checkpoint. Safe while
 // mutators run: the compaction reads an epoch-pinned view.
-func (s *Server) checkpointNow() (uint64, error) {
+func (s *graphInstance) checkpointNow() (uint64, error) {
 	if s.wlog == nil {
 		return 0, errNotDurable
 	}
@@ -356,9 +502,9 @@ func (s *Server) checkpointNow() (uint64, error) {
 	return e, nil
 }
 
-// checkpointLoop checkpoints on a timer until shutdown; an unchanged
-// epoch makes the tick a no-op.
-func (s *Server) checkpointLoop() {
+// checkpointLoop checkpoints on a timer until shutdown (or this
+// graph's deletion); an unchanged epoch makes the tick a no-op.
+func (s *graphInstance) checkpointLoop() {
 	defer s.gcWG.Done()
 	tick := time.NewTicker(s.dur.CheckpointInterval)
 	defer tick.Stop()
@@ -375,14 +521,14 @@ func (s *Server) checkpointLoop() {
 	}
 }
 
-// handleCheckpoint serves POST /v1/checkpoint: an operator-triggered
+// handleCheckpoint serves POST …/checkpoint: an operator-triggered
 // inline checkpoint (before planned maintenance, after a bulk load).
-func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+func (s *graphInstance) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	if s.wlog == nil {
 		writeError(w, http.StatusBadRequest, errNotDurable.Error())
 		return
 	}
-	if s.draining.Load() {
+	if s.srv.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -396,7 +542,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	}{e})
 }
 
-// healthDurability is the durability slice of GET /v1/health.
+// healthDurability is the durability slice of GET …/health.
 type healthDurability struct {
 	Enabled            bool   `json:"enabled"`
 	Recovered          bool   `json:"recovered,omitempty"`
@@ -413,12 +559,12 @@ type healthDurability struct {
 	WALFailed string `json:"wal_failed,omitempty"`
 }
 
-// handleHealthV1 serves GET /v1/health: a JSON health document with
+// handleHealthV1 serves GET …/health: a JSON health document with
 // the recovery/durability status a readiness probe or operator wants,
 // where /healthz stays the one-byte liveness check.
-func (s *Server) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
+func (s *graphInstance) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
 	status, code := "ok", http.StatusOK
-	if s.draining.Load() {
+	if s.srv.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	dur := healthDurability{Enabled: s.wlog != nil}
@@ -437,14 +583,15 @@ func (s *Server) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, code, struct {
+		Graph      string           `json:"graph"`
 		Status     string           `json:"status"`
 		Epoch      uint64           `json:"epoch"`
 		Durability healthDurability `json:"durability"`
-	}{status, s.dyn.Epoch(), dur})
+	}{s.name, status, s.dyn.Epoch(), dur})
 }
 
 // fillDurability adds the durability counters to a metrics snapshot.
-func (s *Server) fillDurability(sv *obs.ServerSnapshot, epoch uint64) {
+func (s *graphInstance) fillDurability(sv *obs.ServerSnapshot, epoch uint64) {
 	if s.wlog == nil {
 		return
 	}

@@ -83,11 +83,21 @@ func crashServer(s *Server) {
 	s.admitMu.Unlock()
 	s.cancelJobs()
 	s.workerWG.Wait()
-	s.standing.stop()
-	s.gcWG.Wait()
-	s.mutMu.Lock()
-	_ = s.wlog.Close()
-	s.mutMu.Unlock()
+	s.regMu.RLock()
+	insts := make([]*graphInstance, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		insts = append(insts, g)
+	}
+	s.regMu.RUnlock()
+	for _, g := range insts {
+		g.standing.stop()
+		g.gcWG.Wait()
+		g.mutMu.Lock()
+		if g.wlog != nil {
+			_ = g.wlog.Close()
+		}
+		g.mutMu.Unlock()
+	}
 	_ = s.hsrv.Close()
 }
 
@@ -163,7 +173,7 @@ func assertRecoveredTopology(t *testing.T, s *Server, acked []ackedBatch) {
 	if err != nil {
 		t.Fatalf("oracle build: %v", err)
 	}
-	view := s.dyn.View()
+	view := s.def.dyn.View()
 	defer view.Close()
 	got, err := view.Compact()
 	if err != nil {

@@ -105,10 +105,13 @@ func (r JobRequest) cacheKey() string {
 	return fmt.Sprintf("%s|d=%v|e=%v|s=%d|k=%d", r.Algo, r.Damping, r.Eps, r.Source, r.TopK)
 }
 
-// Job is one admitted analytics request and its lifecycle.
+// Job is one admitted analytics request and its lifecycle. g is the
+// graph it was admitted against: the shared pool's workers dispatch
+// through it, so one queue serves every tenant.
 type Job struct {
 	ID  string
 	Req JobRequest
+	g   *graphInstance
 
 	// mu is the innermost serving-plane lock: per-job state only, no
 	// other lock is ever taken under it.
@@ -287,18 +290,20 @@ func (c *resultCache) store(key string, epoch uint64, result any) {
 	c.m[key] = cacheEntry{epoch: epoch, result: result}
 }
 
-// worker is one slot of the bounded analytics pool: it drains the
-// admission queue until the queue closes (drain) and runs each job
-// under its own deadline context parented to the server's base context
-// (so drain-time cancellation reaches in-flight sweeps).
+// worker is one slot of the bounded analytics pool shared by every
+// graph: it drains the admission queue until the queue closes (drain)
+// and dispatches each job to its graph, which runs it under its own
+// deadline context parented to the graph's base context (so drain-time
+// and delete-time cancellation reach in-flight sweeps).
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for j := range s.queue {
-		s.runJob(j)
+		j.g.runJob(j)
 	}
 }
 
-func (s *Server) runJob(j *Job) {
+func (s *graphInstance) runJob(j *Job) {
+	defer s.inflight.Add(-1)
 	ctx, cancel := context.WithTimeout(s.baseCtx, time.Duration(j.Req.TimeoutMS)*time.Millisecond)
 	defer cancel()
 
@@ -361,7 +366,7 @@ func (s *Server) runJob(j *Job) {
 // over the snapshot so concurrent jobs never share transactional
 // state; the deadline context flows into the runtime's cancellation
 // paths (sweeps, retries, lock waits).
-func (s *Server) execute(ctx context.Context, req JobRequest) (any, uint64, error) {
+func (s *graphInstance) execute(ctx context.Context, req JobRequest) (any, uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, s.dyn.Epoch(), err
 	}
@@ -405,7 +410,7 @@ func (s *Server) execute(ctx context.Context, req JobRequest) (any, uint64, erro
 // jobSysOptions builds per-job runtime options: analytics parallelism
 // is bounded separately from HTTP concurrency so a wide client fan-out
 // cannot multiply into threads × jobs goroutines.
-func (s *Server) jobSysOptions() tufast.Options {
+func (s *graphInstance) jobSysOptions() tufast.Options {
 	return tufast.Options{Threads: s.cfg.JobThreads}
 }
 

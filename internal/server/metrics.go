@@ -14,6 +14,11 @@ type metrics struct {
 	rejected  atomic.Uint64
 	cacheHits atomic.Uint64
 
+	// quotaRejected counts admissions refused 429 by this graph's
+	// tenant quotas (inflight-job cap or mutation-rate bucket) —
+	// distinct from rejected, which is shared-pool backpressure.
+	quotaRejected atomic.Uint64
+
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	deadline  atomic.Uint64
@@ -58,6 +63,7 @@ func (m *metrics) snapshot(queueDepth, queueCap int, epoch uint64, standing, sta
 	return &obs.ServerSnapshot{
 		Admitted:              m.admitted.Load(),
 		Rejected:              m.rejected.Load(),
+		QuotaRejected:         m.quotaRejected.Load(),
 		CacheHits:             m.cacheHits.Load(),
 		Completed:             m.completed.Load(),
 		Failed:                m.failed.Load(),

@@ -151,14 +151,14 @@ func TestMutationSeqlockSingleWriter(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("batch A never entered the mutation bracket")
 	}
-	if got := s.mutSeq.Load(); got != 1 {
+	if got := s.def.mutSeq.Load(); got != 1 {
 		t.Fatalf("mutSeq = %d with one batch in flight, want 1 (odd)", got)
 	}
 	go post(1, 8, doneB)
 	// Batch B must queue on the mutation mutex OUTSIDE the bracket: the
 	// seqlock stays odd and unchanged no matter how long we wait.
 	time.Sleep(150 * time.Millisecond)
-	if got := s.mutSeq.Load(); got != 1 {
+	if got := s.def.mutSeq.Load(); got != 1 {
 		t.Fatalf("mutSeq = %d while a second batch raced the bracket, want 1: "+
 			"overlapping batches made the seqlock even mid-apply", got)
 	}
@@ -170,7 +170,7 @@ func TestMutationSeqlockSingleWriter(t *testing.T) {
 			t.Fatal("batch did not complete after release")
 		}
 	}
-	if got := s.mutSeq.Load(); got != 4 {
+	if got := s.def.mutSeq.Load(); got != 4 {
 		t.Fatalf("mutSeq = %d after two batches, want 4", got)
 	}
 }
@@ -343,7 +343,7 @@ func TestStandingDeleteRepairNoRecompute(t *testing.T) {
 	waitStandingStable(t, client, base, 1)
 
 	// Oracle labels on the compacted final graph.
-	g, _, err := s.snapshot()
+	g, _, err := s.def.snapshot()
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
@@ -357,7 +357,7 @@ func TestStandingDeleteRepairNoRecompute(t *testing.T) {
 	if err := ccReq.normalize(s.cfg, n); err != nil {
 		t.Fatal(err)
 	}
-	q := s.standing.lookup(ccReq.cacheKey())
+	q := s.def.standing.lookup(ccReq.cacheKey())
 	if q == nil {
 		t.Fatal("standing cc vanished from the registry")
 	}

@@ -1,20 +1,28 @@
 // Package server is tufastd's serving layer: a long-running HTTP/JSON
-// service over one DynGraph and its transactional runtime, with two
-// planes.
+// service over a registry of named DynGraphs and their transactional
+// runtimes, with two planes per graph.
 //
-// The mutation plane (POST /v1/edges) applies batched edge mutations
-// through DynGraph.ApplyStream — windowed, routed H/O/L by live degree
-// like every other transaction — and bumps the graph's mutation epoch.
+// The mutation plane (POST /v1/graphs/{name}/edges) applies batched
+// edge mutations through DynGraph.ApplyStream — windowed, routed H/O/L
+// by live degree like every other transaction — and bumps that graph's
+// mutation epoch.
 //
-// The analytics plane (POST /v1/jobs, GET /v1/jobs/{id}) runs
-// pagerank/cc/sssp/degree asynchronously: a bounded worker pool drains
-// a bounded admission queue (a full queue sheds load with 429 and
-// Retry-After instead of queueing unboundedly), every job carries a
-// deadline propagated as a context into the runtime's cancellation
-// paths, and finished results are cached tagged with the mutation
-// epoch they were computed at — repeated queries between mutations are
-// served from cache, and any effective mutation batch invalidates it
-// by bumping the epoch.
+// The analytics plane (POST /v1/graphs/{name}/jobs, GET …/jobs/{id})
+// runs pagerank/cc/sssp/degree asynchronously: one bounded worker pool
+// shared by every graph drains a bounded admission queue (a full queue
+// sheds load with 429 and Retry-After instead of queueing unboundedly),
+// every job carries a deadline propagated as a context into the
+// runtime's cancellation paths, and finished results are cached tagged
+// with the mutation epoch they were computed at — repeated queries
+// between mutations are served from cache, and any effective mutation
+// batch invalidates it by bumping the epoch.
+//
+// Tenancy: the registry (registry.go) manages named graphs — create
+// with PUT /v1/graphs/{name}, delete with DELETE, list with GET
+// /v1/graphs — each with its own durability plane under a per-graph
+// data-dir subdirectory and its own admission quotas, so one hot
+// tenant cannot starve the fleet. Legacy unnamed routes alias the
+// reserved "default" graph.
 //
 // Analytics reads are epoch-consistent without excluding mutators: the
 // overlay's edge chains are multi-version (every entry carries the
@@ -26,7 +34,7 @@
 // to order standing-query seeding (which must observe a quiescent
 // point) against mutation batches.
 //
-// Standing queries ("standing": true on POST /v1/jobs) skip the
+// Standing queries ("standing": true on POST …/jobs) skip the
 // per-epoch recompute entirely: a resident delta-maintained
 // computation (DeltaPageRank / IncrementalCC) rides the mutation
 // plane's stream hooks and a repair worker re-stabilizes it after
@@ -48,28 +56,28 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tufast"
 	"tufast/internal/obs"
-	"tufast/internal/wal"
 )
 
 // Config tunes a Server. Zero values take the documented defaults.
 type Config struct {
 	// Addr is the listen address (default ":8080"; use ":0" in tests).
 	Addr string
-	// JobWorkers is the analytics pool size: at most this many jobs
-	// run concurrently (default 2).
+	// JobWorkers is the analytics pool size shared by all graphs: at
+	// most this many jobs run concurrently fleet-wide (default 2).
 	JobWorkers int
 	// JobThreads is the per-job runtime parallelism (default
 	// GOMAXPROCS); total analytics parallelism is bounded by
 	// JobWorkers × JobThreads.
 	JobThreads int
-	// QueueDepth bounds the admission queue; a submission finding it
-	// full is rejected with 429 + Retry-After (default 64).
+	// QueueDepth bounds the shared admission queue; a submission
+	// finding it full is rejected with 429 + Retry-After (default 64).
 	QueueDepth int
 	// DefaultTimeout is the per-job deadline when the request names
 	// none (default 30s); MaxTimeout caps requested deadlines
@@ -84,22 +92,24 @@ type Config struct {
 	// DrainGrace is how long Shutdown lets queued and in-flight jobs
 	// finish before cancelling them (default 10s).
 	DrainGrace time.Duration
-	// MaxJobs bounds how many terminal (done/failed/…) jobs the job
-	// table retains (default 1024). The oldest finished jobs beyond the
-	// bound are evicted and their ids answer 404, keeping a long-running
-	// daemon's memory flat under sustained submission.
+	// MaxJobs bounds how many terminal (done/failed/…) jobs each
+	// graph's job table retains (default 1024).
 	MaxJobs int
 	// TopK is the default ranked-list length in results (default 10).
 	TopK int
 	// MaxStanding bounds how many standing queries (resident
-	// delta-maintained computations) may be registered (default 8).
-	// Each query allocates per-vertex state from the runtime's shared
-	// space and holds it for the daemon's lifetime.
+	// delta-maintained computations) may be registered per graph
+	// (default 8; a graph's quotas may override it).
 	MaxStanding int
-	// GCInterval is how often the overlay's multi-version chains are
+	// GCInterval is how often each graph's multi-version chains are
 	// garbage-collected down to the oldest live view pin (default 2s;
 	// < 0 disables the background pass).
 	GCInterval time.Duration
+	// MkDyn, when non-nil, builds the runtime and overlay for graphs
+	// created (or recovered) through the registry — checkpoints change
+	// the base topology, so sizing must happen per graph inside it.
+	// Nil uses a default factory sized for defaultMutationBudget ops.
+	MkDyn func(*tufast.Graph) *tufast.DynGraph
 
 	// jobGate, when non-nil, runs at job start before the algorithm —
 	// a test hook to hold workers deterministically (block the pool,
@@ -160,79 +170,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one DynGraph. Create with New, start with Start, stop
-// with Shutdown.
+// Server hosts a registry of graphInstances behind one listener and
+// one shared analytics worker pool. Create with New (or OpenDurable),
+// start with Start, stop with Shutdown.
 type Server struct {
 	cfg Config
-	sys *tufast.System
-	dyn *tufast.DynGraph
 
-	// topo orders mutation batches (shared) against standing-query
-	// seeding (exclusive), which reads a quiescent initial state. The
-	// analytics plane no longer takes it: jobs read epoch-pinned MVCC
-	// views.
+	// regMu guards the registry map and the busy (create/delete in
+	// flight) set. It is the outermost serving lock and is never held
+	// across another lock acquisition: resolution copies the instance
+	// pointer out and releases before any per-graph work.
 	//
-	//tufast:lockorder 20
-	topo sync.RWMutex
+	//tufast:lockorder 3
+	regMu  sync.RWMutex
+	graphs map[string]*graphInstance
+	busy   map[string]bool
+	def    *graphInstance
 
-	// mutMu makes the mutation plane's seqlock bracket single-writer:
-	// handleEdges holds it across the whole mutSeq.Add … ApplyStreamCtx
-	// … batchCommitted … mutSeq.Add sequence. Batches already serialize
-	// on the graph's internal batch lock, so this costs no concurrency —
-	// but without it two overlapping requests bump mutSeq to an even
-	// value (1 then 2) while both batches are still applying, and a
-	// standing repair reading an even, unchanged mutSeq could claim a
-	// mutation-free window that never existed and publish a torn
-	// summary as exact.
-	//
-	//tufast:lockorder 15
-	mutMu sync.Mutex
+	// dataDir roots durable state ("" = ephemeral daemon); named graphs
+	// live under <dataDir>/graphs/<name>/, the default graph at the
+	// root (so PR 9 data dirs keep working). durTpl carries the
+	// durability tuning every per-graph plane inherits.
+	dataDir string
+	durTpl  DurabilityConfig
 
-	// snapMu guards the epoch-tagged compacted snapshot cache and the
-	// per-epoch builder claim — never held across compaction itself, so
-	// a cache hit never waits on a compacting writer.
-	//
-	//tufast:lockorder 10
-	snapMu         sync.Mutex
-	snapEpoch      uint64
-	snapGraph      *tufast.Graph
-	snapBuild      chan struct{} // non-nil while a compaction is in flight
-	snapBuildEpoch uint64
-
-	jobs  jobTable
-	cache resultCache
+	// queue is the shared admission queue: one bounded pool serves
+	// every tenant, with per-tenant quotas enforced at admission.
 	queue chan *Job
-
-	// arcsMu guards the one-entry per-epoch live-arcs cache behind
-	// GET /v1/graph: an exact arc count is an O(V+E) chain scan, and a
-	// monitoring poller between mutations should pay it once per epoch,
-	// not per request.
-	arcsMu    sync.Mutex
-	arcsEpoch uint64
-	arcsVal   int
-	arcsOK    bool
-
-	// standing hosts the resident delta-maintained queries; its hooks
-	// (precomposed once into streamOnEdge/streamEmit) ride every
-	// mutation batch.
-	standing     *standingManager
-	streamOnEdge func(tufast.Tx, tufast.StreamOp, bool, func(uint32)) error
-	streamEmit   func(uint32)
-
-	// mutSeq is a seqlock over mutation batches: odd while a batch is
-	// being applied, bumped again once its standing-side bookkeeping
-	// (batchCommitted) is delivered. Its single writer is the
-	// handleEdges bracket under mutMu — seqlock parity is meaningless
-	// with concurrent writers. Standing repairs read it around their
-	// summary build — an unchanged even value proves no batch was
-	// mid-commit while the summary's advisory word reads ran, which is
-	// what lets a publish claim exactness without excluding mutators.
-	mutSeq atomic.Uint64
 
 	// admitMu makes "check draining, then send" atomic against
 	// Shutdown's "set draining, then close(queue)" — without it a
-	// racing submission could send on a closed channel. Admission
-	// registers the job (jobTable.mu) under it.
+	// racing submission could send on a closed channel.
 	//
 	//tufast:lockorder 30
 	admitMu  sync.RWMutex
@@ -241,49 +209,33 @@ type Server struct {
 	baseCtx    context.Context
 	cancelJobs context.CancelFunc
 	workerWG   sync.WaitGroup
-	gcWG       sync.WaitGroup
 
-	// Durability plane (nil wlog = ephemeral daemon). ckptMu
-	// single-flights checkpoints and guards the manifest; it brackets
-	// an epoch-pinned compaction plus file writes and takes no other
-	// server lock besides (in Shutdown's close path) mutMu.
-	//
-	//tufast:lockorder 5
-	ckptMu         sync.Mutex
-	wlog           *wal.Log
-	dur            DurabilityConfig
-	man            manifest
-	recovery       RecoveryInfo
-	ckptEpochGauge atomic.Uint64
-
-	met  metrics
 	hsrv *http.Server
 	ln   net.Listener
 }
 
-// New builds a server over d (the runtime comes from d.System()).
+// New builds a server whose default graph serves d (the runtime comes
+// from d.System()).
 func New(d *tufast.DynGraph, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
-		sys:        d.System(),
-		dyn:        d,
+		graphs:     make(map[string]*graphInstance),
+		busy:       make(map[string]bool),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 	}
-	s.standing = newStandingManager(s)
-	// Compose the standing fan-out into the stream hooks once; with no
-	// queries registered the fan-out is one atomic load per op.
-	s.streamOnEdge = tufast.ComposeOnEdge(s.standing.onEdge)
-	s.streamEmit = tufast.ComposeEmit(s.standing.emit)
+	s.def = s.newInstance(DefaultGraph, d, Quotas{})
+	s.graphs[DefaultGraph] = s.def
 	s.hsrv = obs.NewServer(s.mux())
 	return s
 }
 
-// Start binds the listener, starts the worker pool, and serves HTTP on
-// a background goroutine. It returns once the address is bound.
+// Start binds the listener, starts the shared worker pool and each
+// graph's background loops, and serves HTTP on a background goroutine.
+// It returns once the address is bound.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
@@ -294,14 +246,11 @@ func (s *Server) Start() error {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
-	if s.cfg.GCInterval > 0 {
-		s.gcWG.Add(1)
-		go s.gcLoop()
+	s.regMu.RLock()
+	for _, g := range s.graphs {
+		g.startLoops()
 	}
-	if s.wlog != nil && s.dur.CheckpointInterval > 0 {
-		s.gcWG.Add(1)
-		go s.checkpointLoop()
-	}
+	s.regMu.RUnlock()
 	go func() { _ = s.hsrv.Serve(ln) }()
 	return nil
 }
@@ -310,7 +259,7 @@ func (s *Server) Start() error {
 // observe. Each per-vertex rebuild is its own transaction, so the pass
 // coexists with mutation batches and pinned readers; the watermark
 // (minimum pinned epoch) is computed inside GCCtx under the pin lock.
-func (s *Server) gcLoop() {
+func (s *graphInstance) gcLoop() {
 	defer s.gcWG.Done()
 	tick := time.NewTicker(s.cfg.GCInterval)
 	defer tick.Stop()
@@ -351,8 +300,9 @@ func (s *Server) Addr() string {
 // Shutdown drains the server: admission stops immediately (new
 // submissions and mutation batches get 503), queued and in-flight jobs
 // get DrainGrace to finish, stragglers are cancelled through the job
-// contexts, and finally the HTTP server shuts down under ctx. Safe to
-// call more than once.
+// contexts, every graph's durability plane is closed behind a final
+// checkpoint, and finally the HTTP server shuts down under ctx. Safe
+// to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.admitMu.Lock()
 	first := !s.draining.Swap(true)
@@ -375,47 +325,105 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancelJobs()
-	// Repair workers exit on baseCtx cancellation (a mid-drain
-	// stabilize aborts at the next transaction boundary), as does the
-	// overlay GC pass.
-	s.standing.stop()
-	s.gcWG.Wait()
-	if s.wlog != nil {
-		// Best-effort final checkpoint (no-op when nothing committed
-		// since the last one), then close the log. mutMu excludes any
-		// mutation request that slipped past the draining check: once
-		// we hold it, no append is in flight and none can start without
-		// hitting the closed-log error.
-		_, _ = s.checkpointNow()
-		s.mutMu.Lock()
-		_ = s.wlog.Close()
-		s.mutMu.Unlock()
+	s.regMu.RLock()
+	insts := make([]*graphInstance, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		insts = append(insts, g)
+	}
+	s.regMu.RUnlock()
+	for _, g := range insts {
+		// Repair workers exit on the instance context's cancellation (a
+		// mid-drain stabilize aborts at the next transaction boundary),
+		// as do the overlay GC and checkpoint loops.
+		g.standing.stop()
+		g.gcWG.Wait()
+		if g.wlog != nil {
+			// Best-effort final checkpoint (no-op when nothing committed
+			// since the last one), then close the log. mutMu excludes any
+			// mutation request that slipped past the draining check: once
+			// we hold it, no append is in flight and none can start
+			// without hitting the closed-log error.
+			_, _ = g.checkpointNow()
+			g.mutMu.Lock()
+			_ = g.wlog.Close()
+			g.mutMu.Unlock()
+		}
 	}
 	return s.hsrv.Shutdown(ctx)
 }
 
-// MetricsSnapshot returns the runtime's observability snapshot with
-// the serving-layer section filled in — the same document /metrics
-// serves.
+// MetricsSnapshot returns the fleet's observability snapshot — runtime
+// sections merged across every graph's System, the per-graph serving
+// sections keyed by graph name, and their fold into the fleet-wide
+// Server section — the same document /metrics serves.
 func (s *Server) MetricsSnapshot() tufast.MetricsSnapshot {
-	snap := s.sys.MetricsSnapshot()
-	epoch := s.dyn.Epoch()
-	snap.Server = s.met.snapshot(len(s.queue), cap(s.queue), epoch,
-		s.standing.count(), s.standing.repairingCount())
-	s.fillDurability(snap.Server, epoch)
+	s.regMu.RLock()
+	insts := make([]*graphInstance, 0, len(s.graphs))
+	for _, g := range s.graphs {
+		insts = append(insts, g)
+	}
+	s.regMu.RUnlock()
+	qd, qc := len(s.queue), cap(s.queue)
+	var snap tufast.MetricsSnapshot
+	graphs := make(map[string]*obs.ServerSnapshot, len(insts))
+	var total *obs.ServerSnapshot
+	for i, g := range insts {
+		rs := g.sys.MetricsSnapshot()
+		if i == 0 {
+			snap = rs
+		} else {
+			snap = snap.Merge(rs)
+		}
+		sv := g.metricsSection(qd, qc)
+		graphs[g.name] = sv
+		if total == nil {
+			t := *sv
+			total = &t
+		} else {
+			t := total.Merge(*sv)
+			total = &t
+		}
+	}
+	snap.Server = total
+	snap.Graphs = graphs
 	return snap
 }
 
-// mux wires the two planes plus health and observability endpoints.
+// metricsSection renders this graph's serving-layer counters (queue
+// gauges are fleet-wide and passed in by the caller).
+func (g *graphInstance) metricsSection(queueDepth, queueCap int) *obs.ServerSnapshot {
+	epoch := g.dyn.Epoch()
+	sv := g.met.snapshot(queueDepth, queueCap, epoch,
+		g.standing.count(), g.standing.repairingCount())
+	g.fillDurability(sv, epoch)
+	return sv
+}
+
+// mux wires the per-graph planes (named and legacy default-aliased),
+// the registry lifecycle, and the health and observability endpoints.
 func (s *Server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/edges", s.handleEdges)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /v1/standing", s.handleStandingList)
-	mux.HandleFunc("GET /v1/graph", s.handleGraph)
-	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("GET /v1/health", s.handleHealthV1)
+	// Registry lifecycle.
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleGraphPut)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.withGraph((*graphInstance).handleGraph))
+	// Per-graph serving planes.
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.withGraph((*graphInstance).handleEdges))
+	mux.HandleFunc("POST /v1/graphs/{name}/jobs", s.withGraph((*graphInstance).handleSubmit))
+	mux.HandleFunc("GET /v1/graphs/{name}/jobs/{id}", s.withGraph((*graphInstance).handleJobGet))
+	mux.HandleFunc("GET /v1/graphs/{name}/standing", s.withGraph((*graphInstance).handleStandingList))
+	mux.HandleFunc("GET /v1/graphs/{name}/graph", s.withGraph((*graphInstance).handleGraph))
+	mux.HandleFunc("POST /v1/graphs/{name}/checkpoint", s.withGraph((*graphInstance).handleCheckpoint))
+	mux.HandleFunc("GET /v1/graphs/{name}/health", s.withGraph((*graphInstance).handleHealthV1))
+	// Legacy unnamed routes alias the default graph (PR 5–9 clients).
+	mux.HandleFunc("POST /v1/edges", s.onDefault((*graphInstance).handleEdges))
+	mux.HandleFunc("POST /v1/jobs", s.onDefault((*graphInstance).handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.onDefault((*graphInstance).handleJobGet))
+	mux.HandleFunc("GET /v1/standing", s.onDefault((*graphInstance).handleStandingList))
+	mux.HandleFunc("GET /v1/graph", s.onDefault((*graphInstance).handleGraph))
+	mux.HandleFunc("POST /v1/checkpoint", s.onDefault((*graphInstance).handleCheckpoint))
+	mux.HandleFunc("GET /v1/health", s.onDefault((*graphInstance).handleHealthV1))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
@@ -424,7 +432,7 @@ func (s *Server) mux() *http.ServeMux {
 	return mux
 }
 
-// edgeOp is one mutation of a POST /v1/edges batch.
+// edgeOp is one mutation of a POST …/edges batch.
 type edgeOp struct {
 	U    uint32 `json:"u"`
 	V    uint32 `json:"v"`
@@ -432,13 +440,13 @@ type edgeOp struct {
 	Time uint64 `json:"time,omitempty"`
 }
 
-// edgeBatch is the POST /v1/edges body.
+// edgeBatch is the POST …/edges body.
 type edgeBatch struct {
 	Ops []edgeOp `json:"ops"`
 }
 
-func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+func (s *graphInstance) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if s.srv.draining.Load() || s.deleted.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -455,6 +463,16 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d ops exceeds max %d", len(batch.Ops), s.cfg.MaxBatch))
 		return
+	}
+	if b := s.mutBucket; b != nil {
+		// Rate quota, taken before any lock: a shed batch costs this
+		// tenant a map lookup, not a slot in the serialized bracket.
+		if ok, retry := b.take(time.Now()); !ok {
+			s.met.quotaRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			writeError(w, http.StatusTooManyRequests, "mutation batch rate quota exceeded")
+			return
+		}
 	}
 	n := uint32(s.dyn.NumVertices())
 	ops := make([]tufast.StreamOp, len(batch.Ops))
@@ -553,8 +571,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}{stats.Applied, stats.Inserted, stats.Removed, stats.NoOps, stats.Epoch})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+func (s *graphInstance) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.srv.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -589,23 +607,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // admitJob runs the admission-controlled path shared by regular and
-// standing-registration submissions: add to the table, try the queue,
-// shed 429 when full.
-func (s *Server) admitJob(w http.ResponseWriter, req JobRequest) {
-	s.admitMu.RLock()
-	if s.draining.Load() {
-		s.admitMu.RUnlock()
+// standing-registration submissions: enforce the tenant's in-flight
+// quota, add to the table, try the shared queue, shed 429 when full.
+func (s *graphInstance) admitJob(w http.ResponseWriter, req JobRequest) {
+	srv := s.srv
+	srv.admitMu.RLock()
+	if srv.draining.Load() {
+		srv.admitMu.RUnlock()
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	if q := s.quotas.MaxInflightJobs; q > 0 && int(s.inflight.Load()) >= q {
+		srv.admitMu.RUnlock()
+		s.met.quotaRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant in-flight job quota (%d) reached", q))
+		return
+	}
+	s.inflight.Add(1)
+	if s.deleted.Load() {
+		// Pairs with DELETE's "set deleted, then poll inflight": a load
+		// that missed the flag happened before the store, so the poll
+		// sees our increment and waits the job out.
+		s.inflight.Add(-1)
+		srv.admitMu.RUnlock()
+		writeError(w, http.StatusNotFound, "graph deleted")
+		return
+	}
 	j := s.jobs.add(req)
+	j.g = s
 	select {
-	case s.queue <- j:
+	case srv.queue <- j:
 		s.met.admitted.Add(1)
-		s.admitMu.RUnlock()
+		srv.admitMu.RUnlock()
 		writeJSON(w, http.StatusAccepted, j.view())
 	default:
-		s.admitMu.RUnlock()
+		srv.admitMu.RUnlock()
+		s.inflight.Add(-1)
 		s.jobs.remove(j.ID)
 		s.met.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -618,7 +657,7 @@ func (s *Server) admitJob(w http.ResponseWriter, req JobRequest) {
 // (O(1), no queue, no snapshot); an unregistered one admits a
 // registration job through the normal analytics queue; a query still
 // initializing points the caller at its registration job.
-func (s *Server) handleStandingSubmit(w http.ResponseWriter, req JobRequest) {
+func (s *graphInstance) handleStandingSubmit(w http.ResponseWriter, req JobRequest) {
 	if req.Algo == "cc" && !s.dyn.Undirected() {
 		writeError(w, http.StatusBadRequest, "standing cc requires an undirected graph")
 		return
@@ -648,7 +687,7 @@ func (s *Server) handleStandingSubmit(w http.ResponseWriter, req JobRequest) {
 	s.admitJob(w, req)
 }
 
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+func (s *graphInstance) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job")
@@ -657,13 +696,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
-func (s *Server) handleStandingList(w http.ResponseWriter, _ *http.Request) {
+func (s *graphInstance) handleStandingList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Queries []standingView `json:"queries"`
 	}{s.standing.views()})
 }
 
-func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
+func (s *graphInstance) handleGraph(w http.ResponseWriter, _ *http.Request) {
 	// Pin a view so the (live_arcs, epoch) pair is one consistent
 	// epoch's topology even while mutation batches commit — the old
 	// quiescent LiveArcs() walk here raced with ApplyStream and could
@@ -673,6 +712,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 	defer view.Close()
 	ins, rem, noops := s.dyn.MutationStats()
 	writeJSON(w, http.StatusOK, struct {
+		Name       string `json:"name"`
 		Vertices   int    `json:"vertices"`
 		BaseArcs   int    `json:"base_arcs"`
 		LiveArcs   int    `json:"live_arcs"`
@@ -682,7 +722,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 		Removed    uint64 `json:"removed"`
 		NoOps      uint64 `json:"noops"`
 	}{
-		s.dyn.NumVertices(), s.dyn.Base().NumEdges(), s.liveArcs(view),
+		s.name, s.dyn.NumVertices(), s.dyn.Base().NumEdges(), s.liveArcs(view),
 		s.dyn.Undirected(), view.Epoch(), ins, rem, noops,
 	})
 }
@@ -694,7 +734,7 @@ func (s *Server) handleGraph(w http.ResponseWriter, _ *http.Request) {
 // can overlap a concurrent miss at another epoch); epochs are
 // monotone, so last-writer-wins publication keyed by ≥ keeps the
 // cache at the newest computed epoch.
-func (s *Server) liveArcs(view *tufast.GraphView) int {
+func (s *graphInstance) liveArcs(view *tufast.GraphView) int {
 	e := view.Epoch()
 	s.arcsMu.Lock()
 	if s.arcsOK && s.arcsEpoch == e {
@@ -729,7 +769,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // batches never wait at all — the view reads multi-version chains
 // while writers keep appending. Concurrent misses on the same epoch
 // coalesce on the builder's claim channel.
-func (s *Server) snapshot() (*tufast.Graph, uint64, error) {
+func (s *graphInstance) snapshot() (*tufast.Graph, uint64, error) {
 	view := s.dyn.View()
 	defer view.Close()
 	cur := view.Epoch()

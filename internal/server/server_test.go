@@ -501,7 +501,7 @@ func TestDrainClean(t *testing.T) {
 	// The grace period (200ms) elapsed with the gate held, so both
 	// jobs must have been cancelled — visible as terminal states.
 	for _, j := range []map[string]any{a, b} {
-		job := s.jobs.get(j["job_id"].(string))
+		job := s.def.jobs.get(j["job_id"].(string))
 		if job == nil {
 			t.Fatal("job vanished during drain")
 		}

@@ -36,7 +36,7 @@ import (
 // re-derives their labels — a full RecomputeCtx happens only at seed
 // time (and on its error retry).
 type standingManager struct {
-	s *Server
+	s *graphInstance
 
 	// mu guards registry mutations (register/remove); the hook fan-out
 	// reads the copy-on-write active list instead, so the per-op cost
@@ -52,7 +52,7 @@ type standingManager struct {
 	wg sync.WaitGroup
 }
 
-func newStandingManager(s *Server) *standingManager {
+func newStandingManager(s *graphInstance) *standingManager {
 	return &standingManager{s: s, byKey: make(map[string]*standingQuery)}
 }
 
@@ -542,7 +542,7 @@ func (m *standingManager) views() []standingView {
 // job's deadline. The query outlives the job — a deadline here only
 // fails the registration job; the background seed still completes and
 // later reads hit it.
-func (s *Server) executeStanding(ctx context.Context, j *Job) (any, uint64, error) {
+func (s *graphInstance) executeStanding(ctx context.Context, j *Job) (any, uint64, error) {
 	q, err := s.standing.ensure(j.Req, j.ID)
 	if err != nil {
 		return nil, s.dyn.Epoch(), err

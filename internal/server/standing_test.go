@@ -136,7 +136,7 @@ func TestStandingEndToEndOracle(t *testing.T) {
 	waitStandingStable(t, client, base, 2)
 
 	// Oracle: from-scratch computations on the compacted final graph.
-	g, epoch, err := s.snapshot()
+	g, epoch, err := s.def.snapshot()
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
@@ -159,8 +159,8 @@ func TestStandingEndToEndOracle(t *testing.T) {
 	if err := ccReq.normalize(s.cfg, n); err != nil {
 		t.Fatal(err)
 	}
-	prQ := s.standing.lookup(prReq.cacheKey())
-	ccQ := s.standing.lookup(ccReq.cacheKey())
+	prQ := s.def.standing.lookup(prReq.cacheKey())
+	ccQ := s.def.standing.lookup(ccReq.cacheKey())
 	if prQ == nil || ccQ == nil {
 		t.Fatal("standing queries vanished from the registry")
 	}
@@ -281,7 +281,7 @@ func TestStandingReadAfterBatch(t *testing.T) {
 	// from-scratch computation (the alternation ends on a delete, so
 	// the last repair exercised the local delete-repair path).
 	waitStandingStable(t, client, base, 1)
-	g, _, err := s.snapshot()
+	g, _, err := s.def.snapshot()
 	if err != nil {
 		t.Fatalf("snapshot: %v", err)
 	}
@@ -293,7 +293,7 @@ func TestStandingReadAfterBatch(t *testing.T) {
 	if err := req.normalize(s.cfg, n); err != nil {
 		t.Fatal(err)
 	}
-	got := s.standing.lookup(req.cacheKey()).cc.Components()
+	got := s.def.standing.lookup(req.cacheKey()).cc.Components()
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("label[%d] = %d, oracle %d", i, got[i], want[i])

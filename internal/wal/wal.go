@@ -666,6 +666,58 @@ func (l *Log) Replay(after uint64, fn func(epoch uint64, ops []Op) error) error 
 	return nil
 }
 
+// ReplayPipelined is Replay with frame decode overlapped against fn:
+// a decoder goroutine reads and decodes segments, handing batches over
+// a channel holding at most depth decoded batches, while the caller's
+// goroutine runs fn. Record order is unchanged — one decoder, one
+// consumer, one FIFO — so it is a drop-in for Replay wherever fn does
+// real work per batch (recovery's stream-apply), buying the decode
+// time back for free. Unlike Replay's fn, which must not retain ops
+// past its return, each pipelined batch owns its slice (the copy is
+// what the overlap requires anyway). Same contract otherwise: run
+// before the first Append; fn errors abort the replay.
+func (l *Log) ReplayPipelined(after uint64, depth int, fn func(epoch uint64, ops []Op) error) error {
+	if depth < 1 {
+		depth = 1
+	}
+	type batch struct {
+		epoch uint64
+		ops   []Op
+	}
+	out := make(chan batch, depth)
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		errc <- l.Replay(after, func(epoch uint64, ops []Op) error {
+			b := batch{epoch: epoch, ops: append([]Op(nil), ops...)}
+			select {
+			case out <- b:
+				return nil
+			case <-stop:
+				return errReplayStopped
+			}
+		})
+	}()
+	for b := range out {
+		if err := fn(b.epoch, b.ops); err != nil {
+			close(stop)
+			for range out { // unblock and drain the decoder
+			}
+			<-errc
+			return err
+		}
+	}
+	if err := <-errc; err != nil && !errors.Is(err, errReplayStopped) {
+		return err
+	}
+	return nil
+}
+
+// errReplayStopped is the decoder's internal abort signal when the
+// consumer side of ReplayPipelined failed first.
+var errReplayStopped = errors.New("wal: replay stopped by consumer")
+
 // replaySegment decodes s's (already validated) frames.
 func replaySegment(s segment, after uint64, fn func(epoch uint64, ops []Op) error) error {
 	raw, err := os.ReadFile(s.path)

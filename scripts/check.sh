@@ -68,6 +68,15 @@ begin "crash recovery matrix (race)"
 go test -race -short -run 'TestCrashRecovery' ./internal/server
 end
 
+# The tenancy suite is the executable form of the multi-graph
+# isolation argument (per-tenant topology oracles under concurrent
+# cross-tenant mutation, quota 429s, and a three-graph kill-and-
+# recover). It runs inside ./... above; re-run it by name so a tenancy
+# regression fails with the suite's own diagnostics.
+begin "multi-graph tenancy suite (race)"
+go test -race -short -run 'TestTenancy' ./internal/server
+end
+
 # The MVCC view oracle is the executable form of the lock-free-read
 # safety argument (pinned views cross-examined against replayed truth
 # while 8 mutator workers commit around them). It runs inside ./...
